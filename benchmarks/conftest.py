@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Each ``test_eN_*.py`` regenerates one table/figure of the reconstructed
+evaluation (see DESIGN.md).  The table is written to
+``benchmarks/results/eN.txt`` (and echoed to stdout) so a benchmark run
+leaves the full set of result tables behind; the pytest-benchmark
+fixture then times the experiment's hot path.
+
+Set ``REPRO_BENCH_FULL=1`` for full-size instances (several minutes);
+the default is the quick configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Full-size instances when REPRO_BENCH_FULL=1, quick otherwise.
+QUICK = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def record_table():
+    """Write an experiment table to benchmarks/results/ and echo it."""
+
+    def _record(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.format()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,45 @@
+"""E10 (Figure VI): cost-model sensitivity -- the plan crossover.
+
+Regenerates the k1 sweep on Example 1.2 and benchmarks GenCompact
+replanning under a changed cost model (the operation a mediator performs
+when a source's observed latency shifts).
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.e10_cost_sensitivity import run as run_e10
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.workloads.scenarios import car_scenario
+
+_SCENARIO = car_scenario(2000)
+_MODELS = [
+    CostModel({_SCENARIO.source.name: _SCENARIO.source.stats}, k1=float(k1))
+    for k1 in (1, 100, 2000, 20000)
+]
+
+
+def test_e10_crossover(benchmark, record_table):
+    table = benchmark.pedantic(run_e10, kwargs={"quick": QUICK}, rounds=1,
+                               iterations=1)
+    record_table("e10_cost_sensitivity", table)
+    # GenCompact always sits on or below the baseline envelope...
+    assert all(row[5] == "yes" for row in table.rows)
+    # ...and the chosen query count is non-increasing in k1 (fewer,
+    # bigger queries as the per-query overhead grows).
+    queries = table.column("GC queries")
+    assert all(b <= a for a, b in zip(queries, queries[1:]))
+    # The crossover actually happens inside the sweep.
+    assert queries[0] > queries[-1]
+
+
+def test_e10_bench_replanning_under_new_constants(benchmark):
+    planner = GenCompact()
+
+    def replan_all():
+        return [
+            planner.plan(_SCENARIO.query, _SCENARIO.source, model)
+            for model in _MODELS
+        ]
+
+    results = benchmark(replan_all)
+    assert all(r.feasible for r in results)

@@ -1,0 +1,42 @@
+"""E1 (Table 1): plan quality on the paper's motivating queries.
+
+Regenerates the estimated-cost comparison across strategies and
+benchmarks the headline operation: GenCompact planning Example 1.2.
+"""
+
+import math
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.e1_plan_quality import run as run_e1
+from repro.planners.gencompact import GenCompact
+from repro.workloads.scenarios import car_scenario
+
+
+def test_e1_plan_quality(benchmark, record_table):
+    table = run_e1(quick=QUICK)
+    record_table("e1_plan_quality", table)
+
+    # Shape: GenCompact is feasible and cheapest on every scenario.
+    by_scenario: dict = {}
+    for scenario, planner, feasible, cost, *_ in table.rows:
+        by_scenario.setdefault(scenario, {})[planner] = (feasible, cost)
+    for scenario, entries in by_scenario.items():
+        feasible, gc_cost = entries["GenCompact"]
+        assert feasible == "yes" and math.isfinite(gc_cost)
+        for planner, (_, cost) in entries.items():
+            assert gc_cost <= cost + 1e-9, (scenario, planner)
+        # DISCO and Naive cannot plan the motivating examples.
+        if "Example" in scenario:
+            assert entries["DISCO"][0] == "no"
+            assert entries["Naive"][0] == "no"
+
+    scenario = car_scenario(2000 if QUICK else 12000)
+    cost_model = cost_model_for(scenario.source)
+    planner = GenCompact()
+
+    def plan_example_12():
+        return planner.plan(scenario.query, scenario.source, cost_model)
+
+    result = benchmark(plan_example_12)
+    assert result.feasible

@@ -1,0 +1,41 @@
+"""E2 (Table 2): measured execution of the chosen plans.
+
+Regenerates the measured-traffic table and benchmarks executing
+GenCompact's Example 1.1 plan end to end (plan fixing + source
+evaluation + mediator union).
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.e2_data_transfer import run as run_e2
+from repro.planners.gencompact import GenCompact
+from repro.plans.execute import Executor
+from repro.workloads.scenarios import bookstore_scenario
+
+
+def test_e2_data_transfer(benchmark, record_table):
+    table = run_e2(quick=QUICK)
+    record_table("e2_data_transfer", table)
+
+    # Shape: every executed plan is correct, and GenCompact never moves
+    # more data than a baseline that also produced a correct plan.
+    by_scenario: dict = {}
+    for scenario, planner, _q, _t, cost, _rows, correct in table.rows:
+        assert correct in ("yes", "n/a")
+        if correct == "yes":
+            by_scenario.setdefault(scenario, {})[planner] = cost
+    for scenario, costs in by_scenario.items():
+        gc = costs["GenCompact"]
+        assert all(gc <= cost + 1e-9 for cost in costs.values()), scenario
+
+    scenario = bookstore_scenario(3000 if QUICK else 20000)
+    cost_model = cost_model_for(scenario.source)
+    plan = GenCompact().plan(scenario.query, scenario.source, cost_model).plan
+    executor = Executor({scenario.source.name: scenario.source})
+
+    def execute_plan():
+        scenario.source.meter.reset()
+        return executor.execute_with_report(plan)
+
+    report = benchmark(execute_plan)
+    assert report.queries == 2

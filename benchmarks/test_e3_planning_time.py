@@ -1,0 +1,37 @@
+"""E3 (Figure I): plan-generation time, GenCompact vs GenModular.
+
+Regenerates the time-vs-query-size series and benchmarks both schemes
+on a fixed 6-atom query so their relative speed lands in the
+pytest-benchmark report.
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.e3_planning_time import run as run_e3
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+_CONFIG = WorldConfig(n_attributes=6, n_rows=2000, richness=0.7, seed=404)
+_SOURCE = make_source(_CONFIG)
+_MODEL = cost_model_for(_SOURCE)
+_QUERY = make_queries(_CONFIG, _SOURCE, 1, 6, seed=17)[0]
+
+
+def test_e3_series(benchmark, record_table):
+    table = benchmark.pedantic(run_e3, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e3_planning_time", table)
+    # Shape: GenModular never finds a cheaper plan than GenCompact.
+    assert all(row[7] == 0 for row in table.rows)
+
+
+def test_e3_bench_gencompact(benchmark):
+    planner = GenCompact()
+    result = benchmark(lambda: planner.plan(_QUERY, _SOURCE, _MODEL))
+    assert result.stats.cts_processed >= 1
+
+
+def test_e3_bench_genmodular(benchmark):
+    planner = GenModular(max_rewrites=60, use_closed_description=True)
+    result = benchmark(lambda: planner.plan(_QUERY, _SOURCE, _MODEL))
+    assert result.stats.cts_processed >= 1

@@ -1,0 +1,46 @@
+"""E4 (Figure II): search-space size, GenModular vs GenCompact.
+
+Regenerates the CTs/plans/Check-calls table and benchmarks the pure
+search-space accounting path (EPG plan generation with Choice trees on
+one CT, no rewriting) against IPG on the same CT.
+"""
+
+from benchmarks.conftest import QUICK
+from repro.conditions.canonical import canonicalize
+from repro.experiments.common import cost_model_for
+from repro.experiments.e4_search_space import run as run_e4
+from repro.planners.base import CheckCounter
+from repro.planners.epg import EPG
+from repro.planners.ipg import IPG
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+_CONFIG = WorldConfig(n_attributes=6, n_rows=2000, richness=0.7, seed=404)
+_SOURCE = make_source(_CONFIG)
+_MODEL = cost_model_for(_SOURCE)
+_QUERY = make_queries(_CONFIG, _SOURCE, 1, 6, seed=23)[0]
+_CT = canonicalize(_QUERY.condition)
+
+
+def test_e4_series(benchmark, record_table):
+    table = benchmark.pedantic(run_e4, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e4_search_space", table)
+    # Shape: per query, GenModular processes more CTs than GenCompact.
+    assert all(row[1] >= row[4] for row in table.rows)
+
+
+def test_e4_bench_epg_single_ct(benchmark):
+    def run_epg():
+        checker = CheckCounter(_SOURCE.closed_description)
+        epg = EPG(_SOURCE.name, checker)
+        return epg.generate(_CT, _QUERY.attributes)
+
+    benchmark(run_epg)
+
+
+def test_e4_bench_ipg_single_ct(benchmark):
+    def run_ipg():
+        checker = CheckCounter(_SOURCE.closed_description)
+        ipg = IPG(_SOURCE.name, checker, _MODEL)
+        return ipg.best_plan(_CT, _QUERY.attributes)
+
+    benchmark(run_ipg)

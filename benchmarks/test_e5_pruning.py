@@ -1,0 +1,38 @@
+"""E5 (Figure III): pruning-rule ablation.
+
+Regenerates the PR1-PR3 ablation table and benchmarks IPG with all
+pruning on vs all pruning off on the same query.
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.e5_pruning import run as run_e5
+from repro.planners.gencompact import GenCompact
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+_CONFIG = WorldConfig(n_attributes=6, n_rows=2000, richness=0.7, seed=505)
+_SOURCE = make_source(_CONFIG)
+_MODEL = cost_model_for(_SOURCE)
+_QUERY = make_queries(_CONFIG, _SOURCE, 1, 6, seed=31)[0]
+
+
+def test_e5_ablation_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e5, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e5_pruning", table)
+    # Shape: the optimum is preserved in every configuration, and PR3
+    # visibly shrinks the MCSC candidate pool.
+    assert all(row[5] == "yes" for row in table.rows)
+    by_config = {row[0]: row for row in table.rows}
+    assert by_config["no PR3"][3] > by_config["all pruning"][3]
+
+
+def test_e5_bench_all_pruning(benchmark):
+    planner = GenCompact()
+    result = benchmark(lambda: planner.plan(_QUERY, _SOURCE, _MODEL))
+    assert result.stats.mcsc_problems >= 0
+
+
+def test_e5_bench_no_pruning(benchmark):
+    planner = GenCompact(pr1=False, pr2=False, pr3=False)
+    result = benchmark(lambda: planner.plan(_QUERY, _SOURCE, _MODEL))
+    assert result.stats.mcsc_problems >= 0

@@ -1,0 +1,46 @@
+"""E6 (Figure IV): plan quality vs source-capability richness.
+
+Regenerates the richness sweep and benchmarks GenCompact planning on a
+mid-richness source (the regime where capability-sensitive planning
+matters most).
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.e6_capability_richness import run as run_e6
+from repro.planners.gencompact import GenCompact
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+_CONFIG = WorldConfig(
+    n_attributes=6, n_rows=2000, richness=0.5, download_prob=0.1,
+    export_prob=0.95, seed=606,
+)
+_SOURCE = make_source(_CONFIG)
+_MODEL = cost_model_for(_SOURCE)
+_QUERIES = make_queries(_CONFIG, _SOURCE, 5, 5, seed=41)
+
+
+def test_e6_richness_sweep(benchmark, record_table):
+    table = benchmark.pedantic(run_e6, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e6_capability_richness", table)
+    for row in table.rows:
+        # GenCompact's feasibility dominates both baselines...
+        assert row[1] >= row[2] - 1e-9
+        assert row[1] >= row[3] - 1e-9
+        # ...and its cost is never worse where both planned.
+        for ratio in (row[4], row[5]):
+            if ratio != "n/a":
+                assert ratio >= 1.0 - 1e-6
+    # Feasibility grows with richness end to end.
+    feasibility = table.column("GC feas")
+    assert feasibility[-1] >= feasibility[0]
+
+
+def test_e6_bench_mid_richness_planning(benchmark):
+    planner = GenCompact()
+
+    def plan_batch():
+        return [planner.plan(q, _SOURCE, _MODEL) for q in _QUERIES]
+
+    results = benchmark(plan_batch)
+    assert len(results) == len(_QUERIES)

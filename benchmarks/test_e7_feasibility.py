@@ -1,0 +1,44 @@
+"""E7 (Table 3): feasibility rate per strategy.
+
+Regenerates the who-can-plan-what table and benchmarks the feasibility
+screen itself (planning a batch of random queries with every strategy).
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for, default_planners
+from repro.experiments.e7_feasibility import run as run_e7
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+_CONFIG = WorldConfig(
+    n_attributes=6, n_rows=1000, richness=0.5, download_prob=0.5, seed=707
+)
+_SOURCE = make_source(_CONFIG)
+_MODEL = cost_model_for(_SOURCE)
+_QUERIES = make_queries(_CONFIG, _SOURCE, 6, 4, seed=51)
+
+
+def test_e7_feasibility_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e7, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e7_feasibility", table)
+    rates = dict(zip(table.column("planner"), table.column("rate")))
+    # The paper's subsumption ordering.
+    assert rates["GenCompact"] == rates["GenModular"]
+    assert rates["GenCompact"] >= rates["CNF (Garlic)"]
+    assert rates["GenCompact"] >= rates["DNF"]
+    assert rates["CNF (Garlic)"] >= rates["DISCO"]
+    assert rates["DNF"] >= rates["DISCO"]
+    assert rates["DISCO"] >= rates["Naive"]
+
+
+def test_e7_bench_feasibility_screen(benchmark):
+    planners = default_planners(genmodular_budget=30)
+
+    def screen():
+        return [
+            planner.plan(query, _SOURCE, _MODEL).feasible
+            for planner in planners
+            for query in _QUERIES
+        ]
+
+    outcomes = benchmark(screen)
+    assert len(outcomes) == len(planners) * len(_QUERIES)

@@ -1,0 +1,45 @@
+"""E8 (Figure V): MCSC solvers -- paper's O(2^Q) enumeration vs DP vs greedy.
+
+Regenerates the solver-comparison series and benchmarks each solver on
+a fixed Q=14 instance.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import QUICK
+from repro.experiments.e8_mcsc import random_instance, run as run_e8
+from repro.planners.mcsc import solve_dp, solve_enumerate, solve_greedy
+
+_RNG = random.Random(808)
+_N_ELEMENTS = 7
+_CANDIDATES = random_instance(_N_ELEMENTS, 14, _RNG)
+
+
+def test_e8_solver_series(benchmark, record_table):
+    table = benchmark.pedantic(run_e8, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e8_mcsc", table)
+    assert all(row[6] == "yes" for row in table.rows)   # dp == enumeration
+    assert all(row[5] >= 1.0 - 1e-9 for row in table.rows)  # greedy >= opt
+    # The DP's advantage grows with Q.
+    speedups = table.column("speedup")
+    assert speedups[-1] >= speedups[0]
+
+
+def test_e8_bench_enumerate(benchmark):
+    solution = benchmark(lambda: solve_enumerate(_N_ELEMENTS, _CANDIDATES))
+    assert solution is not None
+
+
+def test_e8_bench_dp(benchmark):
+    solution = benchmark(lambda: solve_dp(_N_ELEMENTS, _CANDIDATES))
+    assert solution is not None
+    assert solution.cost == pytest.approx(
+        solve_enumerate(_N_ELEMENTS, _CANDIDATES).cost
+    )
+
+
+def test_e8_bench_greedy(benchmark):
+    solution = benchmark(lambda: solve_greedy(_N_ELEMENTS, _CANDIDATES))
+    assert solution is not None

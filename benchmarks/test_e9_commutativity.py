@@ -1,0 +1,49 @@
+"""E9 (Table 4): commutativity via rewrite rule vs description rewriting.
+
+Regenerates the Section 6.1 comparison and benchmarks the two one-time /
+per-query costs it trades: building the commutation closure (once per
+source) and fixing a planned query (once per executed plan).
+"""
+
+from benchmarks.conftest import QUICK
+from repro.conditions.parser import parse_condition
+from repro.experiments.e9_commutativity import run as run_e9
+from repro.ssdl.commute import commutation_closure, fix_condition
+from repro.ssdl.text import parse_ssdl
+
+_NATIVE = parse_ssdl(
+    """
+    s -> r1 | r2
+    r1 -> a = $str and b <= $num and c = $str
+    r2 -> a = $str and d >= $num
+    attributes r1 : key, a, b, c, d
+    attributes r2 : key, a, b, c, d
+    """,
+    name="ordered",
+)
+_SHUFFLED = parse_condition("c = 'x' and a = 'y' and b <= 5")
+
+
+def test_e9_commutativity_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e9, kwargs={"quick": QUICK}, rounds=1, iterations=1)
+    record_table("e9_commutativity", table)
+    by_config = {row[0]: row for row in table.rows}
+    rule_row = by_config["GenModular + commutative rule"]
+    gc_row = by_config["GenCompact (closed description)"]
+    # Description rewriting processes far fewer CTs per query...
+    assert gc_row[2] < rule_row[2]
+    # ...and GenCompact plans every shuffled query.
+    count, total = gc_row[1].split("/")
+    assert count == total
+
+
+def test_e9_bench_commutation_closure(benchmark):
+    closed = benchmark(lambda: commutation_closure(_NATIVE))
+    assert closed.rule_count() > _NATIVE.rule_count()
+
+
+def test_e9_bench_query_fixing(benchmark):
+    fixed = benchmark(
+        lambda: fix_condition(_SHUFFLED, _NATIVE, frozenset({"key"}))
+    )
+    assert _NATIVE.check(fixed)

@@ -1,0 +1,72 @@
+"""X3 (ablation): GenModular's rewrite budget -- quality vs. time.
+
+DESIGN.md calls out bounded rewriting as a necessary engineering choice
+(GenModular's rewrite space is infinite).  This ablation sweeps the
+budget on the paper's Example 1.2 query and records when GenModular
+first matches GenCompact's plan cost -- and what that budget costs in
+time relative to GenCompact.
+"""
+
+import time
+
+from benchmarks.conftest import QUICK
+from repro.experiments.common import cost_model_for
+from repro.experiments.report import Table
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.workloads.scenarios import car_scenario
+
+_SCENARIO = car_scenario(2000)
+_MODEL = cost_model_for(_SCENARIO.source)
+_GC = GenCompact().plan(_SCENARIO.query, _SCENARIO.source, _MODEL)
+
+_BUDGETS = (10, 30, 60, 120) if QUICK else (10, 30, 60, 120, 240, 480)
+
+
+def _sweep() -> Table:
+    table = Table(
+        "X3 (ablation): GenModular rewrite budget vs plan quality",
+        ["budget (CTs)", "cost found", "vs GenCompact", "time ms",
+         "truncated"],
+        notes=(
+            f"Example 1.2; GenCompact finds cost {_GC.cost:.1f} "
+            f"in {_GC.stats.elapsed_sec * 1000:.1f} ms.  'vs GenCompact' is "
+            "the cost ratio (1.0 = same plan quality)."
+        ),
+    )
+    for budget in _BUDGETS:
+        planner = GenModular(
+            max_rewrites=budget,
+            max_rewrite_steps=budget * 200,
+            use_closed_description=True,
+        )
+        started = time.perf_counter()
+        result = planner.plan(_SCENARIO.query, _SCENARIO.source, _MODEL)
+        elapsed = (time.perf_counter() - started) * 1000
+        ratio = result.cost / _GC.cost if result.feasible else float("inf")
+        table.add(
+            budget,
+            round(result.cost, 1) if result.feasible else "infeasible",
+            round(ratio, 2),
+            round(elapsed, 1),
+            "yes" if result.stats.rewrite_truncated else "no",
+        )
+    return table
+
+
+def test_x3_budget_sweep(benchmark, record_table):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_table("x3_rewrite_budget", table)
+    ratios = [r for r in table.column("vs GenCompact") if r != float("inf")]
+    # More budget never makes GenModular worse...
+    assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # ...and it never beats GenCompact.
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+
+def test_x3_bench_gencompact_reference(benchmark):
+    planner = GenCompact()
+    result = benchmark(
+        lambda: planner.plan(_SCENARIO.query, _SCENARIO.source, _MODEL)
+    )
+    assert result.cost <= _GC.cost + 1e-9

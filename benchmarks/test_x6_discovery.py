@@ -1,0 +1,79 @@
+"""X6 (extension): capability-discovery probing economics.
+
+How many probes does it take to learn a form's description, and how
+does that scale with the number of attributes?  Probes are real queries
+against the (simulated) source, so this is the price of onboarding an
+undocumented source.
+"""
+
+from benchmarks.conftest import QUICK
+from repro.experiments.report import Table
+from repro.ssdl.discovery import discover_description
+from repro.ssdl.forms import NumberField, TextField, WebForm
+from repro.workloads.synthetic import WorldConfig, make_table
+from repro.source.source import CapabilitySource
+
+
+def _form_source(n_fields: int) -> tuple[CapabilitySource, dict]:
+    config = WorldConfig(n_attributes=n_fields, n_rows=400, seed=1600)
+    table = make_table(config)
+    fields = []
+    samples: dict[str, tuple] = {}
+    for index in range(n_fields):
+        name = f"a{index}"
+        if index % 2 == 0:
+            fields.append(TextField(name))
+            samples[name] = (f"v{index}_0", f"v{index}_1")
+        else:
+            fields.append(NumberField(name, op="<="))
+            samples[name] = (300, 700)
+    form = WebForm(
+        "probe_target", fields,
+        exports=list(table.schema.attribute_names),
+        max_filled=2,
+    )
+    return CapabilitySource("t", table, form.compile()), samples
+
+
+def _sweep() -> Table:
+    table = Table(
+        "X6 (extension): discovery probes vs form width",
+        ["fields", "probes sent", "accepted", "tuples moved",
+         "rules inferred"],
+        notes=(
+            "Learning a max-2-fields form end to end; probe count grows "
+            "quadratically with the candidate-template count (ordered "
+            "pairs dominate)."
+        ),
+    )
+    widths = (2, 4) if QUICK else (2, 4, 6)
+    for width in widths:
+        source, samples = _form_source(width)
+        report = discover_description(source, source.schema, samples)
+        table.add(
+            width,
+            report.probes_sent,
+            report.probes_accepted,
+            report.tuples_transferred,
+            report.description.rule_count(),
+        )
+    return table
+
+
+def test_x6_probe_scaling(benchmark, record_table):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_table("x6_discovery", table)
+    probes = table.column("probes sent")
+    assert all(b > a for a, b in zip(probes, probes[1:]))
+    assert all(rules >= 1 for rules in table.column("rules inferred"))
+
+
+def test_x6_bench_single_discovery(benchmark):
+    source, samples = _form_source(3)
+
+    def run():
+        source.meter.reset()
+        return discover_description(source, source.schema, samples)
+
+    report = benchmark(run)
+    assert report.probes_sent > 0

@@ -1,0 +1,66 @@
+"""X7 (extension): the mediator's source-query result cache.
+
+A dashboard-style workload re-asks a small set of queries; the cache
+answers repeats locally.  The bench measures the repeated batch with and
+without caching and asserts the cached run stops touching the source.
+"""
+
+from benchmarks.conftest import QUICK
+from repro.mediator import Mediator
+from repro.source.library import bookstore
+
+_QUERIES = [
+    "SELECT id, title FROM bookstore WHERE author = 'Carl Jung'",
+    "SELECT id, title FROM bookstore WHERE author = 'Sigmund Freud' "
+    "and title contains 'dreams'",
+    "SELECT id, title FROM bookstore WHERE subject = 'philosophy'",
+]
+_REPEATS = 5 if QUICK else 15
+
+
+def _mediator(cache: bool) -> Mediator:
+    mediator = Mediator(
+        result_cache_tuples=200_000 if cache else None
+    )
+    mediator.add_source(bookstore(n=5000))
+    return mediator
+
+
+def test_x7_cache_stops_source_traffic():
+    mediator = _mediator(cache=True)
+    for query in _QUERIES:
+        mediator.ask(query)
+    source = mediator.source("bookstore")
+    queries_after_warmup = source.meter.queries
+    for _ in range(3):
+        for query in _QUERIES:
+            answer = mediator.ask(query)
+            assert answer.report.queries == 0
+    assert source.meter.queries == queries_after_warmup
+    assert mediator.result_cache.stats.hit_rate > 0.5
+
+
+def test_x7_bench_with_cache(benchmark):
+    mediator = _mediator(cache=True)
+    for query in _QUERIES:
+        mediator.ask(query)  # warm
+
+    def repeat_batch():
+        for _ in range(_REPEATS):
+            for query in _QUERIES:
+                mediator.ask(query)
+
+    benchmark(repeat_batch)
+
+
+def test_x7_bench_without_cache(benchmark):
+    mediator = _mediator(cache=False)
+    for query in _QUERIES:
+        mediator.ask(query)
+
+    def repeat_batch():
+        for _ in range(_REPEATS):
+            for query in _QUERIES:
+                mediator.ask(query)
+
+    benchmark(repeat_batch)

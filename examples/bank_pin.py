@@ -1,0 +1,77 @@
+"""The Section 4 bank: attributes gated behind input attributes.
+
+"A bank may allow the retrieval of some attributes of an account given
+its account number, but may refuse to give the account balance unless a
+PIN number is specified in the query condition."
+
+This script shows how that policy is just an SSDL attribute association,
+and how planning reacts: the same projection flips between feasible and
+infeasible depending on whether the condition carries the PIN.
+
+Run:  python examples/bank_pin.py
+"""
+
+from repro import InfeasiblePlanError, Mediator, bank
+from repro.query import TargetQuery
+from repro.conditions import parse_condition
+
+
+def main() -> None:
+    mediator = Mediator()
+    source = bank(n=5000)
+    mediator.add_source(source)
+
+    account = source.relation.rows[7]
+    number, pin = account["account_no"], account["pin"]
+
+    print("grammar rules of the bank source:")
+    for nt in source.description.condition_nonterminals:
+        attrs = ", ".join(sorted(source.description.attributes[nt]))
+        print(f"  {nt:16s} exports {{{attrs}}}")
+    print()
+
+    # Without the PIN: owner and branch are fine, balance is not.
+    ok = mediator.ask(
+        f"SELECT owner, branch FROM bank WHERE account_no = {number}"
+    )
+    print(f"without PIN, owner/branch: {ok.rows}")
+
+    try:
+        mediator.ask(f"SELECT balance FROM bank WHERE account_no = {number}")
+    except InfeasiblePlanError:
+        print("without PIN, balance     : infeasible (as the policy demands)")
+
+    # With the PIN in the condition, the balance unlocks.
+    with_pin = mediator.ask(
+        f"SELECT owner, balance FROM bank "
+        f"WHERE account_no = {number} and pin = {pin}"
+    )
+    print(f"with PIN, owner/balance  : {with_pin.rows}")
+    print()
+
+    # The enforcement is independent of the planner: submitting the
+    # unsupported query directly makes the simulated source itself refuse.
+    from repro.errors import UnsupportedQueryError
+
+    try:
+        source.execute(
+            parse_condition(f"account_no = {number}"), frozenset(["balance"])
+        )
+    except UnsupportedQueryError as exc:
+        print("direct submission is refused by the source itself:")
+        print(" ", exc)
+
+    # A branch scan cannot reveal balances either, even with a PIN-like
+    # condition tacked on -- there is no grammar rule for it.
+    query = TargetQuery(
+        parse_condition(f"branch = 'downtown' and pin = {pin}"),
+        frozenset(["account_no", "balance"]),
+        "bank",
+    )
+    result = mediator.plan(query)
+    print(f"branch scan for balances : "
+          f"{'feasible' if result.feasible else 'infeasible'}")
+
+
+if __name__ == "__main__":
+    main()

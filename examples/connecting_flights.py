@@ -1,0 +1,71 @@
+"""Joins over limited sources: connecting flights via a bind-join.
+
+The paper confines itself to selection queries but calls them "the
+building blocks of more complex queries".  This example builds one such
+complex query: *SFO to BOS with one stop* over a flight source whose
+form **requires** a full route (you cannot ask "everything leaving SFO
+for anywhere" -- but you can ask route by route).
+
+The bind-join runs the outer leg, then binds each layover city into a
+capability-checked probe for the second leg.  Every probe goes through
+GenCompact, so a probe the form cannot take is detected before anything
+is sent.
+
+Run:  python examples/connecting_flights.py
+"""
+
+from repro import bind_join, flights, parse_condition
+from repro.data.generate import CITIES
+from repro.query import TargetQuery
+
+
+def main() -> None:
+    source = flights(n=15000)
+    catalog = {source.name: source}
+
+    origin, destination = "SFO", "BOS"
+    print(f"one-stop {origin} -> {destination} itineraries under $400/leg\n")
+
+    total_queries = 0
+    itineraries = []
+    # The form demands origin AND destination, so the mediator enumerates
+    # candidate layovers (the 1999 reality of route-required forms).
+    for layover in CITIES:
+        if layover in (origin, destination):
+            continue
+        outer = TargetQuery(
+            parse_condition(
+                f"origin = '{origin}' and destination = '{layover}' "
+                f"and price <= 400"
+            ),
+            frozenset({"id", "price"}),
+            "flights",
+        )
+        # Inner attributes must not collide with outer ones: project the
+        # second leg's airline and stops (its price is bounded by the
+        # probe condition).
+        answer = bind_join(
+            catalog,
+            outer,
+            "flights",
+            on={"destination": "origin"},
+            inner_condition=parse_condition(
+                f"destination = '{destination}' and price <= 400"
+            ),
+            inner_attributes=frozenset({"airline", "stops"}),
+        )
+        total_queries += answer.outer_queries + answer.inner_queries
+        for row in answer.rows:
+            itineraries.append(row)
+
+    itineraries.sort(key=lambda r: r["price"])
+    print(f"{len(itineraries)} leg-pairs found with {total_queries} source queries")
+    for row in itineraries[:8]:
+        print(
+            f"  {origin} -> {row['destination']:3s} (${row['price']:>3d}) "
+            f"then {row['airline']} -> {destination}"
+        )
+
+
+if __name__ == "__main__":
+    main()

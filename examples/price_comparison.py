@@ -1,0 +1,80 @@
+"""Mirrors: the same listings behind two very different interfaces.
+
+A price-comparison mediator sees the same car inventory twice: a fast
+dealer site whose form takes make + price bound, and a small classified
+site that only lets you download everything.  Capability-sensitive
+source *selection* picks, per query, whichever interface answers
+cheapest -- and fails over when a query is outside one form's reach.
+
+Run:  python examples/price_comparison.py
+"""
+
+from repro import MirrorGroup, parse_condition
+from repro.data.generate import generate_cars
+from repro.plans.execute import Executor
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+
+
+def dealer(rows) -> CapabilitySource:
+    description = (
+        DescriptionBuilder("dealer")
+        .rule(
+            "search",
+            "make = $str | make = $str and price <= $num",
+            attributes=["id", "make", "model", "price", "year"],
+        )
+        .build()
+    )
+    return CapabilitySource("dealer", rows, description)
+
+
+def classifieds(rows) -> CapabilitySource:
+    description = (
+        DescriptionBuilder("classifieds")
+        .rule("dump", "true",
+              attributes=["id", "make", "model", "price", "year"])
+        .build()
+    )
+    return CapabilitySource("classifieds", rows, description)
+
+
+def main() -> None:
+    inventory = generate_cars(n=6000)
+    group = MirrorGroup(
+        [dealer(inventory), classifieds(inventory)],
+        # The classified site is slow: steep per-query and per-tuple cost.
+        per_source_constants={"classifieds": (400.0, 3.0)},
+    )
+
+    queries = [
+        ("BMWs under $35k (the dealer form nails this)",
+         "make = 'BMW' and price <= 35000"),
+        ("anything under $9k (no make given: only the dump site can)",
+         "price <= 9000"),
+        ("Hondas, any price (both can; dealer is cheaper)",
+         "make = 'Honda'"),
+    ]
+    for label, text in queries:
+        query = TargetQuery(
+            parse_condition(text), frozenset({"id", "make", "price"}), "cars"
+        )
+        choice = group.plan(query)
+        print(label)
+        if not choice.feasible:
+            print("  -> infeasible on every mirror\n")
+            continue
+        winner = choice.chosen
+        print(f"  -> {winner.query.source} wins at estimated cost "
+              f"{winner.cost:.0f}")
+        for name, result in sorted(choice.per_source.items()):
+            status = f"{result.cost:.0f}" if result.feasible else "infeasible"
+            print(f"     {name:12s} {status}")
+        executor = Executor({winner.query.source: group.sources[winner.query.source]})
+        rows = executor.execute(winner.plan)
+        print(f"     answered with {len(rows)} rows\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Reproduce the paper's evaluation end to end.
+
+Runs the full reconstructed experiment suite (E1-E9; see DESIGN.md for
+the index and EXPERIMENTS.md for the recorded results) and prints each
+result table.  Pass ``--quick`` for smaller instances.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+
+from repro.experiments.__main__ import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

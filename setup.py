@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in fully offline environments that lack the
+``wheel`` package (``python setup.py develop`` / ``pip install -e .``
+with old tooling).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GenCompact: capability-sensitive query processing on Internet "
+        "sources (ICDE 1999 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

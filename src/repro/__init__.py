@@ -1,0 +1,149 @@
+"""repro -- a reproduction of *Capability-Sensitive Query Processing on
+Internet Sources* (Garcia-Molina, Labio, Yerneni; ICDE 1999).
+
+The library implements the paper end to end:
+
+* **SSDL** source descriptions and the ``Check`` supportability test
+  (:mod:`repro.ssdl`);
+* condition trees, rewriting and normal forms (:mod:`repro.conditions`);
+* the mediator plan algebra, cost model and executor (:mod:`repro.plans`);
+* the plan-generation schemes -- exhaustive **GenModular** and the
+  paper's efficient **GenCompact** -- plus the CNF (Garlic), DNF, DISCO
+  and Naive baselines (:mod:`repro.planners`);
+* simulated capability-limited Internet sources with enforcement and
+  traffic metering (:mod:`repro.source`);
+* a :class:`Mediator` facade tying it all together
+  (:mod:`repro.mediator`).
+
+Quickstart::
+
+    from repro import Mediator, bookstore
+
+    mediator = Mediator()
+    mediator.add_source(bookstore())
+    answer = mediator.ask(
+        "SELECT title, author, price FROM bookstore "
+        "WHERE (author = 'Sigmund Freud' or author = 'Carl Jung') "
+        "and title contains 'dreams'"
+    )
+    print(answer.planning.describe())
+    for row in answer.rows:
+        print(row)
+"""
+
+from repro.conditions import (
+    TRUE,
+    And,
+    Atom,
+    Condition,
+    Leaf,
+    Op,
+    Or,
+    canonicalize,
+    conjunction,
+    disjunction,
+    leaf,
+    parse_condition,
+    to_cnf,
+    to_dnf,
+)
+from repro.errors import (
+    InfeasiblePlanError,
+    ReproError,
+    UnsupportedQueryError,
+)
+from repro.mediator import Mediator, MediatorAnswer
+from repro.planners import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    GenCompact,
+    GenModular,
+    NaivePlanner,
+)
+from repro.plans import (
+    BottleneckCostModel,
+    CostModel,
+    Executor,
+    explain,
+    to_paper_notation,
+    validate_plan,
+)
+from repro.query import TargetQuery, parse_query
+from repro.source import (
+    CapabilitySource,
+    bank,
+    bookstore,
+    car_guide,
+    classifieds,
+    flights,
+    standard_catalog,
+)
+from repro.joins import BindJoinExecutor, JoinAnswer, JoinSpec, bind_join
+from repro.multisource import MirrorGroup, PartitionedSource
+from repro.ssdl import DescriptionBuilder, SourceDescription, parse_ssdl
+from repro.wrapper import Wrapper, WrapperAnswer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # conditions
+    "Atom",
+    "Op",
+    "Condition",
+    "Leaf",
+    "And",
+    "Or",
+    "TRUE",
+    "leaf",
+    "conjunction",
+    "disjunction",
+    "parse_condition",
+    "canonicalize",
+    "to_cnf",
+    "to_dnf",
+    # ssdl
+    "SourceDescription",
+    "DescriptionBuilder",
+    "parse_ssdl",
+    # queries and plans
+    "TargetQuery",
+    "parse_query",
+    "CostModel",
+    "BottleneckCostModel",
+    "Executor",
+    "explain",
+    "to_paper_notation",
+    "validate_plan",
+    # planners
+    "GenCompact",
+    "GenModular",
+    "CNFPlanner",
+    "DNFPlanner",
+    "DiscoPlanner",
+    "NaivePlanner",
+    # sources & mediator
+    "CapabilitySource",
+    "bookstore",
+    "car_guide",
+    "bank",
+    "flights",
+    "classifieds",
+    "standard_catalog",
+    "Mediator",
+    "MediatorAnswer",
+    # wrappers and joins
+    "Wrapper",
+    "WrapperAnswer",
+    "JoinSpec",
+    "JoinAnswer",
+    "BindJoinExecutor",
+    "bind_join",
+    "MirrorGroup",
+    "PartitionedSource",
+    # errors
+    "ReproError",
+    "UnsupportedQueryError",
+    "InfeasiblePlanError",
+]

@@ -1,0 +1,49 @@
+"""Canonical condition trees (Section 6.4).
+
+A CT is *canonical* when the children of every AND node are leaves or OR
+nodes, and the children of every OR node are leaves or AND nodes -- i.e.
+same-kind connectors never nest directly.  GenCompact's plan-generation
+module canonicalizes every CT it receives; IPG then implicitly explores
+all the regroupings GenModular would reach through the associativity and
+copy rewrite rules.
+
+Canonicalization preserves the left-to-right order of the atomic
+conditions (order matters to order-sensitive SSDL grammars) and runs in
+time linear in the size of the input tree, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from repro.conditions.tree import And, Condition, Or
+
+
+def canonicalize(condition: Condition) -> Condition:
+    """Return the canonical equivalent of ``condition``.
+
+    Flattens directly nested same-kind connectors (``a AND (b AND c)``
+    becomes ``a AND b AND c``) bottom-up.  Leaves and TRUE are returned
+    unchanged.
+    """
+    if not condition.children:
+        return condition
+    flat: list[Condition] = []
+    for child in condition.children:
+        child = canonicalize(child)
+        if type(child) is type(condition):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    if condition.is_and:
+        return And(flat)
+    return Or(flat)
+
+
+def is_canonical(condition: Condition) -> bool:
+    """True iff no connector node has a child of its own kind."""
+    for node in condition.nodes():
+        for child in node.children:
+            if type(child) is type(node):
+                return False
+    return True

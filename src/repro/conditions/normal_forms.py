@@ -1,0 +1,105 @@
+"""Conjunctive and disjunctive normal forms.
+
+These power the two baseline strategies the paper compares against:
+
+* Garlic transforms every condition to **CNF** and pushes the supported
+  clauses to the source (Sections 1 and 2).
+* A **DNF** system splits the condition into disjuncts and sends one
+  source query per disjunct (Example 1.1's "good plan" happens to be the
+  DNF plan; Example 1.2 shows DNF can also be wasteful).
+
+Both conversions can blow up exponentially; a ``max_terms`` budget guards
+against pathological inputs (the baselines treat budget exhaustion as
+"cannot produce a plan this way").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.conditions.canonical import canonicalize
+from repro.conditions.tree import Condition, conjunction, disjunction
+from repro.errors import ConditionError
+
+#: Default cap on the number of clauses/terms a conversion may produce.
+DEFAULT_MAX_TERMS = 4096
+
+
+def to_dnf(condition: Condition, max_terms: int = DEFAULT_MAX_TERMS) -> Condition:
+    """Convert to disjunctive normal form: OR of ANDs of atoms.
+
+    The result is canonical.  Raises :class:`ConditionError` if more than
+    ``max_terms`` conjunctive terms would be produced.
+    """
+    terms = dnf_terms(condition, max_terms)
+    return canonicalize(disjunction([conjunction(term) for term in terms]))
+
+
+def to_cnf(condition: Condition, max_terms: int = DEFAULT_MAX_TERMS) -> Condition:
+    """Convert to conjunctive normal form: AND of ORs of atoms.
+
+    The result is canonical.  Raises :class:`ConditionError` if more than
+    ``max_terms`` clauses would be produced.
+    """
+    clauses = cnf_clauses(condition, max_terms)
+    return canonicalize(conjunction([disjunction(clause) for clause in clauses]))
+
+
+def dnf_terms(
+    condition: Condition, max_terms: int = DEFAULT_MAX_TERMS
+) -> list[list[Condition]]:
+    """The DNF as a list of terms, each a list of leaf conditions."""
+    condition = canonicalize(condition)
+    return _distribute(condition, over_or=True, max_terms=max_terms)
+
+def cnf_clauses(
+    condition: Condition, max_terms: int = DEFAULT_MAX_TERMS
+) -> list[list[Condition]]:
+    """The CNF as a list of clauses, each a list of leaf conditions."""
+    condition = canonicalize(condition)
+    return _distribute(condition, over_or=False, max_terms=max_terms)
+
+
+def _distribute(
+    condition: Condition, over_or: bool, max_terms: int
+) -> list[list[Condition]]:
+    """Shared DNF/CNF worker.
+
+    With ``over_or=True`` computes DNF terms; with ``over_or=False`` CNF
+    clauses, by duality (swap the roles of AND and OR).
+    """
+    if condition.is_true:
+        return []
+    if condition.is_leaf:
+        return [[condition]]
+    # "outer" is the connective that separates terms in the result
+    # (OR for DNF, AND for CNF); "inner" joins atoms within a term.
+    outer_is_or = condition.is_or
+    child_results = [_distribute(c, over_or, max_terms) for c in condition.children]
+    if outer_is_or == over_or:
+        # Same polarity as the target outer connective: concatenate terms.
+        merged: list[list[Condition]] = []
+        for terms in child_results:
+            merged.extend(terms)
+            if len(merged) > max_terms:
+                raise ConditionError(
+                    f"normal-form conversion exceeded {max_terms} terms"
+                )
+        return merged
+    # Opposite polarity: cross-product distribution.
+    total = 1
+    for terms in child_results:
+        total *= max(len(terms), 1)
+        if total > max_terms:
+            raise ConditionError(f"normal-form conversion exceeded {max_terms} terms")
+    crossed: list[list[Condition]] = []
+    for combo in product(*[terms or [[]] for terms in child_results]):
+        merged_term: list[Condition] = []
+        seen = set()
+        for part in combo:
+            for atom_leaf in part:
+                if atom_leaf not in seen:
+                    seen.add(atom_leaf)
+                    merged_term.append(atom_leaf)
+        crossed.append(merged_term)
+    return crossed

@@ -1,0 +1,190 @@
+"""Textual parser for condition expressions.
+
+Accepts the syntax the rest of the library prints, e.g.::
+
+    make = 'BMW' and price <= 40000 and (color = 'red' or color = 'black')
+    style = 'sedan' and size in ('compact', 'midsize')
+    title contains 'dreams'
+
+``and`` binds tighter than ``or``; parentheses override and are preserved
+as explicit tree structure (the condition tree shape matters to
+order-sensitive and structure-sensitive SSDL grammars, so the parser
+never reassociates what the user wrote).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.conditions.atoms import Atom, Op, op_from_text
+from repro.conditions.tree import TRUE, And, Condition, Leaf, Or
+from repro.errors import ConditionParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|!=|<>|==|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "in", "contains", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConditionParseError(
+                f"unexpected character {text[pos]!r} at position {pos}", pos
+            )
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            kind = value.lower()
+            value = value.lower()
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def _unescape(quoted: str) -> str:
+    body = quoted[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ConditionParseError(
+                f"expected {kind} but found {token.text or 'end of input'!r} "
+                f"at position {token.pos}",
+                token.pos,
+            )
+        return self.advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Condition:
+        expr = self.parse_or()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ConditionParseError(
+                f"trailing input {token.text!r} at position {token.pos}", token.pos
+            )
+        return expr
+
+    def parse_or(self) -> Condition:
+        parts = [self.parse_and()]
+        while self.peek().kind == "or":
+            self.advance()
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(parts)
+
+    def parse_and(self) -> Condition:
+        parts = [self.parse_factor()]
+        while self.peek().kind == "and":
+            self.advance()
+            parts.append(self.parse_factor())
+        if len(parts) == 1:
+            return parts[0]
+        return And(parts)
+
+    def parse_factor(self) -> Condition:
+        token = self.peek()
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_or()
+            self.expect("rparen")
+            return inner
+        if token.kind == "true":
+            self.advance()
+            return TRUE
+        if token.kind == "ident":
+            return self.parse_atom()
+        raise ConditionParseError(
+            f"expected a condition but found {token.text or 'end of input'!r} "
+            f"at position {token.pos}",
+            token.pos,
+        )
+
+    def parse_atom(self) -> Leaf:
+        attr = self.expect("ident").text
+        token = self.peek()
+        if token.kind == "op":
+            self.advance()
+            op = op_from_text(token.text)
+            value = self.parse_value()
+            return Leaf(Atom(attr, op, value))
+        if token.kind == "contains":
+            self.advance()
+            value_token = self.expect("string")
+            return Leaf(Atom(attr, Op.CONTAINS, _unescape(value_token.text)))
+        if token.kind == "in":
+            self.advance()
+            self.expect("lparen")
+            values = [self.parse_value()]
+            while self.peek().kind == "comma":
+                self.advance()
+                values.append(self.parse_value())
+            self.expect("rparen")
+            return Leaf(Atom(attr, Op.IN, tuple(values)))
+        raise ConditionParseError(
+            f"expected an operator after {attr!r} at position {token.pos}", token.pos
+        )
+
+    def parse_value(self):
+        token = self.advance()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return _unescape(token.text)
+        if token.kind == "true":
+            return True
+        if token.kind == "false":
+            return False
+        raise ConditionParseError(
+            f"expected a constant but found {token.text or 'end of input'!r} "
+            f"at position {token.pos}",
+            token.pos,
+        )
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a condition expression into a :class:`Condition` tree."""
+    return _Parser(text).parse()

@@ -1,0 +1,60 @@
+"""Semantic helpers: logical equivalence of condition trees.
+
+The rewrite module must only emit trees *equivalent* to its input
+(Section 5.1).  The property tests verify this by exhausting truth
+assignments over the distinct atomic conditions: rewrite rules are purely
+Boolean, so equality as Boolean functions over free atom-variables
+implies equivalence on every relation.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.conditions.atoms import Atom
+from repro.conditions.tree import Condition
+from repro.errors import ConditionError
+
+#: Refuse truth-table comparison beyond this many distinct atoms (2^n rows).
+MAX_ATOMS = 16
+
+
+def distinct_atoms(*conditions: Condition) -> list[Atom]:
+    """The distinct atoms across the given conditions, in first-seen order."""
+    seen: dict[Atom, None] = {}
+    for condition in conditions:
+        for atom in condition.atoms():
+            seen.setdefault(atom)
+    return list(seen)
+
+
+def evaluate_abstract(condition: Condition, assignment: dict[Atom, bool]) -> bool:
+    """Evaluate treating each atom as an independent Boolean variable."""
+    if condition.is_true:
+        return True
+    if condition.is_leaf:
+        return assignment[condition.atom]
+    if condition.is_and:
+        return all(evaluate_abstract(c, assignment) for c in condition.children)
+    return any(evaluate_abstract(c, assignment) for c in condition.children)
+
+
+def logically_equivalent(left: Condition, right: Condition) -> bool:
+    """True iff the two trees denote the same Boolean function of their atoms.
+
+    Sound for confirming rewrite correctness (rewrites are Boolean-algebra
+    identities).  It may report ``False`` for pairs that are equivalent
+    only because of value-level interactions between atoms (e.g.
+    ``price < 10`` implies ``price < 20``); the rewrite engine never
+    relies on such interactions.
+    """
+    atoms = distinct_atoms(left, right)
+    if len(atoms) > MAX_ATOMS:
+        raise ConditionError(
+            f"refusing truth-table equivalence over {len(atoms)} atoms (max {MAX_ATOMS})"
+        )
+    for bits in product((False, True), repeat=len(atoms)):
+        assignment = dict(zip(atoms, bits))
+        if evaluate_abstract(left, assignment) != evaluate_abstract(right, assignment):
+            return False
+    return True

@@ -1,0 +1,147 @@
+"""Condition skeletons: query templates with the constants factored out.
+
+Bind-joins and wrappers serve thousands of instances of the *same query
+template* that differ only in constants (``make = 'BMW'`` today,
+``make = 'Audi'`` tomorrow).  Because SSDL templates usually match
+constant *classes* (``$str``, ``$num``) rather than specific values, the
+feasible-plan structure is identical across instances -- only the cost
+estimate changes.
+
+A :class:`Skeleton` is a condition tree with each atom's value replaced
+by a class marker, plus the extracted value vector.  Two conditions with
+equal skeleton trees can share a plan: substitute the new values into
+the old plan's source queries.  The substitution is *validated* against
+the source description before use (so literal templates like
+``style = 'sedan'``, whose support does depend on the value, fall back
+to replanning safely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import And, Condition, Leaf, Or
+from repro.errors import ConditionError
+from repro.plans.nodes import (
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+)
+
+#: Representative values per constant class used inside skeleton trees.
+_MARKERS = {
+    "str": "\x00str",
+    "num": 0,
+    "bool": False,
+    "tuple": ("\x00tuple",),
+}
+
+
+def _class_of(value) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, tuple):
+        return "tuple"
+    return "num"
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """A condition template and the value vector extracted from it."""
+
+    template: Condition
+    values: tuple
+
+    @classmethod
+    def of(cls, condition: Condition) -> "Skeleton":
+        values: list = []
+
+        def strip(node: Condition) -> Condition:
+            if node.is_true:
+                return node
+            if node.is_leaf:
+                values.append(node.atom.value)
+                marker = _MARKERS[_class_of(node.atom.value)]
+                return Leaf(Atom(node.atom.attribute, node.atom.op, marker))
+            children = [strip(child) for child in node.children]
+            return And(children) if node.is_and else Or(children)
+
+        template = strip(condition)
+        return cls(template, tuple(values))
+
+    def bind(self, values: tuple) -> Condition:
+        """The concrete condition with ``values`` substituted in order."""
+        if len(values) != len(self.values):
+            raise ConditionError(
+                f"skeleton expects {len(self.values)} values, got {len(values)}"
+            )
+        iterator = iter(values)
+
+        def fill(node: Condition) -> Condition:
+            if node.is_true:
+                return node
+            if node.is_leaf:
+                return Leaf(Atom(node.atom.attribute, node.atom.op, next(iterator)))
+            children = [fill(child) for child in node.children]
+            return And(children) if node.is_and else Or(children)
+
+        return fill(self.template)
+
+
+def atom_substitution(
+    old_root: Condition, new_root: Condition
+) -> dict[Atom, Atom] | None:
+    """Map each atom of ``old_root`` to its ``new_root`` counterpart.
+
+    Returns None when the two conditions do not share a skeleton, or
+    when the mapping would be ambiguous (the same old atom occurs at two
+    positions that receive *different* new values -- substitution could
+    then silently produce a wrong plan, so the caller must replan).
+    """
+    if Skeleton.of(old_root).template != Skeleton.of(new_root).template:
+        return None
+    mapping: dict[Atom, Atom] = {}
+    for old_atom, new_atom in zip(old_root.atoms(), new_root.atoms()):
+        existing = mapping.get(old_atom)
+        if existing is not None and existing != new_atom:
+            return None
+        mapping[old_atom] = new_atom
+    return mapping
+
+
+def remap_condition(condition: Condition, mapping: dict[Atom, Atom]) -> Condition:
+    """Rewrite a condition through an atom mapping (unknown atoms kept).
+
+    Handles *derived* conditions too: planners build source queries from
+    conjunctions of child subsets, which are not subtrees of the root,
+    but their leaves are the root's atoms.
+    """
+    if condition.is_true:
+        return condition
+    if condition.is_leaf:
+        return Leaf(mapping.get(condition.atom, condition.atom))
+    children = [remap_condition(child, mapping) for child in condition.children]
+    return And(children) if condition.is_and else Or(children)
+
+
+def substitute_plan(plan: Plan, mapping: dict[Atom, Atom]) -> Plan:
+    """A copy of ``plan`` with every condition rewritten through ``mapping``."""
+    if isinstance(plan, SourceQuery):
+        return SourceQuery(
+            remap_condition(plan.condition, mapping), plan.attrs, plan.source
+        )
+    if isinstance(plan, Postprocess):
+        return Postprocess(
+            remap_condition(plan.condition, mapping),
+            plan.attrs,
+            substitute_plan(plan.input, mapping),
+        )
+    if isinstance(plan, (UnionPlan, IntersectPlan)):
+        cls = type(plan)
+        return cls([substitute_plan(child, mapping) for child in plan.children])
+    raise ConditionError(f"cannot substitute into {type(plan).__name__}")

@@ -1,0 +1,34 @@
+"""Relational substrate: schemas, relations, statistics, synthetic data."""
+
+from repro.data.generate import (
+    ACCOUNTS_SCHEMA,
+    BOOKS_SCHEMA,
+    CARS_SCHEMA,
+    FLIGHTS_SCHEMA,
+    GENERATORS,
+    generate_accounts,
+    generate_books,
+    generate_cars,
+    generate_flights,
+)
+from repro.data.relation import Relation, Row
+from repro.data.schema import AttrType, Attribute, Schema
+from repro.data.stats import TableStats
+
+__all__ = [
+    "Schema",
+    "Attribute",
+    "AttrType",
+    "Relation",
+    "Row",
+    "TableStats",
+    "generate_books",
+    "generate_cars",
+    "generate_accounts",
+    "generate_flights",
+    "GENERATORS",
+    "BOOKS_SCHEMA",
+    "CARS_SCHEMA",
+    "ACCOUNTS_SCHEMA",
+    "FLIGHTS_SCHEMA",
+]

@@ -1,0 +1,145 @@
+"""A small in-memory relation with set semantics.
+
+This is the substrate under both the simulated sources (a source
+evaluates supported ``SP`` queries against its relation) and the
+mediator's postprocessing (selection, projection, union, intersection
+with duplicate elimination -- exactly the operator set of Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.conditions.tree import Condition
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+#: A tuple is represented as an attribute -> value mapping.
+Row = dict
+
+
+class Relation:
+    """An immutable collection of rows conforming to a schema.
+
+    Rows are stored as plain dicts; :meth:`project` and the set
+    operations deduplicate via hashable row keys.  All operations return
+    new relations.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Row], validate: bool = True):
+        self.schema = schema
+        self._rows: list[Row] = [dict(row) for row in rows]
+        if validate:
+            for row in self._rows:
+                schema.validate_row(row)
+
+    # -- basic accessors -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> list[Row]:
+        """A defensive copy of the rows."""
+        return [dict(r) for r in self._rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relation({self.schema.name}, {len(self)} rows)"
+
+    # -- relational operators --------------------------------------------
+    def select(self, condition: Condition) -> "Relation":
+        """σ_condition: rows satisfying the condition."""
+        return Relation(
+            self.schema,
+            (row for row in self._rows if condition.evaluate(row)),
+            validate=False,
+        )
+
+    def project(self, attributes: Iterable[str]) -> "Relation":
+        """π_attributes with duplicate elimination (set semantics)."""
+        attrs = self.schema.validate_attributes(attributes)
+        ordered = [a for a in self.schema.attribute_names if a in attrs]
+        sub_schema = Schema(
+            self.schema.name,
+            tuple(a for a in self.schema.attrs if a.name in attrs),
+            self.schema.key if self.schema.key in attrs else None,
+        )
+        seen: set = set()
+        out: list[Row] = []
+        for row in self._rows:
+            projected = {a: row[a] for a in ordered}
+            key = tuple(projected[a] for a in ordered)
+            if key not in seen:
+                seen.add(key)
+                out.append(projected)
+        return Relation(sub_schema, out, validate=False)
+
+    def sp(self, condition: Condition, attributes: Iterable[str]) -> "Relation":
+        """``SP(C, A, R)`` = π_A(σ_C(R)) -- the paper's select-project query."""
+        return self.select(condition).project(attributes)
+
+    # -- set operations (require identical attribute sets) ----------------
+    def _check_compatible(self, other: "Relation") -> tuple[str, ...]:
+        mine = self.schema.attribute_names
+        theirs = other.schema.attribute_names
+        if set(mine) != set(theirs):
+            raise SchemaError(
+                f"set operation over different attribute sets: {mine} vs {theirs}"
+            )
+        return mine
+
+    def _row_key(self, row: Row, order: Sequence[str]):
+        return tuple(row[a] for a in order)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union with duplicate elimination."""
+        order = self._check_compatible(other)
+        seen: set = set()
+        out: list[Row] = []
+        for row in list(self._rows) + [
+            {a: r[a] for a in order} for r in other._rows
+        ]:
+            key = self._row_key(row, order)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return Relation(self.schema, out, validate=False)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """Set intersection."""
+        order = self._check_compatible(other)
+        theirs = {self._row_key({a: r[a] for a in order}, order) for r in other._rows}
+        seen: set = set()
+        out: list[Row] = []
+        for row in self._rows:
+            key = self._row_key(row, order)
+            if key in theirs and key not in seen:
+                seen.add(key)
+                out.append(row)
+        return Relation(self.schema, out, validate=False)
+
+    def distinct(self) -> "Relation":
+        """Duplicate elimination over all attributes."""
+        order = self.schema.attribute_names
+        seen: set = set()
+        out: list[Row] = []
+        for row in self._rows:
+            key = self._row_key(row, order)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return Relation(self.schema, out, validate=False)
+
+    # -- conveniences ------------------------------------------------------
+    def as_row_set(self) -> frozenset:
+        """Rows as a hashable set of (attr, value) tuples, for comparisons."""
+        order = self.schema.attribute_names
+        return frozenset(tuple(row[a] for a in order) for row in self._rows)
+
+    def sample(self, k: int, rng) -> list[Row]:
+        """``k`` rows sampled without replacement via the given RNG."""
+        if k >= len(self._rows):
+            return self.rows
+        return [dict(r) for r in rng.sample(self._rows, k)]

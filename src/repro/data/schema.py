@@ -1,0 +1,127 @@
+"""Relation schemas.
+
+The paper models each Internet source as a relation (Section 3,
+footnote 1).  A :class:`Schema` names the attributes, their types and an
+optional key attribute.  The key matters to the mediator's set
+operations: intersecting projections that include a key is exact,
+whereas intersecting key-less projections can over-approximate (the
+"intersection anomaly" discussed in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError, UnknownAttributeError
+
+
+class AttrType(enum.Enum):
+    """Attribute types for synthetic data and statistics."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+    def python_types(self) -> tuple[type, ...]:
+        if self is AttrType.STRING:
+            return (str,)
+        if self is AttrType.INT:
+            return (int,)
+        if self is AttrType.FLOAT:
+            return (float, int)
+        return (bool,)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute."""
+
+    name: str
+    type: AttrType = AttrType.STRING
+
+    def admits(self, value) -> bool:
+        if value is None:
+            return True
+        if self.type is AttrType.BOOL:
+            return isinstance(value, bool)
+        if self.type is AttrType.INT and isinstance(value, bool):
+            return False
+        return isinstance(value, self.type.python_types())
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of attributes with an optional key.
+
+    ``key`` names a single attribute whose values are unique per tuple
+    (synthetic generators always populate it uniquely).
+    """
+
+    name: str
+    attrs: tuple[Attribute, ...]
+    key: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}")
+        if not names:
+            raise SchemaError(f"schema {self.name!r} has no attributes")
+        if self.key is not None and self.key not in names:
+            raise SchemaError(
+                f"key {self.key!r} is not an attribute of schema {self.name!r}"
+            )
+
+    @staticmethod
+    def of(name: str, spec: Sequence[tuple[str, AttrType] | str],
+           key: str | None = None) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs or bare string names."""
+        attrs = []
+        for item in spec:
+            if isinstance(item, str):
+                attrs.append(Attribute(item))
+            else:
+                attrs.append(Attribute(item[0], item[1]))
+        return Schema(name, tuple(attrs), key)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attrs)
+
+    def __contains__(self, attribute: str) -> bool:
+        return any(a.name == attribute for a in self.attrs)
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attrs:
+            if attr.name == name:
+                return attr
+        raise UnknownAttributeError(name, self.name)
+
+    def validate_attributes(self, attributes: Iterable[str]) -> frozenset[str]:
+        """Check every name is an attribute; return them as a frozenset."""
+        out = frozenset(attributes)
+        for name in out:
+            if name not in self:
+                raise UnknownAttributeError(name, self.name)
+        return out
+
+    def validate_row(self, row: dict) -> None:
+        """Raise :class:`SchemaError` if the row does not fit the schema."""
+        for attr in self.attrs:
+            if attr.name not in row:
+                raise SchemaError(
+                    f"row is missing attribute {attr.name!r} of schema {self.name!r}"
+                )
+            if not attr.admits(row[attr.name]):
+                raise SchemaError(
+                    f"value {row[attr.name]!r} does not fit attribute "
+                    f"{attr.name!r}:{attr.type.value} of schema {self.name!r}"
+                )
+        extra = set(row) - set(self.attribute_names)
+        if extra:
+            raise SchemaError(
+                f"row has attributes {sorted(extra)} unknown to schema {self.name!r}"
+            )

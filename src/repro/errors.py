@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConditionError(ReproError):
+    """Malformed condition expression or condition tree."""
+
+
+class ConditionParseError(ConditionError):
+    """The textual condition expression could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class SSDLError(ReproError):
+    """Malformed SSDL source description."""
+
+
+class SSDLParseError(SSDLError):
+    """The textual SSDL description could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(message)
+        self.line = line
+
+
+class GrammarError(SSDLError):
+    """Structurally invalid grammar (unknown nonterminal, missing start rule...)."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or schema/tuple mismatch."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute was referenced that the schema does not define."""
+
+    def __init__(self, attribute: str, schema_name: str = ""):
+        where = f" in schema {schema_name!r}" if schema_name else ""
+        super().__init__(f"unknown attribute {attribute!r}{where}")
+        self.attribute = attribute
+
+
+class UnsupportedQueryError(ReproError):
+    """A source query was submitted that the source's capabilities reject.
+
+    Raised by the simulated source itself -- the analogue of an Internet
+    source returning an error page for a form submission it cannot handle.
+    """
+
+    def __init__(self, message: str, condition=None, attributes=None):
+        super().__init__(message)
+        self.condition = condition
+        self.attributes = attributes
+
+
+class InfeasiblePlanError(ReproError):
+    """No feasible plan exists (or was found) for the target query."""
+
+
+class PlanExecutionError(ReproError):
+    """A plan could not be executed (unknown source, bad structure...)."""
+
+
+class QueryFixingError(ReproError):
+    """A source query accepted by the commutation-closed description could not
+    be reordered into a form the native description accepts."""
+
+
+class BudgetExceededWarning(ReproError):
+    """Internal signal: a search budget was exhausted (not user-facing)."""

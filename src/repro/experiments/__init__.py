@@ -1,0 +1,38 @@
+"""The reconstructed evaluation suite (see DESIGN.md for the index).
+
+Each ``eN_*`` module exposes ``run(quick=False) -> Table``.  Run all of
+them from the command line::
+
+    python -m repro.experiments            # full suite
+    python -m repro.experiments --quick    # smaller instances
+    python -m repro.experiments e1 e5      # a subset
+"""
+
+from repro.experiments import (
+    e1_plan_quality,
+    e2_data_transfer,
+    e3_planning_time,
+    e4_search_space,
+    e5_pruning,
+    e6_capability_richness,
+    e7_feasibility,
+    e8_mcsc,
+    e9_commutativity,
+    e10_cost_sensitivity,
+)
+from repro.experiments.report import Table
+
+EXPERIMENTS = {
+    "e1": e1_plan_quality.run,
+    "e2": e2_data_transfer.run,
+    "e3": e3_planning_time.run,
+    "e4": e4_search_space.run,
+    "e5": e5_pruning.run,
+    "e6": e6_capability_richness.run,
+    "e7": e7_feasibility.run,
+    "e8": e8_mcsc.run,
+    "e9": e9_commutativity.run,
+    "e10": e10_cost_sensitivity.run,
+}
+
+__all__ = ["EXPERIMENTS", "Table"]

@@ -1,0 +1,42 @@
+"""Command-line entry point: run the reconstructed evaluation suite."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the reconstructed evaluation of the ICDE 1999 paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="eN",
+        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller instances, faster runs"
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    for name in names:
+        started = time.perf_counter()
+        table = EXPERIMENTS[name](quick=args.quick)
+        elapsed = time.perf_counter() - started
+        print(table.format())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""E4 (Figure II): search-space size vs query size.
+
+How many condition trees each scheme processes and how many plans /
+sub-plans it examines.  The paper's pitch for GenCompact is precisely
+that it "efficiently explores large spaces of plans by employing special
+structures ... for compactly representing groups of related plans":
+GenModular materializes the plan space (counted exactly through the
+Choice trees), GenCompact touches only sub-plan table entries.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.common import cost_model_for
+from repro.experiments.report import Table
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.workloads.synthetic import WorldConfig, make_queries, make_source
+
+
+def run(quick: bool = False, seed: int = 404) -> Table:
+    table = Table(
+        "E4: search-space size vs number of atomic conditions",
+        ["atoms", "GM CTs", "GM plans", "GM checks", "GC CTs", "GC subplans",
+         "GC checks"],
+        notes=(
+            "GM plans = concrete plans represented by GenModular's Choice "
+            "trees (summed over CTs); GC subplans = sub-plan table entries "
+            "IPG recorded.  Check columns count Check() requests."
+        ),
+    )
+    sizes = (3, 4, 5) if quick else (3, 4, 5, 6, 7)
+    per_point = 5 if quick else 12
+    config = WorldConfig(n_attributes=6, n_rows=3000, richness=0.7, seed=seed)
+    source = make_source(config)
+    cost_model = cost_model_for(source)
+    gencompact = GenCompact()
+    genmodular = GenModular(max_rewrites=60, use_closed_description=True)
+    for n_atoms in sizes:
+        queries = make_queries(
+            config, source, per_point, n_atoms, seed=seed * 1000 + n_atoms
+        )
+        gm_cts, gm_plans, gm_checks = [], [], []
+        gc_cts, gc_sub, gc_checks = [], [], []
+        for query in queries:
+            gm = genmodular.plan(query, source, cost_model)
+            gc = gencompact.plan(query, source, cost_model)
+            gm_cts.append(gm.stats.cts_processed)
+            gm_plans.append(gm.stats.subplans_considered)
+            gm_checks.append(gm.stats.check_calls)
+            gc_cts.append(gc.stats.cts_processed)
+            gc_sub.append(gc.stats.subplans_considered)
+            gc_checks.append(gc.stats.check_calls)
+        table.add(
+            n_atoms,
+            round(statistics.mean(gm_cts), 1),
+            round(statistics.mean(gm_plans), 1),
+            round(statistics.mean(gm_checks), 1),
+            round(statistics.mean(gc_cts), 1),
+            round(statistics.mean(gc_sub), 1),
+            round(statistics.mean(gc_checks), 1),
+        )
+    return table

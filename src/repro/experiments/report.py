@@ -1,0 +1,52 @@
+"""Result tables: a tiny ascii formatter shared by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """An experiment result: headers, rows, and commentary."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list:
+        """All values of one column (for assertions in tests/benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        def render(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        cells = [self.headers] + [[render(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

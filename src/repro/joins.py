@@ -1,0 +1,222 @@
+"""Capability-sensitive bind-joins across two sources.
+
+The paper restricts itself to selection queries but notes (Sections 1
+and 7) that they "form the building blocks of more complex queries" and
+that the extended version shows how the techniques extend.  This module
+supplies the classic building block for joins over limited sources: the
+**bind-join** (dependent join).  The outer query runs first; each
+distinct value of the join attributes is then *bound into* the inner
+source's condition as an equality, and every inner probe is planned
+capability-sensitively (through a :class:`repro.wrapper.Wrapper`, so an
+inner source that only supports equality lookups on the join attribute
+works, and an inner source that cannot support the probes at all is
+detected before anything is sent).
+
+This is exactly how a 1999 mediator would join a bookstore against a
+price-comparison site: you cannot download either, but you can look the
+outer result's keys up one by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import TRUE, Condition, Leaf, conjunction
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.errors import InfeasiblePlanError, SchemaError
+from repro.planners.base import Planner
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.wrapper import Wrapper
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A two-source equi-join of select-project queries.
+
+    ``on`` maps outer attributes to inner attributes.  The outer side's
+    projection is extended with its join attributes automatically; the
+    inner projection must *not* include the inner join attributes (they
+    are equal to the outer ones by construction and would collide).
+    """
+
+    outer: TargetQuery
+    inner_source: str
+    inner_condition: Condition
+    inner_attributes: frozenset[str]
+    on: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        if not self.on:
+            raise SchemaError("a bind-join needs at least one join attribute pair")
+        object.__setattr__(self, "on", dict(self.on))
+        object.__setattr__(
+            self, "inner_attributes", frozenset(self.inner_attributes)
+        )
+        overlap = self.inner_attributes & set(self.on.values())
+        if overlap:
+            raise SchemaError(
+                f"inner projection repeats join attributes {sorted(overlap)}; "
+                "they are provided by the outer side"
+            )
+
+
+@dataclass
+class JoinAnswer:
+    """Result of a bind-join with its execution economics."""
+
+    result: Relation
+    bindings: int
+    outer_queries: int
+    inner_queries: int
+    tuples_transferred: int
+
+    @property
+    def rows(self) -> list[dict]:
+        return self.result.rows
+
+
+class BindJoinExecutor:
+    """Plans and runs bind-joins over a catalog of capability sources."""
+
+    def __init__(
+        self,
+        catalog: Mapping[str, CapabilitySource],
+        planner: Planner | None = None,
+    ):
+        self.catalog = catalog
+        self._wrappers: dict[str, Wrapper] = {}
+        self._planner = planner
+
+    def _wrapper(self, source_name: str) -> Wrapper:
+        wrapper = self._wrappers.get(source_name)
+        if wrapper is None:
+            try:
+                source = self.catalog[source_name]
+            except KeyError:
+                raise InfeasiblePlanError(
+                    f"unknown source {source_name!r}"
+                ) from None
+            wrapper = Wrapper(source, planner=self._planner)
+            self._wrappers[source_name] = wrapper
+        return wrapper
+
+    # ------------------------------------------------------------------
+    def _inner_condition_for(self, spec: JoinSpec, binding: tuple) -> Condition:
+        equalities: list[Condition] = [
+            Leaf(Atom(inner_attr, Op.EQ, value))
+            for (outer_attr, inner_attr), value in zip(spec.on.items(), binding)
+        ]
+        parts = equalities
+        if not spec.inner_condition.is_true:
+            parts = parts + [spec.inner_condition]
+        return conjunction(parts)
+
+    def check_feasible(self, spec: JoinSpec, probe_values: Sequence) -> bool:
+        """Can the inner source answer the probes at all?
+
+        Uses a representative binding (capability support depends on the
+        constant *classes*, not values, for ``$``-class templates).
+        """
+        condition = self._inner_condition_for(spec, tuple(probe_values))
+        inner_attrs = spec.inner_attributes
+        return self._wrapper(spec.inner_source).supports(condition, inner_attrs)
+
+    def execute(self, spec: JoinSpec) -> JoinAnswer:
+        """Run the bind-join.  Raises if either side is unplannable."""
+        outer_wrapper = self._wrapper(spec.outer.source)
+        inner_wrapper = self._wrapper(spec.inner_source)
+        outer_attrs = spec.outer.attributes | set(spec.on)
+        outer_answer = outer_wrapper.query(spec.outer.condition, outer_attrs)
+
+        inner_schema = self.catalog[spec.inner_source].schema
+        inner_schema.validate_attributes(spec.inner_attributes)
+
+        # Distinct bindings of the join attributes, in first-seen order.
+        bindings: dict[tuple, None] = {}
+        for row in outer_answer.result:
+            bindings.setdefault(tuple(row[a] for a in spec.on))
+
+        inner_queries = 0
+        tuples = outer_answer.tuples_transferred
+        inner_rows_by_binding: dict[tuple, list[dict]] = {}
+        for binding in bindings:
+            condition = self._inner_condition_for(spec, binding)
+            answer = inner_wrapper.query(condition, spec.inner_attributes)
+            inner_queries += answer.queries_sent
+            tuples += answer.tuples_transferred
+            inner_rows_by_binding[binding] = answer.rows
+
+        # Merge: outer row ++ matching inner rows.
+        out_rows: list[dict] = []
+        for row in outer_answer.result:
+            binding = tuple(row[a] for a in spec.on)
+            for inner_row in inner_rows_by_binding.get(binding, ()):
+                merged = dict(row)
+                for attr, value in inner_row.items():
+                    if attr in merged and merged[attr] != value:
+                        raise SchemaError(
+                            f"attribute name collision on {attr!r}; project "
+                            "it away on one side or rename"
+                        )
+                    merged[attr] = value
+                out_rows.append(merged)
+
+        schema = _joined_schema(
+            self.catalog[spec.outer.source].schema,
+            inner_schema,
+            outer_attrs,
+            spec.inner_attributes,
+        )
+        result = Relation(schema, out_rows, validate=False).distinct()
+        return JoinAnswer(
+            result=result,
+            bindings=len(bindings),
+            outer_queries=outer_answer.queries_sent,
+            inner_queries=inner_queries,
+            tuples_transferred=tuples,
+        )
+
+
+def _joined_schema(
+    outer_schema: Schema,
+    inner_schema: Schema,
+    outer_attrs: Iterable[str],
+    inner_attrs: Iterable[str],
+) -> Schema:
+    attrs: list[Attribute] = []
+    seen: set[str] = set()
+    for attr in outer_schema.attrs:
+        if attr.name in set(outer_attrs):
+            attrs.append(attr)
+            seen.add(attr.name)
+    for attr in inner_schema.attrs:
+        if attr.name in set(inner_attrs) and attr.name not in seen:
+            attrs.append(attr)
+            seen.add(attr.name)
+    return Schema(
+        f"{outer_schema.name}_join_{inner_schema.name}", tuple(attrs), key=None
+    )
+
+
+def bind_join(
+    catalog: Mapping[str, CapabilitySource],
+    outer: TargetQuery,
+    inner_source: str,
+    on: Mapping[str, str],
+    inner_condition: Condition | None = None,
+    inner_attributes: Iterable[str] = (),
+    planner: Planner | None = None,
+) -> JoinAnswer:
+    """Convenience one-shot bind-join (see :class:`BindJoinExecutor`)."""
+    spec = JoinSpec(
+        outer=outer,
+        inner_source=inner_source,
+        inner_condition=inner_condition if inner_condition is not None else TRUE,
+        inner_attributes=frozenset(inner_attributes),
+        on=on,
+    )
+    return BindJoinExecutor(catalog, planner).execute(spec)

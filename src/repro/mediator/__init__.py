@@ -1,0 +1,5 @@
+"""The mediator facade."""
+
+from repro.mediator.mediator import Mediator, MediatorAnswer
+
+__all__ = ["Mediator", "MediatorAnswer"]

@@ -1,0 +1,149 @@
+"""The mediator facade: register sources, plan and execute target queries.
+
+This is the top of the paper's architecture: target queries "are
+submitted to a mediator that generates and executes query plans that
+respect the limitations of the source" (Section 3).  The default
+plan-generation scheme is GenCompact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conditions.simplify import is_definitely_unsatisfiable
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import InfeasiblePlanError, PlanExecutionError
+from repro.planners.base import Planner, PlannerStats, PlanningResult
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.plans.execute import ExecutionReport, Executor
+from repro.query import TargetQuery, parse_query
+from repro.source.source import CapabilitySource
+
+
+@dataclass
+class MediatorAnswer:
+    """Everything the mediator knows about one answered query."""
+
+    query: TargetQuery
+    planning: PlanningResult
+    report: ExecutionReport
+
+    @property
+    def rows(self) -> list[dict]:
+        return self.report.result.rows
+
+    @property
+    def result(self) -> Relation:
+        return self.report.result
+
+
+class Mediator:
+    """Holds a catalog of capability-limited sources and answers queries."""
+
+    def __init__(
+        self,
+        planner: Planner | None = None,
+        k1: float = 100.0,
+        k2: float = 1.0,
+        short_circuit_unsatisfiable: bool = True,
+        result_cache_tuples: int | None = None,
+    ):
+        """``short_circuit_unsatisfiable`` answers provably empty queries
+        (e.g. ``price < 10 and price > 20``) locally, without planning or
+        contacting the source.  ``result_cache_tuples`` enables an LRU
+        source-query result cache bounded by that many cached tuples."""
+        self.planner = planner if planner is not None else GenCompact()
+        self.k1 = k1
+        self.k2 = k2
+        self.short_circuit_unsatisfiable = short_circuit_unsatisfiable
+        self.catalog: dict[str, CapabilitySource] = {}
+        self.result_cache = None
+        if result_cache_tuples is not None:
+            from repro.plans.cache import ResultCache
+
+            self.result_cache = ResultCache(result_cache_tuples)
+        self._executor = Executor(self.catalog, cache=self.result_cache)
+
+    # ------------------------------------------------------------------
+    def add_source(self, source: CapabilitySource) -> None:
+        """Register a source (its name becomes its FROM-clause name)."""
+        if source.name in self.catalog:
+            raise PlanExecutionError(f"a source named {source.name!r} already exists")
+        self.catalog[source.name] = source
+
+    def source(self, name: str) -> CapabilitySource:
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise PlanExecutionError(f"unknown source {name!r}") from None
+
+    def cost_model(self, source_name: str | None = None) -> CostModel:
+        """The Eq. 1 cost model over the registered sources' statistics."""
+        stats = {name: src.stats for name, src in self.catalog.items()}
+        return CostModel(stats, self.k1, self.k2)
+
+    # ------------------------------------------------------------------
+    def plan(self, query: TargetQuery | str, planner: Planner | None = None
+             ) -> PlanningResult:
+        """Generate (but do not run) the best feasible plan for the query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        source = self.source(query.source)
+        source.schema.validate_attributes(query.attributes)
+        source.schema.validate_attributes(query.condition.attributes())
+        scheme = planner if planner is not None else self.planner
+        return scheme.plan(query, source, self.cost_model())
+
+    def explain(self, query: TargetQuery | str, planner: Planner | None = None
+                ) -> str:
+        """Plan (without executing) and render the chosen plan."""
+        from repro.plans.printer import explain as render
+
+        result = self.plan(query, planner)
+        header = result.describe()
+        if result.plan is None:
+            return header
+        return header + "\n" + render(result.plan, self.cost_model())
+
+    def ask(self, query: TargetQuery | str, planner: Planner | None = None
+            ) -> MediatorAnswer:
+        """Plan and execute; raise :class:`InfeasiblePlanError` if no plan."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
+            query.condition
+        ):
+            return self._empty_answer(query)
+        planning = self.plan(query, planner)
+        if planning.plan is None:
+            raise InfeasiblePlanError(
+                f"no feasible plan for {query} under the capabilities of "
+                f"source {query.source!r}"
+            )
+        report = self._executor.execute_with_report(planning.plan)
+        return MediatorAnswer(query, planning, report)
+
+    def _empty_answer(self, query: TargetQuery) -> MediatorAnswer:
+        """The answer to a provably unsatisfiable query: empty, free."""
+        from repro.plans.execute import ExecutionReport
+
+        source = self.source(query.source)
+        attrs = source.schema.validate_attributes(query.attributes)
+        source.schema.validate_attributes(query.condition.attributes())
+        schema = Schema(
+            source.schema.name,
+            tuple(a for a in source.schema.attrs if a.name in attrs),
+            source.schema.key if source.schema.key in attrs else None,
+        )
+        planning = PlanningResult(
+            planner="unsatisfiable-shortcut",
+            query=query,
+            plan=None,
+            cost=0.0,
+            stats=PlannerStats(),
+        )
+        report = ExecutionReport(Relation(schema, []), queries=0,
+                                 tuples_transferred=0)
+        return MediatorAnswer(query, planning, report)

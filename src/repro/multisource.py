@@ -1,0 +1,192 @@
+"""Multi-source selection: mirrors and horizontal partitions.
+
+Real mediators rarely see a logical relation behind exactly one form.
+Two common multi-source shapes, both built from the paper's
+single-source machinery:
+
+* **Mirrors** -- several sources hold the *same* data with different
+  capabilities and cost constants (a fast site with a poor form vs. a
+  slow site with a rich form).  Planning = plan against every mirror,
+  keep the cheapest feasible plan.  A query only one mirror's form can
+  express is still answerable -- capability-sensitive source *selection*.
+* **Partitions** -- each source holds a disjoint horizontal slice (e.g.
+  regional listings).  Planning = plan the query per partition and union
+  the results; the whole query is feasible iff every partition can
+  answer it (a partition that cannot would silently lose tuples).
+
+Both return ordinary :class:`PlanningResult`-like outcomes whose plans
+execute through the ordinary :class:`~repro.plans.execute.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InfeasiblePlanError, SchemaError
+from repro.planners.base import Planner, PlannerStats, PlanningResult
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.plans.nodes import Plan, UnionPlan
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+
+
+def _check_same_attributes(sources: list[CapabilitySource], role: str) -> None:
+    if len(sources) < 2:
+        raise SchemaError(f"a {role} group needs at least two sources")
+    names = {s.name for s in sources}
+    if len(names) != len(sources):
+        raise SchemaError(f"duplicate source names in {role} group")
+    first = set(sources[0].schema.attribute_names)
+    for source in sources[1:]:
+        if set(source.schema.attribute_names) != first:
+            raise SchemaError(
+                f"{role} group members must share an attribute set; "
+                f"{source.name!r} differs from {sources[0].name!r}"
+            )
+
+
+@dataclass
+class MirrorChoice:
+    """Outcome of mirror planning: which mirror won and all the options."""
+
+    chosen: PlanningResult | None
+    per_source: dict[str, PlanningResult]
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None and self.chosen.feasible
+
+
+class MirrorGroup:
+    """The same logical relation served by several sources."""
+
+    def __init__(
+        self,
+        sources: list[CapabilitySource],
+        planner: Planner | None = None,
+        k1: float = 100.0,
+        k2: float = 1.0,
+        per_source_constants: dict[str, tuple[float, float]] | None = None,
+    ):
+        _check_same_attributes(sources, "mirror")
+        self.sources = {s.name: s for s in sources}
+        self.planner = planner if planner is not None else GenCompact()
+        self._cost_model = CostModel(
+            {s.name: s.stats for s in sources},
+            k1,
+            k2,
+            per_source=per_source_constants,
+        )
+
+    def plan(self, query: TargetQuery) -> MirrorChoice:
+        """Plan against every mirror; keep the cheapest feasible plan.
+
+        ``query.source`` is ignored (the group *is* the logical source);
+        each per-mirror attempt retargets the query.
+        """
+        per_source: dict[str, PlanningResult] = {}
+        best: PlanningResult | None = None
+        for name, source in self.sources.items():
+            retargeted = TargetQuery(query.condition, query.attributes, name)
+            result = self.planner.plan(retargeted, source, self._cost_model)
+            per_source[name] = result
+            if result.feasible and (best is None or result.cost < best.cost):
+                best = result
+        return MirrorChoice(best, per_source)
+
+    def ask(self, query: TargetQuery):
+        """Plan across the mirrors and execute the winning plan."""
+        from repro.plans.execute import Executor
+
+        choice = self.plan(query)
+        if not choice.feasible:
+            raise InfeasiblePlanError(
+                f"no mirror of the group can answer {query}"
+            )
+        executor = Executor(self.sources)
+        return executor.execute_with_report(choice.chosen.plan)
+
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+
+@dataclass
+class PartitionPlan:
+    """Outcome of partition planning: a union over per-partition plans."""
+
+    plan: Plan | None
+    cost: float
+    per_source: dict[str, PlanningResult]
+    infeasible_partitions: list[str]
+
+    @property
+    def feasible(self) -> bool:
+        return self.plan is not None
+
+
+class PartitionedSource:
+    """A logical relation horizontally partitioned across sources."""
+
+    def __init__(
+        self,
+        sources: list[CapabilitySource],
+        planner: Planner | None = None,
+        k1: float = 100.0,
+        k2: float = 1.0,
+    ):
+        _check_same_attributes(sources, "partition")
+        self.sources = {s.name: s for s in sources}
+        self.planner = planner if planner is not None else GenCompact()
+        self._cost_model = CostModel(
+            {s.name: s.stats for s in sources}, k1, k2
+        )
+
+    def plan(self, query: TargetQuery) -> PartitionPlan:
+        """One plan per partition, combined by union.
+
+        Every partition must be plannable: a partition that cannot
+        answer the query makes the whole query infeasible (answering
+        from the other partitions would silently drop tuples).
+        """
+        per_source: dict[str, PlanningResult] = {}
+        plans: list[Plan] = []
+        infeasible: list[str] = []
+        total = 0.0
+        for name, source in self.sources.items():
+            retargeted = TargetQuery(query.condition, query.attributes, name)
+            result = self.planner.plan(retargeted, source, self._cost_model)
+            per_source[name] = result
+            if result.feasible:
+                plans.append(result.plan)
+                total += result.cost
+            else:
+                infeasible.append(name)
+        if infeasible:
+            return PartitionPlan(None, float("inf"), per_source, infeasible)
+        plan: Plan = plans[0] if len(plans) == 1 else UnionPlan(plans)
+        return PartitionPlan(plan, total, per_source, [])
+
+    def ask(self, query: TargetQuery):
+        """Plan and execute across all partitions."""
+        from repro.plans.execute import Executor
+
+        outcome = self.plan(query)
+        if outcome.plan is None:
+            raise InfeasiblePlanError(
+                "partitions without a feasible plan: "
+                + ", ".join(outcome.infeasible_partitions)
+            )
+        executor = Executor(self.sources)
+        return executor.execute_with_report(outcome.plan)
+
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+
+def merge_stats(results: dict[str, PlanningResult]) -> PlannerStats:
+    """Aggregate planner stats across a group (for experiment reporting)."""
+    merged = PlannerStats()
+    for result in results.values():
+        merged.merge(result.stats)
+    return merged

@@ -1,0 +1,49 @@
+"""Plan-generation schemes: GenModular, GenCompact and the baselines."""
+
+from repro.planners.base import (
+    CheckCounter,
+    Planner,
+    PlannerStats,
+    PlanningResult,
+)
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.planners.epg import EPG
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.planners.ipg import IPG
+from repro.planners.mark import mark
+from repro.planners.mcsc import (
+    CoverCandidate,
+    CoverSolution,
+    prune_dominated,
+    solve_dp,
+    solve_enumerate,
+    solve_greedy,
+)
+
+__all__ = [
+    "Planner",
+    "PlannerStats",
+    "PlanningResult",
+    "CheckCounter",
+    "GenModular",
+    "GenCompact",
+    "EPG",
+    "IPG",
+    "mark",
+    "NaivePlanner",
+    "DiscoPlanner",
+    "CNFPlanner",
+    "DNFPlanner",
+    "CoverCandidate",
+    "CoverSolution",
+    "solve_dp",
+    "solve_enumerate",
+    "solve_greedy",
+    "prune_dominated",
+]

@@ -1,0 +1,230 @@
+"""Baseline strategies the paper compares against (Sections 1 and 2).
+
+* :class:`NaivePlanner` -- "many systems assume that sources have full
+  relational capabilities": send the whole query; infeasible whenever
+  the source rejects it.
+* :class:`DiscoPlanner` -- DISCO considers only the options in which the
+  source processes the entire condition expression or no part of it
+  (full download); it never splits the condition.
+* :class:`CNFPlanner` -- the Garlic strategy: transform the condition to
+  CNF, push the conjunction of the supported clauses to the source, and
+  evaluate the remaining clauses at the mediator; with no supported
+  clause, attempt to download the entire (relevant part of the) source.
+* :class:`DNFPlanner` -- a DNF system: one source query per disjunct,
+  results unioned; within each disjunct, supported conjuncts are pushed
+  and the rest filtered at the mediator.
+
+All baselines plan against the commutation-closed description -- they
+are charitably assumed to know that conjunct order can be fixed -- so
+every cost difference against GenCompact is due to *strategy*, not
+order handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.conditions.normal_forms import cnf_clauses, dnf_terms
+from repro.conditions.tree import TRUE, Condition, conjunction, disjunction
+from repro.errors import ConditionError
+from repro.planners.base import CheckCounter, Planner, PlannerStats, PlanningResult
+from repro.plans.cost import CostModel
+from repro.plans.nodes import (
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    download_plan,
+)
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+
+
+def _push_conjunction(
+    parts: list[Condition],
+    attributes: frozenset[str],
+    checker: CheckCounter,
+    source_name: str,
+    whole: Condition,
+) -> Plan | None:
+    """Best-effort plan for ``AND(parts)`` in the CNF/DNF baseline style.
+
+    Pushes the largest source-supported sub-conjunction of the parts
+    (kept in their given order) and filters the rest at the mediator;
+    falls back to a download plan, then to infeasible (None).  This is
+    the maximal-pushdown heuristic of the CNF/DNF systems -- unlike
+    GenCompact it considers one source query, never a combination.
+    """
+    n = len(parts)
+    subset_budget = 12  # exhaustive subsets up to 2^12; greedy beyond
+    if n <= subset_budget:
+        index_subsets = (
+            indices
+            for size in range(n, 0, -1)
+            for indices in combinations(range(n), size)
+        )
+    else:
+        # Greedy accumulation for very wide conjunctions.
+        pushed: list[int] = []
+        for index, part in enumerate(parts):
+            candidate = conjunction([parts[i] for i in pushed] + [part])
+            if checker.check(candidate):
+                pushed.append(index)
+        index_subsets = (
+            tuple(pushed[:k]) for k in range(len(pushed), 0, -1)
+        )
+    for indices in index_subsets:
+        chosen = set(indices)
+        pushed_cond = conjunction([parts[i] for i in indices])
+        local = [parts[i] for i in range(n) if i not in chosen]
+        local_cond = conjunction(local)
+        needed = attributes | (
+            frozenset() if local_cond.is_true else local_cond.attributes()
+        )
+        if checker.check(pushed_cond).supports(needed):
+            inner = SourceQuery(pushed_cond, needed, source_name)
+            if local_cond.is_true and needed == attributes:
+                return inner
+            return Postprocess(local_cond, attributes, inner)
+    # Nothing pushable: Garlic "attempts to download the entire source".
+    fetch = attributes | whole.attributes()
+    if checker.check(TRUE).supports(fetch):
+        return download_plan(whole, attributes, source_name)
+    return None
+
+
+@dataclass
+class NaivePlanner(Planner):
+    """Send the full query; no fallback."""
+
+    name: str = field(default="Naive", init=False)
+
+    def plan(self, query, source, cost_model) -> PlanningResult:
+        def run():
+            stats = PlannerStats(cts_processed=1)
+            checker = CheckCounter(source.closed_description)
+            plan: Plan | None = None
+            if checker.check(query.condition).supports(query.attributes):
+                plan = SourceQuery(query.condition, query.attributes, source.name)
+            stats.check_calls = checker.calls
+            stats.plans_considered = 1
+            return plan, stats, cost_model
+
+        return self._timed(run, query)
+
+
+@dataclass
+class DiscoPlanner(Planner):
+    """Whole condition at the source, or whole download -- nothing between."""
+
+    name: str = field(default="DISCO", init=False)
+
+    def plan(self, query, source, cost_model) -> PlanningResult:
+        def run():
+            stats = PlannerStats(cts_processed=1)
+            checker = CheckCounter(source.closed_description)
+            plan: Plan | None = None
+            if checker.check(query.condition).supports(query.attributes):
+                plan = SourceQuery(query.condition, query.attributes, source.name)
+            else:
+                fetch = query.attributes | query.condition.attributes()
+                if checker.check(TRUE).supports(fetch):
+                    plan = download_plan(query.condition, query.attributes, source.name)
+            stats.check_calls = checker.calls
+            stats.plans_considered = 2
+            return plan, stats, cost_model
+
+        return self._timed(run, query)
+
+
+@dataclass
+class CNFPlanner(Planner):
+    """The Garlic strategy: CNF clauses, supported ones pushed."""
+
+    max_terms: int = 512
+    name: str = field(default="CNF (Garlic)", init=False)
+
+    def plan(self, query, source, cost_model) -> PlanningResult:
+        def run():
+            stats = PlannerStats(cts_processed=1)
+            checker = CheckCounter(source.closed_description)
+            plan: Plan | None
+            try:
+                clauses = [
+                    disjunction(clause)
+                    for clause in cnf_clauses(query.condition, self.max_terms)
+                ]
+            except ConditionError:
+                clauses = None
+            if clauses is None:
+                plan = None
+            elif not clauses:  # condition was TRUE
+                plan = (
+                    SourceQuery(TRUE, query.attributes, source.name)
+                    if checker.check(TRUE).supports(query.attributes)
+                    else None
+                )
+            else:
+                plan = _push_conjunction(
+                    clauses, query.attributes, checker, source.name, query.condition
+                )
+            stats.check_calls = checker.calls
+            stats.plans_considered = 1
+            return plan, stats, cost_model
+
+        return self._timed(run, query)
+
+
+@dataclass
+class DNFPlanner(Planner):
+    """A DNF system: one source interaction per disjunct, results unioned."""
+
+    max_terms: int = 512
+    name: str = field(default="DNF", init=False)
+
+    def plan(self, query, source, cost_model) -> PlanningResult:
+        def run():
+            stats = PlannerStats(cts_processed=1)
+            checker = CheckCounter(source.closed_description)
+            plan: Plan | None
+            try:
+                terms = dnf_terms(query.condition, self.max_terms)
+            except ConditionError:
+                terms = None
+            if terms is None:
+                plan = None
+            elif not terms:  # condition was TRUE
+                plan = (
+                    SourceQuery(TRUE, query.attributes, source.name)
+                    if checker.check(TRUE).supports(query.attributes)
+                    else None
+                )
+            else:
+                term_plans: list[Plan] = []
+                feasible = True
+                for term in terms:
+                    term_cond = conjunction(term)
+                    if checker.check(term_cond).supports(query.attributes):
+                        term_plans.append(
+                            SourceQuery(term_cond, query.attributes, source.name)
+                        )
+                        continue
+                    sub = _push_conjunction(
+                        list(term), query.attributes, checker, source.name, term_cond
+                    )
+                    if sub is None:
+                        feasible = False
+                        break
+                    term_plans.append(sub)
+                if not feasible:
+                    plan = None
+                elif len(term_plans) == 1:
+                    plan = term_plans[0]
+                else:
+                    plan = UnionPlan(term_plans)
+            stats.check_calls = checker.calls
+            stats.plans_considered = 1
+            return plan, stats, cost_model
+
+        return self._timed(run, query)

@@ -1,0 +1,127 @@
+"""EPG -- the Exhaustive Plan Generator (Algorithm 5.1).
+
+EPG computes *all* feasible plans for ``SP(n, A, R)`` and represents
+them compactly with the Choice operator.  For an AND node it combines
+child plans by intersection (line 5) and additionally evaluates any
+nonempty subset of children remotely while filtering the remaining
+conjuncts at the mediator on the joined result (lines 6-8).  For an OR
+node it unions the child plans (line 10).  The download option
+(lines 11-12) fetches the relevant attributes with a trivially true
+source query and evaluates the whole condition at the mediator; the
+paper's listing shows it inside the OR branch, but IPG applies it to
+every node kind, so we do too (DESIGN.md discusses the listing
+ambiguity -- EPG is meant to be exhaustive, and the extra plans are
+sound).
+
+Plans embedding an infeasible sub-plan (the paper's ∅) are eliminated by
+propagating ``None``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.conditions.tree import TRUE, Condition, conjunction
+from repro.planners.base import CheckCounter, PlannerStats
+from repro.plans.nodes import (
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    download_plan,
+    make_choice,
+)
+from repro.ssdl.description import CheckResult
+
+
+class EPG:
+    """One EPG run over a single (marked) condition tree."""
+
+    def __init__(
+        self,
+        source_name: str,
+        checker: CheckCounter,
+        marking: dict[Condition, CheckResult] | None = None,
+        stats: PlannerStats | None = None,
+    ):
+        self.source_name = source_name
+        self.checker = checker
+        self.marking = marking or {}
+        self.stats = stats if stats is not None else PlannerStats()
+        self._memo: dict[tuple[Condition, frozenset[str]], Plan | None] = {}
+
+    # ------------------------------------------------------------------
+    def _export(self, node: Condition) -> CheckResult:
+        """The node's export field (from the marking, else via Check)."""
+        result = self.marking.get(node)
+        if result is None:
+            result = self.checker.check(node)
+            self.marking[node] = result
+        return result
+
+    def generate(self, node: Condition, attributes: frozenset[str]) -> Plan | None:
+        """All feasible plans for ``SP(node, attributes, R)`` as a Choice.
+
+        Returns ``None`` (the paper's ∅) when no feasible plan exists.
+        """
+        key = (node, attributes)
+        if key in self._memo:
+            return self._memo[key]
+        self.stats.recursive_calls += 1
+        plans: list[Plan] = []
+
+        # Line 2-3: the pure plan.
+        if self._export(node).supports(attributes):
+            plans.append(SourceQuery(node, attributes, self.source_name))
+
+        if node.is_and:
+            plans.extend(self._and_plans(node, attributes))
+        elif node.is_or:
+            plans.extend(self._or_plans(node, attributes))
+
+        # Lines 11-12: the download option (applied to every node kind).
+        fetch = attributes | node.attributes()
+        if self._export(TRUE).supports(fetch):
+            plans.append(download_plan(node, attributes, self.source_name))
+
+        self.stats.plans_considered += len(plans)
+        result = make_choice(plans)
+        self._memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _and_plans(self, node: Condition, attributes: frozenset[str]) -> list[Plan]:
+        children = node.children
+        plans: list[Plan] = []
+        # Line 5: intersect plans of all children.
+        all_child_plans = [self.generate(child, attributes) for child in children]
+        if all(plan is not None for plan in all_child_plans):
+            plans.append(IntersectPlan(all_child_plans))
+        # Lines 6-8: evaluate subset X remotely, the rest (Local) locally.
+        indices = range(len(children))
+        for size in range(1, len(children)):
+            for x_indices in combinations(indices, size):
+                x_set = set(x_indices)
+                local = [children[i] for i in indices if i not in x_set]
+                local_cond = conjunction(local)
+                needed = attributes | local_cond.attributes()
+                sub_plans = [self.generate(children[i], needed) for i in x_indices]
+                if any(plan is None for plan in sub_plans):
+                    continue
+                inner: Plan
+                if len(sub_plans) == 1:
+                    inner = sub_plans[0]
+                else:
+                    inner = IntersectPlan(sub_plans)
+                plans.append(Postprocess(local_cond, attributes, inner))
+        return plans
+
+    def _or_plans(self, node: Condition, attributes: frozenset[str]) -> list[Plan]:
+        # Line 10: union of plans of all children.  (There is "no
+        # opportunity" to filter parts of a disjunction on the results of
+        # other parts, as Section 5.3 notes.)
+        child_plans = [self.generate(child, attributes) for child in node.children]
+        if any(plan is None for plan in child_plans):
+            return []
+        return [UnionPlan(child_plans)]

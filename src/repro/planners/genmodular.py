@@ -1,0 +1,103 @@
+"""GenModular -- the naive, exhaustive four-module scheme (Section 5).
+
+rewrite -> mark -> generate (EPG) -> cost, exactly as Figure 2:
+
+1. The **rewrite** module enumerates condition trees equivalent to the
+   target condition using commutative, associative, distributive and
+   copy rules (bounded; see :class:`repro.conditions.rewrite.RewriteEngine`).
+2. The **mark** module computes every node's export field via Check.
+3. The **generate** module runs EPG on each marked CT, producing all
+   feasible plans as Choice trees.
+4. The **cost** module resolves the Choice operators and picks the
+   cheapest plan overall.
+
+GenModular plans against the *native* source description -- its
+commutativity rewrite rule is what copes with order-sensitive grammars
+(the expensive strategy Section 6.1 replaces in GenCompact).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.conditions.rewrite import GENMODULAR_RULES, RewriteEngine
+from repro.planners.base import CheckCounter, Planner, PlannerStats, PlanningResult
+from repro.planners.epg import EPG
+from repro.planners.mark import mark
+from repro.plans.cost import CostModel, count_concrete
+from repro.plans.nodes import Plan
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class GenModular(Planner):
+    """The exhaustive scheme.  Budgets bound the rewrite exploration.
+
+    ``use_closed_description=True`` switches the commutativity burden
+    from the rewrite module to the source description (Section 6.1's
+    alternative) -- benchmark E9 compares the two configurations.
+    """
+
+    max_rewrites: int = 60
+    max_rewrite_steps: int = 4000
+    max_size_factor: float = 1.5
+    use_closed_description: bool = False
+    rules: tuple = GENMODULAR_RULES
+    name: str = field(default="GenModular", init=False)
+
+    def plan(
+        self,
+        query: TargetQuery,
+        source: CapabilitySource,
+        cost_model: CostModel,
+    ) -> PlanningResult:
+        def run():
+            stats = PlannerStats()
+            description = (
+                source.closed_description
+                if self.use_closed_description
+                else source.description
+            )
+            rules = self.rules
+            if self.use_closed_description:
+                from repro.conditions.rewrite import commutative_rule
+
+                rules = tuple(r for r in rules if r is not commutative_rule)
+            checker = CheckCounter(description)
+            engine = RewriteEngine(
+                rules=rules,
+                max_trees=self.max_rewrites,
+                max_steps=self.max_rewrite_steps,
+                max_size_factor=self.max_size_factor,
+            )
+            rewriting = engine.explore(query.condition)
+            stats.rewrite_truncated = rewriting.truncated
+
+            best_plan: Plan | None = None
+            best_cost = float("inf")
+            for ct in rewriting.trees:
+                stats.cts_processed += 1
+                marking = mark(ct, checker)
+                epg = EPG(source.name, checker, marking, stats)
+                choice = epg.generate(ct, query.attributes)
+                if choice is None:
+                    continue
+                stats.subplans_considered += count_concrete(choice)
+                candidate = cost_model.resolve(choice)
+                candidate_cost = cost_model.cost(candidate)
+                if candidate_cost < best_cost:
+                    best_plan = candidate
+                    best_cost = candidate_cost
+            stats.check_calls = checker.calls
+            logger.debug(
+                "GenModular planned %s: %d CTs (truncated=%s), best cost %s",
+                query, stats.cts_processed, stats.rewrite_truncated,
+                f"{best_cost:.1f}" if best_plan is not None else "infeasible",
+            )
+            return best_plan, stats, cost_model
+
+        return self._timed(run, query)

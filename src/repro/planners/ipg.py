@@ -1,0 +1,322 @@
+"""IPG -- the Integrated Plan Generator (Algorithm 6.1, Figures 4-6).
+
+IPG integrates GenModular's mark, generate and cost modules: it walks a
+*canonical* condition tree top-down and returns the single best feasible
+plan, using the cost model and pruning rules during the search:
+
+* **PR1** -- if the pure plan ``SP(n, A, R)`` is feasible, return it
+  immediately; no impure plan can beat it under the Eq. 1 cost model.
+* **PR2** -- keep only the cheapest sub-plan per covered child-subset.
+* **PR3** -- before the set-cover step, drop sub-plans dominated by a
+  cheaper-or-equal sub-plan covering a superset of children; and skip
+  recursive calls that a pure superset sub-plan already dominates
+  (Figure 6, line 12).
+
+Each pruning rule can be disabled independently (benchmark E5's
+ablation); with all pruning off, IPG degenerates to an exhaustive search
+over the same plan space and must find the same optimum -- a property
+the test suite checks.
+
+Because IPG processes canonical trees and considers every child subset,
+it covers the plans GenModular only reaches through the associativity
+and copy rewrite rules (Section 6.4's key observation).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.conditions.tree import TRUE, Condition, conjunction, disjunction
+from repro.errors import ReproError
+from repro.planners.base import CheckCounter, PlannerStats
+from repro.planners.mcsc import (
+    CoverCandidate,
+    CoverSolution,
+    prune_dominated,
+    solve_dp,
+    solve_enumerate,
+    solve_greedy,
+    solve_minmax,
+)
+from repro.plans.cost import CostModel
+from repro.plans.nodes import (
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    download_plan,
+)
+
+#: Child-subset enumeration is O(2^k); refuse beyond this fanout.
+MAX_FANOUT = 14
+
+_SOLVERS = {
+    "dp": solve_dp,
+    "enumerate": solve_enumerate,
+    "greedy": solve_greedy,
+}
+
+
+class IPG:
+    """One IPG run over canonical condition trees of a single source."""
+
+    def __init__(
+        self,
+        source_name: str,
+        checker: CheckCounter,
+        cost_model: CostModel,
+        stats: PlannerStats | None = None,
+        pr1: bool = True,
+        pr2: bool = True,
+        pr3: bool = True,
+        mcsc_solver: str = "dp",
+        max_fanout: int = MAX_FANOUT,
+    ):
+        self.source_name = source_name
+        self.checker = checker
+        self.cost_model = cost_model
+        self.stats = stats if stats is not None else PlannerStats()
+        # PR1 assumes the pure plan is never beaten, which holds for
+        # additive (Eq. 1) costing but not, e.g., for the bottleneck
+        # model -- the model advertises soundness (DESIGN.md).
+        self.pr1 = pr1 and getattr(cost_model, "pr1_sound", True)
+        self.pr2 = pr2
+        self.pr3 = pr3
+        self.max_fanout = max_fanout
+        if getattr(cost_model, "aggregate_kind", "sum") == "max":
+            # The combination step becomes a min-max cover.
+            self._solver = solve_minmax
+        else:
+            try:
+                self._solver = _SOLVERS[mcsc_solver]
+            except KeyError:
+                raise ReproError(
+                    f"unknown MCSC solver {mcsc_solver!r}; pick one of "
+                    f"{sorted(_SOLVERS)}"
+                ) from None
+        self._memo: dict[tuple[Condition, frozenset[str]], Plan | None] = {}
+
+    # ------------------------------------------------------------------
+    def _cost(self, plan: Plan) -> float:
+        return self.cost_model.cost(plan)
+
+    def _cheaper(self, left: Plan | None, right: Plan | None) -> Plan | None:
+        return self.cost_model.cheaper(left, right)
+
+    # ------------------------------------------------------------------
+    def best_plan(self, node: Condition, attributes: frozenset[str]) -> Plan | None:
+        """The best feasible plan for ``SP(node, attributes, R)`` or None."""
+        key = (node, attributes)
+        if key in self._memo:
+            return self._memo[key]
+        self.stats.recursive_calls += 1
+        result = self._best_plan_uncached(node, attributes)
+        self._memo[key] = result
+        return result
+
+    def _best_plan_uncached(
+        self, node: Condition, attributes: frozenset[str]
+    ) -> Plan | None:
+        # The pure plan (Algorithm 6.1, first check).
+        pure: Plan | None = None
+        if self.checker.check(node).supports(attributes):
+            pure = SourceQuery(node, attributes, self.source_name)
+            if self.pr1:
+                return pure  # PR1: nothing can beat the pure plan.
+
+        # The download option.
+        fetch = attributes | node.attributes()
+        plan_impure: Plan | None = None
+        if self.checker.check(TRUE).supports(fetch):
+            plan_impure = download_plan(node, attributes, self.source_name)
+
+        if node.is_leaf or node.is_true:
+            return self._cheaper(pure, plan_impure)
+        if len(node.children) > self.max_fanout:
+            raise ReproError(
+                f"connector fanout {len(node.children)} exceeds the supported "
+                f"maximum of {self.max_fanout} (child-subset enumeration is "
+                "exponential); split the query"
+            )
+        if node.is_or:
+            impure = self._or_impure(node, attributes, plan_impure)
+        else:
+            impure = self._and_impure(node, attributes, plan_impure)
+        return self._cheaper(pure, impure)
+
+    # ------------------------------------------------------------------
+    # Sub-plan bookkeeping shared by the OR and AND procedures.
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        table: dict[frozenset[int], list[Plan]],
+        subset: frozenset[int],
+        plan: Plan,
+    ) -> None:
+        """Record a sub-plan for ``subset``; PR2 keeps only the cheapest."""
+        self.stats.subplans_considered += 1
+        bucket = table.setdefault(subset, [])
+        if self.pr2:
+            if not bucket:
+                bucket.append(plan)
+            elif self._cost(plan) < self._cost(bucket[0]):
+                bucket[0] = plan
+        else:
+            if plan not in bucket:
+                bucket.append(plan)
+
+    def _combine(
+        self,
+        table: dict[frozenset[int], list[Plan]],
+        n_children: int,
+        plan_impure: Plan | None,
+        combiner,
+    ) -> Plan | None:
+        """Step 2 of Figures 5/6: the MCSC combination of sub-plans."""
+        candidates = [
+            CoverCandidate(subset, self._cost(plan), plan)
+            for subset, plans in table.items()
+            for plan in plans
+        ]
+        if self.pr3:
+            candidates = prune_dominated(candidates)
+        self.stats.mcsc_sets += len(candidates)
+        self.stats.mcsc_problems += 1
+        solution: CoverSolution | None = self._solver(n_children, candidates)
+        best = plan_impure
+        if solution is not None and solution.chosen:
+            if len(solution.chosen) == 1:
+                plan = solution.chosen[0].payload
+            else:
+                plan = combiner([c.payload for c in solution.chosen])
+            best = self._cheaper(best, plan)
+        return best
+
+    # ------------------------------------------------------------------
+    # Figure 5: processing an OR node.
+    # ------------------------------------------------------------------
+    def _or_impure(
+        self, node: Condition, attributes: frozenset[str], plan_impure: Plan | None
+    ) -> Plan | None:
+        children = node.children
+        k = len(children)
+        table: dict[frozenset[int], list[Plan]] = {}
+
+        # Lines 3-5: pure sub-plans for every nonempty child subset.
+        for size in range(1, k + 1):
+            for indices in combinations(range(k), size):
+                subset = frozenset(indices)
+                cond = disjunction([children[i] for i in indices])
+                if self.checker.check(cond).supports(attributes):
+                    self._record(
+                        table,
+                        subset,
+                        SourceQuery(cond, attributes, self.source_name),
+                    )
+
+        # Lines 6-7: impure sub-plans, for single children only.  PR1
+        # skips children that already have a pure sub-plan.
+        for i in range(k):
+            singleton = frozenset([i])
+            if self.pr1 and singleton in table:
+                continue
+            sub = self.best_plan(children[i], attributes)
+            if sub is not None:
+                self._record(table, singleton, sub)
+
+        # Lines 8-14: choose the minimum-cost cover; combine with union.
+        return self._combine(table, k, plan_impure, UnionPlan)
+
+    # ------------------------------------------------------------------
+    # Figure 6: processing an AND node.
+    # ------------------------------------------------------------------
+    def _and_impure(
+        self, node: Condition, attributes: frozenset[str], plan_impure: Plan | None
+    ) -> Plan | None:
+        children = node.children
+        k = len(children)
+        table: dict[frozenset[int], list[Plan]] = {}
+        pure_subsets: set[frozenset[int]] = set()
+
+        # Lines 3-9: source-supported conjunctions of child subsets, each
+        # optionally extended with mediator-evaluated children whose
+        # attributes the source query can export (MaxEval).
+        for size in range(1, k + 1):
+            for indices in combinations(range(k), size):
+                subset = frozenset(indices)
+                cond = conjunction([children[i] for i in indices])
+                result = self.checker.check(cond)
+                if not result:
+                    continue
+                if result.supports(attributes):
+                    pure_subsets.add(subset)
+                    self._record(
+                        table,
+                        subset,
+                        SourceQuery(cond, attributes, self.source_name),
+                    )
+                # MaxEval: children evaluable at the mediator from what
+                # this source query can export.
+                rest = [j for j in range(k) if j not in subset]
+                for exported in result.attribute_sets:
+                    addable = [
+                        j for j in rest if children[j].attributes() <= exported
+                    ]
+                    if not addable or not attributes <= exported:
+                        continue
+                    for m_size in range(1, len(addable) + 1):
+                        for m_indices in combinations(addable, m_size):
+                            local_cond = conjunction(
+                                [children[j] for j in m_indices]
+                            )
+                            needed = attributes | local_cond.attributes()
+                            if not needed <= exported:
+                                continue
+                            inner = SourceQuery(cond, needed, self.source_name)
+                            plan = Postprocess(local_cond, attributes, inner)
+                            self._record(table, subset | frozenset(m_indices), plan)
+
+        # Lines 10-13: recursive sub-plans.  Evaluate one child via a
+        # recursive IPG call that also exports the attributes of sibling
+        # children, which are then filtered at the mediator.
+        for i in range(k):
+            for size in range(0, k):
+                for rest_indices in combinations(
+                    [j for j in range(k) if j != i], size
+                ):
+                    n_prime = frozenset(rest_indices) | {i}
+                    if self._dominated_by_pure(n_prime, pure_subsets):
+                        continue  # Figure 6 line 12 (PR1 / PR3)
+                    local_cond = conjunction([children[j] for j in rest_indices])
+                    needed = attributes | (
+                        frozenset()
+                        if local_cond.is_true
+                        else local_cond.attributes()
+                    )
+                    sub = self.best_plan(children[i], needed)
+                    if sub is None:
+                        continue
+                    if local_cond.is_true:
+                        plan = sub
+                    else:
+                        plan = Postprocess(local_cond, attributes, sub)
+                    self._record(table, n_prime, plan)
+
+        # Lines 14-20: choose the minimum-cost cover; combine with
+        # intersection.
+        return self._combine(table, k, plan_impure, IntersectPlan)
+
+    def _dominated_by_pure(
+        self, subset: frozenset[int], pure_subsets: set[frozenset[int]]
+    ) -> bool:
+        """Figure 6, line 12: skip the recursive call when a pure sub-plan
+        covers a superset (PR3) or exactly this subset (PR1)."""
+        for pure in pure_subsets:
+            if subset == pure:
+                if self.pr1:
+                    return True
+            elif subset < pure:
+                if self.pr3:
+                    return True
+        return False

@@ -1,0 +1,27 @@
+"""The mark module (Section 5.2).
+
+For every node ``n`` of a condition tree, compute ``n.export`` -- what
+the source can export when asked to evaluate ``Cond(n)``.  Because
+condition nodes are immutable, the marking is returned as a mapping
+node -> :class:`CheckResult` instead of a mutated field.
+
+Every node is processed "even if one of its ancestors represents a
+condition expression that can be evaluated at R", exactly as Example 5.1
+explains: EPG needs to consider evaluating any part of the CT at the
+source.
+"""
+
+from __future__ import annotations
+
+from repro.conditions.tree import Condition
+from repro.planners.base import CheckCounter
+from repro.ssdl.description import CheckResult
+
+
+def mark(condition: Condition, checker: CheckCounter) -> dict[Condition, CheckResult]:
+    """Compute the export field of every node of the CT."""
+    marking: dict[Condition, CheckResult] = {}
+    for node in condition.nodes():
+        if node not in marking:
+            marking[node] = checker.check(node)
+    return marking

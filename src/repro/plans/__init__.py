@@ -1,0 +1,69 @@
+"""Mediator plan algebra, cost model, feasibility checking and execution."""
+
+from repro.plans.cost import (
+    INFINITE_COST,
+    BottleneckCostModel,
+    CostModel,
+    count_concrete,
+    enumerate_concrete,
+)
+from repro.plans.execute import ExecutionReport, Executor, reference_answer
+from repro.plans.feasible import FeasibilityReport, validate_plan
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    download_plan,
+    make_choice,
+    sp,
+)
+from repro.plans.cache import CacheStats, ResultCache
+from repro.plans.printer import explain, explain_dict, to_paper_notation
+from repro.plans.serialize import (
+    condition_from_dict,
+    condition_to_dict,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    query_from_dict,
+    query_to_dict,
+)
+
+__all__ = [
+    "Plan",
+    "SourceQuery",
+    "Postprocess",
+    "UnionPlan",
+    "IntersectPlan",
+    "ChoicePlan",
+    "sp",
+    "make_choice",
+    "download_plan",
+    "CostModel",
+    "BottleneckCostModel",
+    "INFINITE_COST",
+    "enumerate_concrete",
+    "count_concrete",
+    "Executor",
+    "ExecutionReport",
+    "reference_answer",
+    "validate_plan",
+    "FeasibilityReport",
+    "explain",
+    "explain_dict",
+    "to_paper_notation",
+    "ResultCache",
+    "CacheStats",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_to_json",
+    "plan_from_json",
+    "condition_to_dict",
+    "condition_from_dict",
+    "query_to_dict",
+    "query_from_dict",
+]

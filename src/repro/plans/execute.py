@@ -1,0 +1,145 @@
+"""Plan execution: run a concrete plan against the simulated sources.
+
+The executor performs the mediator's half of the paper's architecture:
+it submits the plan's source queries (fixing their conjunct order first,
+Section 6.1), then applies the mediator postprocessing operators --
+selection, projection, union, intersection, duplicate elimination.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Mapping
+
+logger = logging.getLogger(__name__)
+
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.errors import PlanExecutionError
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+)
+from repro.source.source import CapabilitySource
+
+
+@dataclass
+class ExecutionReport:
+    """What executing a plan actually cost (from the source meters)."""
+
+    result: Relation
+    queries: int
+    tuples_transferred: int
+
+    def measured_cost(self, k1: float, k2: float) -> float:
+        return self.queries * k1 + self.tuples_transferred * k2
+
+
+class Executor:
+    """Runs concrete plans over a catalog of sources."""
+
+    def __init__(
+        self,
+        catalog: Mapping[str, CapabilitySource],
+        fix_queries: bool = True,
+        cache=None,
+    ):
+        """``fix_queries=False`` submits planned conditions verbatim --
+        useful in tests demonstrating that order-sensitive sources reject
+        unfixed queries.
+
+        ``cache`` is an optional :class:`repro.plans.cache.ResultCache`;
+        source-query results are looked up there (keyed by the *planned*
+        condition, before fixing) and stored after execution.
+
+        The catalog mapping is held by reference, so sources registered
+        after the executor is created are visible to it (the mediator
+        relies on this).
+        """
+        self.catalog = catalog
+        self.fix_queries = fix_queries
+        self.cache = cache
+
+    def _source(self, name: str) -> CapabilitySource:
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise PlanExecutionError(f"unknown source {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan) -> Relation:
+        """Evaluate a concrete plan; returns the mediator's result relation."""
+        if isinstance(plan, ChoicePlan):
+            raise PlanExecutionError(
+                "plan still contains a Choice operator; resolve it with the "
+                "cost model before execution"
+            )
+        if isinstance(plan, SourceQuery):
+            source = self._source(plan.source)
+            if self.cache is not None:
+                cached = self.cache.get(plan.source, plan.condition, plan.attrs)
+                if cached is not None:
+                    logger.debug(
+                        "cache hit for %s SP(%s)", plan.source, plan.condition
+                    )
+                    return cached
+            condition = plan.condition
+            if self.fix_queries and not condition.is_true:
+                condition = source.fix(condition, plan.attrs)
+                if condition != plan.condition:
+                    logger.debug(
+                        "fixed query order for %s: %s -> %s",
+                        plan.source, plan.condition, condition,
+                    )
+            result = source.execute(condition, plan.attrs)
+            logger.debug(
+                "source %s answered SP(%s) with %d tuples",
+                plan.source, condition, len(result),
+            )
+            if self.cache is not None:
+                self.cache.put(plan.source, plan.condition, plan.attrs, result)
+            return result
+        if isinstance(plan, Postprocess):
+            inner = self.execute(plan.input)
+            if plan.condition.is_true:
+                return inner.project(plan.attrs)
+            return inner.select(plan.condition).project(plan.attrs)
+        if isinstance(plan, UnionPlan):
+            parts = [self.execute(child) for child in plan.children]
+            out = parts[0]
+            for part in parts[1:]:
+                out = out.union(part)
+            return out
+        if isinstance(plan, IntersectPlan):
+            parts = [self.execute(child) for child in plan.children]
+            out = parts[0]
+            for part in parts[1:]:
+                out = out.intersect(part)
+            return out
+        raise PlanExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+    def execute_with_report(self, plan: Plan) -> ExecutionReport:
+        """Execute and report measured traffic (sums the involved meters)."""
+        involved = {q.source for q in plan.source_queries()}
+        before = {name: self._source(name).meter.snapshot() for name in involved}
+        result = self.execute(plan)
+        queries = 0
+        tuples = 0
+        for name in involved:
+            delta = self._source(name).meter.snapshot() - before[name]
+            queries += delta.queries
+            tuples += delta.tuples
+        return ExecutionReport(result, queries, tuples)
+
+
+def reference_answer(
+    source: CapabilitySource, condition, attributes
+) -> Relation:
+    """Ground truth: evaluate SP(C, A, R) directly on the full relation,
+    ignoring capabilities.  Used by tests and experiment harnesses."""
+    return source.relation.sp(condition, frozenset(attributes))

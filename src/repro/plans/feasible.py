@@ -1,0 +1,73 @@
+"""Feasibility validation of whole plans.
+
+"A mediator plan for the target query is feasible if and only if all of
+its source queries are supported" (Section 4).  The planners guarantee
+this by construction; this module re-derives it independently so tests
+and the mediator can double-check any plan, and so infeasible baseline
+plans (e.g. Naive sending the raw query) are detected before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import QueryFixingError
+from repro.plans.nodes import ChoicePlan, Plan, SourceQuery
+from repro.source.source import CapabilitySource
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of validating a plan against the catalog."""
+
+    feasible: bool
+    unsupported: list[SourceQuery] = field(default_factory=list)
+    unfixable: list[SourceQuery] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def validate_plan(
+    plan: Plan | None,
+    catalog: Mapping[str, CapabilitySource],
+    require_fixable: bool = True,
+) -> FeasibilityReport:
+    """Check every source query of ``plan`` is supported (and fixable).
+
+    ``require_fixable`` additionally verifies that each planned condition
+    can be reordered into a form the *native* (order-sensitive)
+    description accepts -- the executable standard, not just the
+    commutation-closed planning standard.
+    """
+    if plan is None:
+        return FeasibilityReport(False)
+    unsupported: list[SourceQuery] = []
+    unfixable: list[SourceQuery] = []
+    for query in _concrete_source_queries(plan):
+        source = catalog.get(query.source)
+        if source is None or not source.supports(query.condition, query.attrs):
+            unsupported.append(query)
+            continue
+        if require_fixable and not query.condition.is_true:
+            try:
+                source.fix(query.condition, query.attrs)
+            except QueryFixingError:
+                unfixable.append(query)
+    feasible = not unsupported and not unfixable
+    return FeasibilityReport(feasible, unsupported, unfixable)
+
+
+def _concrete_source_queries(plan: Plan):
+    """Source queries of a plan; Choice branches must each be feasible,
+    so all branches' queries are validated."""
+    if isinstance(plan, SourceQuery):
+        yield plan
+        return
+    if isinstance(plan, ChoicePlan):
+        for alternative in plan.children:
+            yield from _concrete_source_queries(alternative)
+        return
+    for child in plan.children:
+        yield from _concrete_source_queries(child)

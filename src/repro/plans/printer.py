@@ -1,0 +1,120 @@
+"""Plan rendering: compact one-line paper notation and explain trees.
+
+``to_paper_notation`` renders plans the way the paper writes them, e.g.
+``SP(n2, A, SP(n1, A ∪ Attr(n2), R)) ∩ SP(c1, A, R)`` becomes
+``SP(color = 'red' or color = 'black', {model, year}, SP(make = 'BMW' and
+price < 40000, {color, model, year}, R))``.
+"""
+
+from __future__ import annotations
+
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+)
+
+
+def _attrs(attributes: frozenset[str]) -> str:
+    return "{" + ", ".join(sorted(attributes)) + "}"
+
+
+def to_paper_notation(plan: Plan | None) -> str:
+    """One-line rendering in the paper's SP / ∩ / ∪ / Choice notation."""
+    if plan is None:
+        return "∅"
+    if isinstance(plan, SourceQuery):
+        return f"SP({plan.condition}, {_attrs(plan.attrs)}, {plan.source})"
+    if isinstance(plan, Postprocess):
+        inner = to_paper_notation(plan.input)
+        return f"SP({plan.condition}, {_attrs(plan.attrs)}, {inner})"
+    if isinstance(plan, UnionPlan):
+        return "(" + " ∪ ".join(to_paper_notation(c) for c in plan.children) + ")"
+    if isinstance(plan, IntersectPlan):
+        return "(" + " ∩ ".join(to_paper_notation(c) for c in plan.children) + ")"
+    if isinstance(plan, ChoicePlan):
+        return "Choice(" + ", ".join(to_paper_notation(c) for c in plan.children) + ")"
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def explain(plan: Plan | None, cost_model=None) -> str:
+    """Multi-line tree rendering; annotates source queries with estimated
+    result sizes when a cost model is supplied."""
+    if plan is None:
+        return "∅ (no feasible plan)"
+    lines: list[str] = []
+    _explain(plan, 0, lines, cost_model)
+    return "\n".join(lines)
+
+
+def explain_dict(plan: Plan | None, cost_model=None) -> dict:
+    """A structured (JSON-safe) explain tree for tooling.
+
+    Each node carries ``node``, ``attributes`` and, where applicable,
+    ``condition``; source queries get ``source``, ``estimated_rows`` and
+    ``estimated_cost`` when a cost model is supplied; the root carries
+    ``total_cost``.
+    """
+    if plan is None:
+        return {"node": "empty"}
+    out = _explain_node(plan, cost_model)
+    if cost_model is not None:
+        out["total_cost"] = cost_model.cost(plan)
+    return out
+
+
+def _explain_node(plan: Plan, cost_model) -> dict:
+    if isinstance(plan, SourceQuery):
+        node: dict = {
+            "node": "source_query",
+            "source": plan.source,
+            "condition": str(plan.condition),
+            "attributes": sorted(plan.attrs),
+        }
+        if cost_model is not None:
+            stats = cost_model.stats.get(plan.source)
+            if stats is not None:
+                node["estimated_rows"] = stats.estimated_rows(plan.condition)
+            node["estimated_cost"] = cost_model.source_query_cost(plan)
+        return node
+    if isinstance(plan, Postprocess):
+        return {
+            "node": "postprocess",
+            "condition": str(plan.condition),
+            "attributes": sorted(plan.attrs),
+            "input": _explain_node(plan.input, cost_model),
+        }
+    kind = {UnionPlan: "union", IntersectPlan: "intersect",
+            ChoicePlan: "choice"}.get(type(plan), type(plan).__name__)
+    return {
+        "node": kind,
+        "attributes": sorted(plan.attributes),
+        "children": [_explain_node(child, cost_model) for child in plan.children],
+    }
+
+
+def _explain(plan: Plan, depth: int, lines: list[str], cost_model) -> None:
+    pad = "  " * depth
+    if isinstance(plan, SourceQuery):
+        note = ""
+        if cost_model is not None:
+            stats = cost_model.stats.get(plan.source)
+            if stats is not None:
+                note = f"   -- est. {stats.estimated_rows(plan.condition):.1f} rows"
+        lines.append(
+            f"{pad}SourceQuery[{plan.source}] σ({plan.condition}) "
+            f"π{_attrs(plan.attrs)}{note}"
+        )
+        return
+    if isinstance(plan, Postprocess):
+        cond = "true" if plan.condition.is_true else str(plan.condition)
+        lines.append(f"{pad}Mediator σ({cond}) π{_attrs(plan.attrs)}")
+        _explain(plan.input, depth + 1, lines, cost_model)
+        return
+    label = type(plan).op_name if hasattr(type(plan), "op_name") else type(plan).__name__
+    lines.append(f"{pad}{label}")
+    for child in plan.children:
+        _explain(child, depth + 1, lines, cost_model)

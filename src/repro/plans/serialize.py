@@ -1,0 +1,196 @@
+"""JSON-friendly serialization of conditions, queries and plans.
+
+A mediator deployment wants to log chosen plans, ship them between
+processes, and cache them on disk.  This module provides stable
+dict/JSON round-trips for :class:`Condition`, :class:`TargetQuery` and
+every plan node.
+
+The representation is versioned (``"v": 1``) and self-describing; all
+``from_*`` functions validate shape and raise
+:class:`~repro.errors.ReproError` subclasses on malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.conditions.atoms import Atom, Op, op_from_text
+from repro.conditions.tree import TRUE, And, Condition, Leaf, Or
+from repro.errors import ConditionError, PlanExecutionError
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+)
+from repro.query import TargetQuery
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+
+def condition_to_dict(condition: Condition) -> dict:
+    """A JSON-safe dict for a condition tree."""
+    if condition.is_true:
+        return {"kind": "true"}
+    if condition.is_leaf:
+        atom = condition.atom
+        value: Any = atom.value
+        if isinstance(value, tuple):
+            value = {"tuple": list(value)}
+        return {
+            "kind": "atom",
+            "attribute": atom.attribute,
+            "op": atom.op.value,
+            "value": value,
+        }
+    kind = "and" if condition.is_and else "or"
+    return {
+        "kind": kind,
+        "children": [condition_to_dict(child) for child in condition.children],
+    }
+
+
+def condition_from_dict(data: dict) -> Condition:
+    """Inverse of :func:`condition_to_dict`."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConditionError(f"not a serialized condition: {data!r}")
+    kind = data["kind"]
+    if kind == "true":
+        return TRUE
+    if kind == "atom":
+        try:
+            value = data["value"]
+            if isinstance(value, dict) and "tuple" in value:
+                value = tuple(value["tuple"])
+            return Leaf(Atom(data["attribute"], op_from_text(data["op"]), value))
+        except KeyError as missing:
+            raise ConditionError(f"serialized atom missing {missing}") from None
+    if kind in ("and", "or"):
+        children = [condition_from_dict(c) for c in data.get("children", [])]
+        if len(children) < 2:
+            raise ConditionError(f"serialized {kind} needs >= 2 children")
+        return And(children) if kind == "and" else Or(children)
+    raise ConditionError(f"unknown condition kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Target queries
+# ----------------------------------------------------------------------
+
+def query_to_dict(query: TargetQuery) -> dict:
+    return {
+        "v": FORMAT_VERSION,
+        "condition": condition_to_dict(query.condition),
+        "attributes": sorted(query.attributes),
+        "source": query.source,
+    }
+
+
+def query_from_dict(data: dict) -> TargetQuery:
+    try:
+        return TargetQuery(
+            condition_from_dict(data["condition"]),
+            frozenset(data["attributes"]),
+            data["source"],
+        )
+    except KeyError as missing:
+        raise ConditionError(f"serialized query missing {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: Plan | None) -> dict:
+    """A JSON-safe dict for a plan tree (None becomes the paper's ∅)."""
+    if plan is None:
+        return {"node": "empty"}
+    if isinstance(plan, SourceQuery):
+        return {
+            "node": "source_query",
+            "condition": condition_to_dict(plan.condition),
+            "attributes": sorted(plan.attrs),
+            "source": plan.source,
+        }
+    if isinstance(plan, Postprocess):
+        return {
+            "node": "postprocess",
+            "condition": condition_to_dict(plan.condition),
+            "attributes": sorted(plan.attrs),
+            "input": plan_to_dict(plan.input),
+        }
+    kind = {UnionPlan: "union", IntersectPlan: "intersect",
+            ChoicePlan: "choice"}.get(type(plan))
+    if kind is None:
+        raise PlanExecutionError(
+            f"cannot serialize plan node {type(plan).__name__}"
+        )
+    return {
+        "node": kind,
+        "children": [plan_to_dict(child) for child in plan.children],
+    }
+
+
+def plan_from_dict(data: dict) -> Plan | None:
+    """Inverse of :func:`plan_to_dict` (validates structure)."""
+    if not isinstance(data, dict) or "node" not in data:
+        raise PlanExecutionError(f"not a serialized plan: {data!r}")
+    node = data["node"]
+    if node == "empty":
+        return None
+    try:
+        if node == "source_query":
+            return SourceQuery(
+                condition_from_dict(data["condition"]),
+                frozenset(data["attributes"]),
+                data["source"],
+            )
+        if node == "postprocess":
+            inner = plan_from_dict(data["input"])
+            if inner is None:
+                raise PlanExecutionError("postprocess over the empty plan")
+            return Postprocess(
+                condition_from_dict(data["condition"]),
+                frozenset(data["attributes"]),
+                inner,
+            )
+        if node in ("union", "intersect", "choice"):
+            children = [plan_from_dict(c) for c in data.get("children", [])]
+            if any(child is None for child in children):
+                raise PlanExecutionError(f"{node} over the empty plan")
+            cls = {"union": UnionPlan, "intersect": IntersectPlan,
+                   "choice": ChoicePlan}[node]
+            return cls(children)  # type: ignore[arg-type]
+    except KeyError as missing:
+        raise PlanExecutionError(
+            f"serialized {node} plan missing {missing}"
+        ) from None
+    raise PlanExecutionError(f"unknown plan node kind {node!r}")
+
+
+# ----------------------------------------------------------------------
+# JSON conveniences
+# ----------------------------------------------------------------------
+
+def plan_to_json(plan: Plan | None, indent: int | None = None) -> str:
+    envelope = {"v": FORMAT_VERSION, "plan": plan_to_dict(plan)}
+    return json.dumps(envelope, indent=indent, sort_keys=True)
+
+
+def plan_from_json(text: str) -> Plan | None:
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanExecutionError(f"invalid plan JSON: {exc}") from None
+    if not isinstance(envelope, dict) or envelope.get("v") != FORMAT_VERSION:
+        raise PlanExecutionError(
+            f"unsupported plan serialization version: {envelope.get('v')!r}"
+        )
+    return plan_from_dict(envelope["plan"])

@@ -1,0 +1,34 @@
+"""Simulated capability-limited Internet sources."""
+
+from repro.source.library import (
+    bank,
+    bank_description,
+    bookstore,
+    bookstore_description,
+    car_guide,
+    car_guide_description,
+    classifieds,
+    classifieds_description,
+    flights,
+    flights_description,
+    standard_catalog,
+)
+from repro.source.metering import MeterSnapshot, QueryMeter
+from repro.source.source import CapabilitySource
+
+__all__ = [
+    "CapabilitySource",
+    "QueryMeter",
+    "MeterSnapshot",
+    "bookstore",
+    "bookstore_description",
+    "car_guide",
+    "car_guide_description",
+    "bank",
+    "bank_description",
+    "flights",
+    "flights_description",
+    "classifieds",
+    "classifieds_description",
+    "standard_catalog",
+]

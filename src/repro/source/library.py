@@ -1,0 +1,186 @@
+"""A library of ready-made capability-limited sources.
+
+These mirror the sources the paper evaluates against:
+
+* :func:`bookstore` -- Example 1.1's BarnesAndNoble: one author at a
+  time, optional title-word search; no way to ask for two authors in a
+  single query, no bulk download.
+* :func:`car_guide` -- Example 1.2's Autobytel form: single values for
+  ``style``, ``make`` and a ``price`` upper bound, plus a *list* of
+  values for ``size``; the form's field order is fixed (order-sensitive
+  grammar) which exercises Section 6.1's description rewriting and query
+  fixing.
+* :func:`bank` -- the Section 4 PIN example: ``balance`` is exported only
+  when the query supplies the PIN.
+* :func:`flights` -- a route-required travel source (both endpoints
+  mandatory).
+* :func:`classifieds` -- a small listings source that *does* allow full
+  download (``true`` queries), exercising EPG/IPG's download plans.
+
+Every function is pure in ``(n, seed)`` so tests and benchmarks are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+from repro.data.generate import (
+    generate_accounts,
+    generate_books,
+    generate_cars,
+    generate_flights,
+)
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.description import SourceDescription
+
+BOOK_EXPORTS = ["id", "title", "author", "subject", "binding", "price", "year"]
+
+
+def bookstore_description() -> SourceDescription:
+    """SSDL for the bookstore: author and/or title-word search."""
+    return (
+        DescriptionBuilder("bookstore")
+        .rule("by_author", "author = $str", attributes=BOOK_EXPORTS)
+        .rule(
+            "by_author_title",
+            "author = $str and title contains $str",
+            attributes=BOOK_EXPORTS,
+        )
+        .rule("by_title", "title contains $str", attributes=BOOK_EXPORTS)
+        .rule(
+            "by_subject",
+            "subject = $str | subject = $str and title contains $str",
+            attributes=BOOK_EXPORTS,
+        )
+        .build()
+    )
+
+
+def bookstore(n: int = 20000, seed: int = 1999) -> CapabilitySource:
+    return CapabilitySource(
+        "bookstore", generate_books(n, seed), bookstore_description()
+    )
+
+
+CAR_EXPORTS = ["id", "make", "model", "style", "size", "color", "price", "year"]
+
+#: The form's slots in their fixed on-page order.  Each slot offers one or
+#: more grammatical spellings (a size restriction may be a single value or
+#: a parenthesized list of alternatives).
+_CAR_FORM_SLOTS: tuple[tuple[str, ...], ...] = (
+    ("style = $str",),
+    ("make = $str",),
+    ("price <= $num", "price < $num"),
+    ("size = $str", "( size_list )"),
+)
+
+
+def car_guide_description() -> SourceDescription:
+    """SSDL for the car form: every nonempty combination of the slots, in
+    the form's fixed order (order-sensitive)."""
+    builder = DescriptionBuilder("car_guide")
+    builder.helper(
+        "size_list",
+        "size = $str or size = $str | size = $str or size_list",
+    )
+    seen_rule = False
+    for r in range(1, len(_CAR_FORM_SLOTS) + 1):
+        for slots in combinations(range(len(_CAR_FORM_SLOTS)), r):
+            for spellings in product(*(_CAR_FORM_SLOTS[i] for i in slots)):
+                rhs = " and ".join(spellings)
+                builder.rule("form", rhs, attributes=None if seen_rule else CAR_EXPORTS)
+                seen_rule = True
+    builder.rule("by_id", "id = $num", attributes=CAR_EXPORTS + ["mileage"])
+    return builder.build()
+
+
+def car_guide(n: int = 12000, seed: int = 1999) -> CapabilitySource:
+    return CapabilitySource("car_guide", generate_cars(n, seed), car_guide_description())
+
+
+ACCOUNT_PUBLIC = ["account_no", "owner", "branch", "type"]
+
+
+def bank_description() -> SourceDescription:
+    """SSDL for the bank: balance only with a PIN (Section 4's example)."""
+    return (
+        DescriptionBuilder("bank")
+        .rule("by_account", "account_no = $num", attributes=ACCOUNT_PUBLIC)
+        .rule(
+            "by_account_pin",
+            "account_no = $num and pin = $num",
+            attributes=ACCOUNT_PUBLIC + ["balance"],
+        )
+        .rule(
+            "by_branch",
+            "branch = $str | branch = $str and type = $str",
+            attributes=ACCOUNT_PUBLIC,
+        )
+        .build()
+    )
+
+
+def bank(n: int = 5000, seed: int = 1999) -> CapabilitySource:
+    return CapabilitySource("bank", generate_accounts(n, seed), bank_description())
+
+
+FLIGHT_EXPORTS = ["id", "origin", "destination", "airline", "price", "stops", "day"]
+
+
+def flights_description() -> SourceDescription:
+    """SSDL for the travel source: a route is mandatory."""
+    return (
+        DescriptionBuilder("flights")
+        .rule(
+            "route",
+            "origin = $str and destination = $str",
+            attributes=FLIGHT_EXPORTS,
+        )
+        .rule(
+            "route_airline",
+            "origin = $str and destination = $str and airline = $str",
+            attributes=FLIGHT_EXPORTS,
+        )
+        .rule(
+            "route_price",
+            "origin = $str and destination = $str and price <= $num",
+            attributes=FLIGHT_EXPORTS,
+        )
+        .build()
+    )
+
+
+def flights(n: int = 15000, seed: int = 1999) -> CapabilitySource:
+    return CapabilitySource("flights", generate_flights(n, seed), flights_description())
+
+
+def classifieds_description() -> SourceDescription:
+    """SSDL for a small listings site that permits full download."""
+    return (
+        DescriptionBuilder("classifieds")
+        .rule("by_make", "make = $str", attributes=CAR_EXPORTS)
+        .rule("everything", "true", attributes=CAR_EXPORTS + ["mileage"])
+        .build()
+    )
+
+
+def classifieds(n: int = 800, seed: int = 7) -> CapabilitySource:
+    return CapabilitySource(
+        "classifieds", generate_cars(n, seed), classifieds_description()
+    )
+
+
+def standard_catalog(seed: int = 1999) -> dict[str, CapabilitySource]:
+    """All library sources keyed by name (the examples' default catalog)."""
+    return {
+        source.name: source
+        for source in (
+            bookstore(seed=seed),
+            car_guide(seed=seed),
+            bank(seed=seed),
+            flights(seed=seed),
+            classifieds(seed=seed % 1000 + 7),
+        )
+    }

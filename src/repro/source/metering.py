@@ -1,0 +1,55 @@
+"""Metering of source traffic.
+
+The cost model the paper motivates (Section 6.2) is about real resource
+use: number of source queries issued and amount of data transferred.
+Every simulated source carries a :class:`QueryMeter` so experiments can
+report *measured* costs next to the optimizer's estimates (benchmark E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MeterSnapshot:
+    """Immutable reading of a meter."""
+
+    queries: int = 0
+    tuples: int = 0
+    rejected: int = 0
+
+    def cost(self, k1: float, k2: float) -> float:
+        """Measured cost under the paper's Eq. 1."""
+        return self.queries * k1 + self.tuples * k2
+
+    def __sub__(self, other: "MeterSnapshot") -> "MeterSnapshot":
+        return MeterSnapshot(
+            self.queries - other.queries,
+            self.tuples - other.tuples,
+            self.rejected - other.rejected,
+        )
+
+
+@dataclass
+class QueryMeter:
+    """Counts queries answered, tuples returned and queries rejected."""
+
+    queries: int = 0
+    tuples: int = 0
+    rejected: int = 0
+
+    def record(self, result_size: int) -> None:
+        self.queries += 1
+        self.tuples += result_size
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def snapshot(self) -> MeterSnapshot:
+        return MeterSnapshot(self.queries, self.tuples, self.rejected)
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.tuples = 0
+        self.rejected = 0

@@ -1,0 +1,133 @@
+"""The simulated capability-limited Internet source.
+
+A :class:`CapabilitySource` bundles
+
+* a relation (the site's data),
+* a **native** SSDL description -- possibly order sensitive, exactly what
+  the site's form accepts,
+* a lazily built **commutation-closed** description (Section 6.1) that
+  planners use so they need not fire the commutativity rewrite rule, and
+* statistics and a traffic meter.
+
+The source *enforces* its capabilities: :meth:`execute` re-checks every
+incoming query against the native description and raises
+:class:`UnsupportedQueryError` otherwise -- the stand-in for a web form
+that simply has no field for the condition you wanted to send.  This
+independent enforcement is what makes the feasibility guarantees of the
+planners testable rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.conditions.tree import Condition
+from repro.data.relation import Relation
+from repro.data.stats import TableStats
+from repro.errors import UnsupportedQueryError
+from repro.source.metering import QueryMeter
+from repro.ssdl.commute import commutation_closure, fix_condition
+from repro.ssdl.description import CheckResult, SourceDescription
+
+
+class CapabilitySource:
+    """A relation fronted by an SSDL-described, capability-enforcing interface."""
+
+    def __init__(
+        self,
+        name: str,
+        relation: Relation,
+        description: SourceDescription,
+        order_insensitive: bool = False,
+    ):
+        """``order_insensitive=True`` records that the native grammar's
+        conjunct order is immaterial to the real source; the closed
+        description is then used for enforcement too (no fixing needed).
+        """
+        self.name = name
+        self.relation = relation
+        self.description = description
+        self.order_insensitive = order_insensitive
+        self.meter = QueryMeter()
+        self._stats: TableStats | None = None
+        self._closed: SourceDescription | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.relation.schema
+
+    @property
+    def stats(self) -> TableStats:
+        """Table statistics, built on first use."""
+        if self._stats is None:
+            self._stats = TableStats.from_relation(self.relation)
+        return self._stats
+
+    @property
+    def closed_description(self) -> SourceDescription:
+        """The commutation-closed description (built on first use)."""
+        if self._closed is None:
+            self._closed = commutation_closure(self.description)
+        return self._closed
+
+    @property
+    def enforcing_description(self) -> SourceDescription:
+        """What :meth:`execute` validates against."""
+        return self.closed_description if self.order_insensitive else self.description
+
+    # ------------------------------------------------------------------
+    def check(self, condition: Condition) -> CheckResult:
+        """``Check(C, R)`` against the planning (closed) description."""
+        return self.closed_description.check(condition)
+
+    def supports(self, condition: Condition, attributes: Iterable[str]) -> bool:
+        """Is ``SP(condition, attributes, this)`` plannable?"""
+        return self.check(condition).supports(attributes)
+
+    def fix(self, condition: Condition, attributes: Iterable[str]) -> Condition:
+        """Reorder a planned condition into natively acceptable form."""
+        if self.order_insensitive:
+            return condition
+        return fix_condition(
+            condition, self.description, frozenset(attributes)
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, condition: Condition, attributes: Iterable[str]) -> Relation:
+        """Answer the source query ``SP(condition, attributes, R)``.
+
+        Enforces the native capabilities; meters traffic.  Raises
+        :class:`UnsupportedQueryError` for anything the form cannot
+        express -- callers are expected to have fixed query order first
+        (see :meth:`fix`).
+        """
+        attrs = frozenset(attributes)
+        result = self.enforcing_description.check(condition)
+        if not result.supports(attrs):
+            self.meter.record_rejection()
+            if not result:
+                reason = "the condition expression is not accepted by the form"
+            else:
+                exportable = " | ".join(
+                    "{" + ", ".join(sorted(s)) + "}" for s in result.attribute_sets
+                )
+                reason = (
+                    f"the form cannot export attributes {sorted(attrs)} for this "
+                    f"condition (exportable: {exportable})"
+                )
+            raise UnsupportedQueryError(
+                f"source {self.name!r} rejected SP({condition}, "
+                f"{sorted(attrs)}): {reason}",
+                condition=condition,
+                attributes=attrs,
+            )
+        answer = self.relation.sp(condition, attrs)
+        self.meter.record(len(answer))
+        return answer
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CapabilitySource({self.name!r}, {len(self.relation)} rows, "
+            f"{self.description.rule_count()} grammar rules)"
+        )

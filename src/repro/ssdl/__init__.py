@@ -1,0 +1,96 @@
+"""SSDL -- the Simple Source-Description Language (paper Section 4).
+
+Public surface:
+
+* :class:`SourceDescription` (the ⟨S, G, A⟩ triplet) and
+  :class:`CheckResult` -- the ``Check(C, R)`` machinery.
+* :func:`parse_ssdl` / :func:`format_ssdl` -- the textual syntax.
+* :class:`DescriptionBuilder` -- programmatic construction.
+* :func:`commutation_closure` / :func:`fix_condition` -- Section 6.1's
+  order-insensitivity machinery.
+* Grammar symbol model (:class:`Template`, :class:`NT`, keywords) and the
+  :class:`EarleyRecognizer` for advanced uses.
+"""
+
+from repro.ssdl.binding_patterns import compile_binding_patterns
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.capabilities import (
+    atomic_only,
+    conjunctive_only,
+    forbidden_attributes,
+    gated_exports,
+    with_download,
+)
+from repro.ssdl.commute import commutation_closure, fix_condition
+from repro.ssdl.description import EMPTY_CHECK, CheckResult, SourceDescription
+from repro.ssdl.discovery import DiscoveryReport, discover_description
+from repro.ssdl.earley import EarleyRecognizer
+from repro.ssdl.forms import (
+    CheckboxField,
+    FormField,
+    KeywordField,
+    NumberField,
+    SelectField,
+    TextField,
+    WebForm,
+)
+from repro.ssdl.symbols import (
+    AND_SYM,
+    LPAREN_SYM,
+    OR_SYM,
+    RPAREN_SYM,
+    TRUE_SYM,
+    AtomToken,
+    ConstClass,
+    Keyword,
+    KeywordSym,
+    NT,
+    Symbol,
+    Template,
+    Token,
+    is_terminal,
+    tokenize_condition,
+)
+from repro.ssdl.text import format_ssdl, parse_ssdl
+
+__all__ = [
+    "SourceDescription",
+    "CheckResult",
+    "EMPTY_CHECK",
+    "parse_ssdl",
+    "format_ssdl",
+    "DescriptionBuilder",
+    "compile_binding_patterns",
+    "atomic_only",
+    "conjunctive_only",
+    "forbidden_attributes",
+    "gated_exports",
+    "with_download",
+    "commutation_closure",
+    "fix_condition",
+    "EarleyRecognizer",
+    "discover_description",
+    "DiscoveryReport",
+    "WebForm",
+    "FormField",
+    "TextField",
+    "KeywordField",
+    "NumberField",
+    "SelectField",
+    "CheckboxField",
+    "ConstClass",
+    "Keyword",
+    "KeywordSym",
+    "Template",
+    "NT",
+    "Symbol",
+    "Token",
+    "AtomToken",
+    "tokenize_condition",
+    "is_terminal",
+    "AND_SYM",
+    "OR_SYM",
+    "LPAREN_SYM",
+    "RPAREN_SYM",
+    "TRUE_SYM",
+]

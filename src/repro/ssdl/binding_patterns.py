@@ -1,0 +1,95 @@
+"""Binding patterns compiled to SSDL.
+
+Systems contemporary to the paper -- the Information Manifold, and later
+work on "binding patterns" -- describe source capabilities as adornment
+strings over the schema: each attribute is **b**ound (an equality must
+be supplied), **f**ree (output only), or **o**ptionally bound.  Section 2
+notes those systems handle only conjunctive queries; SSDL strictly
+subsumes the formalism, and this module performs the embedding:
+each binding pattern becomes a family of conjunctive SSDL rules.
+
+Example: the classic flight source ``flight(origin^b, dest^b, price^f)``
+is ``adornment="bbf"`` -- both endpoints must be bound, price is output.
+
+The compiled grammar accepts, for a pattern, exactly the conjunctions of
+equalities on its bound attributes (mandatory) and optionally-bound
+attributes (any subset), in declaration order; GenCompact's commutation
+closure then makes order irrelevant, as for every description.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.data.schema import AttrType, Schema
+from repro.errors import SSDLError
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.description import SourceDescription
+
+#: Adornment letters.
+BOUND = "b"
+FREE = "f"
+OPTIONAL = "o"
+
+
+def _const_class(schema: Schema, attribute: str) -> str:
+    kind = schema.attribute(attribute).type
+    if kind is AttrType.STRING:
+        return "$str"
+    if kind is AttrType.BOOL:
+        return "$bool"
+    return "$num"
+
+
+def compile_binding_patterns(
+    schema: Schema,
+    adornments: list[str],
+    name: str = "",
+) -> SourceDescription:
+    """Compile adornment strings over ``schema`` into an SSDL description.
+
+    Each adornment has one letter per schema attribute (in schema
+    order): ``b`` bound, ``f`` free, ``o`` optionally bound.  Every
+    pattern exports the full attribute set (the usual convention for
+    capability records; use raw SSDL for export gating).
+    """
+    if not adornments:
+        raise SSDLError("at least one adornment string is required")
+    attributes = schema.attribute_names
+    builder = DescriptionBuilder(name or f"{schema.name}-bindings")
+    exports = list(attributes)
+    rule_index = 0
+    for adornment in adornments:
+        if len(adornment) != len(attributes):
+            raise SSDLError(
+                f"adornment {adornment!r} has {len(adornment)} letters but the "
+                f"schema has {len(attributes)} attributes"
+            )
+        bad = set(adornment) - {BOUND, FREE, OPTIONAL}
+        if bad:
+            raise SSDLError(
+                f"adornment {adornment!r} uses unknown letters {sorted(bad)}"
+            )
+        bound = [a for a, c in zip(attributes, adornment) if c == BOUND]
+        optional = [a for a, c in zip(attributes, adornment) if c == OPTIONAL]
+        if not bound and not optional:
+            # A fully free pattern is a download capability.
+            builder.rule(f"bp{rule_index}", "true", attributes=exports)
+            rule_index += 1
+            continue
+        for extra_size in range(len(optional) + 1):
+            for extra in combinations(optional, extra_size):
+                chosen = set(bound) | set(extra)
+                # Emit in schema (declaration) order, as documented.
+                parts = [
+                    f"{a} = {_const_class(schema, a)}"
+                    for a in attributes
+                    if a in chosen
+                ]
+                if not parts:
+                    continue
+                builder.rule(
+                    f"bp{rule_index}", " and ".join(parts), attributes=exports
+                )
+                rule_index += 1
+    return builder.build()

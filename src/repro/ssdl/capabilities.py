@@ -1,0 +1,161 @@
+"""Factories for the common query-capability restriction patterns.
+
+Section 4 catalogues the limitations SSDL must express:
+
+* *Condition-Attribute Restrictions* -- disallowing conditions on some
+  attributes; requiring that a particular field be filled in.
+* *Condition-Expression-Size Restrictions* -- limiting the number of
+  conditions in the expression.
+* *Condition-Expression-Structure Restrictions* -- atomic-only,
+  conjunctive-only, or form-shaped expressions.
+* Attribute-export gating (the bank/PIN example).
+
+Hand-writing a grammar for each pattern is mechanical; these factories
+generate the SSDL rules.  They compose: each returns a
+:class:`DescriptionBuilder` (or extends one passed in), and the caller
+finishes with ``.build()``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import SSDLError
+from repro.ssdl.builder import DescriptionBuilder
+
+#: Map attribute -> template fragment, e.g. {"make": "make = $str"}.
+TemplateMap = dict[str, str]
+
+
+def _template(templates: TemplateMap, attribute: str) -> str:
+    try:
+        return templates[attribute]
+    except KeyError:
+        raise SSDLError(
+            f"no condition template declared for attribute {attribute!r}"
+        ) from None
+
+
+def atomic_only(
+    templates: TemplateMap,
+    exports: Sequence[str],
+    name: str = "",
+) -> DescriptionBuilder:
+    """A source that accepts exactly one atomic condition per query.
+
+    (The "allowing only atomic condition expressions" structure
+    restriction.)
+    """
+    builder = DescriptionBuilder(name or "atomic-only")
+    for index, attribute in enumerate(templates):
+        builder.rule(
+            f"atom{index}", _template(templates, attribute),
+            attributes=list(exports),
+        )
+    return builder
+
+
+def conjunctive_only(
+    templates: TemplateMap,
+    exports: Sequence[str],
+    max_conditions: int | None = None,
+    required: Iterable[str] = (),
+    name: str = "",
+) -> DescriptionBuilder:
+    """A source accepting conjunctions of its templates, any order.
+
+    Covers three Section 4 bullets at once:
+
+    * conjunctive-only structure (no ORs);
+    * ``max_conditions`` -- the expression-size restriction;
+    * ``required`` -- attributes whose condition *must* be present
+      ("requiring that a particular field be filled in").
+
+    The rule set enumerates the admissible attribute subsets (in every
+    order up to the commutation closure built later), so keep the
+    template count modest (<= 8).
+    """
+    attributes = list(templates)
+    if len(attributes) > 8:
+        raise SSDLError(
+            f"conjunctive_only enumerates attribute subsets; {len(attributes)} "
+            "templates is too many (max 8)"
+        )
+    required_set = frozenset(required)
+    unknown = required_set - set(attributes)
+    if unknown:
+        raise SSDLError(f"required attributes without templates: {sorted(unknown)}")
+    limit = max_conditions if max_conditions is not None else len(attributes)
+    builder = DescriptionBuilder(name or "conjunctive-only")
+    rule_index = 0
+    for size in range(1, min(limit, len(attributes)) + 1):
+        for subset in combinations(attributes, size):
+            if not required_set <= set(subset):
+                continue
+            rhs = " and ".join(_template(templates, a) for a in subset)
+            builder.rule(f"conj{rule_index}", rhs, attributes=list(exports))
+            rule_index += 1
+    if rule_index == 0:
+        raise SSDLError(
+            "no admissible conjunction: the required set exceeds max_conditions"
+        )
+    return builder
+
+
+def forbidden_attributes(
+    templates: TemplateMap,
+    exports: Sequence[str],
+    forbidden: Iterable[str],
+    max_conditions: int | None = None,
+    name: str = "",
+) -> DescriptionBuilder:
+    """Conjunctive source that disallows conditions on some attributes.
+
+    ("Disallowing condition specification on certain attributes" -- the
+    forbidden attributes may still be *exported*, just not filtered on.)
+    """
+    allowed = {a: t for a, t in templates.items() if a not in set(forbidden)}
+    if not allowed:
+        raise SSDLError("every template attribute is forbidden")
+    return conjunctive_only(
+        allowed, exports, max_conditions=max_conditions,
+        name=name or "forbidden-attrs",
+    )
+
+
+def gated_exports(
+    base_templates: TemplateMap,
+    base_exports: Sequence[str],
+    gate_template: str,
+    gated_attributes: Sequence[str],
+    name: str = "",
+) -> DescriptionBuilder:
+    """Attribute exports unlocked by an extra condition (the PIN pattern).
+
+    Every base conjunction exports ``base_exports``; appending the gate
+    condition (e.g. ``pin = $num``) unlocks ``gated_attributes`` too.
+    """
+    builder = conjunctive_only(base_templates, base_exports,
+                               name=name or "gated")
+    base_attrs = list(base_templates)
+    rule_index = 0
+    for size in range(1, len(base_attrs) + 1):
+        for subset in combinations(base_attrs, size):
+            rhs = " and ".join(
+                [_template(base_templates, a) for a in subset] + [gate_template]
+            )
+            builder.rule(
+                f"gated{rule_index}",
+                rhs,
+                attributes=list(base_exports) + list(gated_attributes),
+            )
+            rule_index += 1
+    return builder
+
+
+def with_download(
+    builder: DescriptionBuilder, exports: Sequence[str]
+) -> DescriptionBuilder:
+    """Allow full download (a ``true`` rule) on an existing builder."""
+    return builder.rule("download_all", "true", attributes=list(exports))

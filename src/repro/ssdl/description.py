@@ -1,0 +1,208 @@
+"""The SSDL source description: the paper's triplet ⟨S, G, A⟩ (Section 4).
+
+* ``S`` -- the condition nonterminals (the alternatives of the implicit
+  start symbol ``s``);
+* ``G`` -- the CFG productions describing acceptable condition
+  expressions;
+* ``A`` -- for each condition nonterminal, the set of attributes the
+  source exports when a query parses under it.
+
+:meth:`SourceDescription.check` implements the paper's ``Check(C, R)``
+function.  One deliberate generalization (documented in DESIGN.md): a
+condition may parse under *several* condition nonterminals, each with a
+different export set; :class:`CheckResult` therefore carries the family
+of exportable attribute sets, and a source query ``SP(C, A, R)`` is
+supported iff some member of the family contains ``A``.  With a single
+matching nonterminal this is exactly the paper's definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.conditions.tree import TRUE, Condition
+from repro.errors import GrammarError
+from repro.ssdl.earley import EarleyRecognizer
+from repro.ssdl.symbols import NT, Symbol, Template, is_terminal, tokenize_condition
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Result of ``Check(C, R)``.
+
+    ``attribute_sets`` is the family of attribute sets exportable for the
+    condition (one per matching condition nonterminal, deduplicated);
+    ``matched`` names the matching condition nonterminals.  An empty
+    family means the condition is not supported at all.
+    """
+
+    attribute_sets: frozenset[frozenset[str]]
+    matched: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.attribute_sets)
+
+    def supports(self, attributes: Iterable[str]) -> bool:
+        """Is ``SP(C, attributes, R)`` a supported source query?"""
+        wanted = frozenset(attributes)
+        return any(wanted <= exported for exported in self.attribute_sets)
+
+    @property
+    def exported(self) -> frozenset[str]:
+        """The union of exportable attributes (the paper's single set when
+        only one nonterminal matches; an over-approximation otherwise)."""
+        out: frozenset[str] = frozenset()
+        for attrs in self.attribute_sets:
+            out |= attrs
+        return out
+
+    def best_set_for(self, attributes: Iterable[str]) -> frozenset[str] | None:
+        """A smallest exportable set containing ``attributes``, or None."""
+        wanted = frozenset(attributes)
+        candidates = [s for s in self.attribute_sets if wanted <= s]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (len(s), sorted(s)))
+
+
+#: The empty Check result (condition not supported).
+EMPTY_CHECK = CheckResult(frozenset())
+
+
+class SourceDescription:
+    """An SSDL description ⟨S, G, A⟩ with a prebuilt recognizer and cache.
+
+    Parameters
+    ----------
+    condition_nonterminals:
+        The paper's S -- names of the start alternatives, in order.
+    productions:
+        The paper's G -- every nonterminal's alternatives (must include
+        each condition nonterminal; helper nonterminals are allowed and
+        carry no attribute sets, per Section 4).
+    attributes:
+        The paper's A -- exported attribute set per condition nonterminal.
+    name:
+        Optional label used in error messages.
+    """
+
+    def __init__(
+        self,
+        condition_nonterminals: Sequence[str],
+        productions: Mapping[str, Sequence[Sequence[Symbol]]],
+        attributes: Mapping[str, Iterable[str]],
+        name: str = "",
+        cache_checks: bool = True,
+    ):
+        """``cache_checks=False`` reparses on every Check call -- only
+        useful for the cache-ablation benchmark."""
+        self.name = name
+        self.condition_nonterminals = tuple(condition_nonterminals)
+        self.productions: dict[str, tuple[tuple[Symbol, ...], ...]] = {
+            head: tuple(tuple(alt) for alt in alts)
+            for head, alts in productions.items()
+        }
+        self.attributes: dict[str, frozenset[str]] = {
+            nt: frozenset(attrs) for nt, attrs in attributes.items()
+        }
+        self._validate()
+        self._recognizer = EarleyRecognizer(self.productions)
+        self.cache_checks = cache_checks
+        self._cache: dict[Condition, CheckResult] = {}
+        #: Number of Check invocations that missed the cache (stats hook).
+        self.check_calls = 0
+        #: Number of Check invocations answered from the cache.
+        self.check_cache_hits = 0
+
+    def _validate(self) -> None:
+        if not self.condition_nonterminals:
+            raise GrammarError("a description needs at least one condition nonterminal")
+        for nt in self.condition_nonterminals:
+            if nt not in self.productions:
+                raise GrammarError(f"condition nonterminal {nt!r} has no productions")
+            if nt not in self.attributes:
+                raise GrammarError(
+                    f"condition nonterminal {nt!r} has no attribute association"
+                )
+        for nt in self.attributes:
+            if nt not in self.condition_nonterminals:
+                raise GrammarError(
+                    f"attribute association for {nt!r}, which is not a condition "
+                    "nonterminal (Section 4 associates attributes only with "
+                    "condition nonterminals)"
+                )
+
+    # ------------------------------------------------------------------
+    def check(self, condition: Condition) -> CheckResult:
+        """The paper's ``Check(C, R)``: exportable attributes for ``C``.
+
+        Results are cached per condition tree; the recognizer itself was
+        built when the description was constructed (the paper's
+        build-parser-at-integration-time story).
+        """
+        cached = self._cache.get(condition) if self.cache_checks else None
+        if cached is not None:
+            self.check_cache_hits += 1
+            return cached
+        self.check_calls += 1
+        tokens = tokenize_condition(condition)
+        # Outer parentheses are semantically transparent: a grammar rule
+        # written as a parenthesized group (e.g. ``( size_list )``, usable
+        # inside conjunctions) must also accept the same expression when
+        # it *is* the whole condition, where the serializer emits no
+        # surrounding parens.  So connector conditions are matched both
+        # bare and wrapped.
+        wrapped: tuple | None = None
+        if condition.is_and or condition.is_or:
+            from repro.ssdl.symbols import Keyword
+
+            wrapped = (Keyword.LPAREN,) + tokens + (Keyword.RPAREN,)
+        matched: list[str] = []
+        sets: set[frozenset[str]] = set()
+        for nt in self.condition_nonterminals:
+            if self._recognizer.accepts(tokens, nt) or (
+                wrapped is not None and self._recognizer.accepts(wrapped, nt)
+            ):
+                matched.append(nt)
+                sets.add(self.attributes[nt])
+        result = CheckResult(frozenset(sets), tuple(matched)) if matched else EMPTY_CHECK
+        self._cache[condition] = result
+        return result
+
+    def supports(self, condition: Condition, attributes: Iterable[str]) -> bool:
+        """Is the source query ``SP(condition, attributes, R)`` supported?"""
+        return self.check(condition).supports(attributes)
+
+    def downloadable(self) -> CheckResult:
+        """``Check(true, R)``: what a full download could export (if allowed)."""
+        return self.check(TRUE)
+
+    # ------------------------------------------------------------------
+    def all_attributes(self) -> frozenset[str]:
+        """Every attribute exported by any condition nonterminal."""
+        out: frozenset[str] = frozenset()
+        for attrs in self.attributes.values():
+            out |= attrs
+        return out
+
+    def templates(self) -> frozenset[Template]:
+        """Every atomic-condition template appearing in the grammar."""
+        out: set[Template] = set()
+        for alts in self.productions.values():
+            for alt in alts:
+                for symbol in alt:
+                    if isinstance(symbol, Template):
+                        out.add(symbol)
+        return frozenset(out)
+
+    def rule_count(self) -> int:
+        """Total number of alternatives across all productions."""
+        return sum(len(alts) for alts in self.productions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or "<anonymous>"
+        return (
+            f"SourceDescription({label}: {len(self.condition_nonterminals)} "
+            f"condition nonterminals, {self.rule_count()} rules)"
+        )

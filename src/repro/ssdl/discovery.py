@@ -1,0 +1,240 @@
+"""Capability discovery: infer an SSDL description by probing a source.
+
+The paper assumes someone wrote the SSDL description when the source
+joined the system.  In practice somebody has to *find out* what a form
+accepts.  This module automates the tedious part for black-box sources:
+it sends probe queries and synthesizes a description from what was
+accepted.
+
+Probing strategy (every probe is a real query; the report meters them):
+
+1. **Atomic templates** -- for each attribute, candidate operators by
+   type (``=`` for strings; ``=``/``<=``/``>=`` for numbers), each
+   instantiated with caller-supplied sample values.  A template is
+   accepted only if probes with **two different sample values** succeed,
+   so a literal-only form (accepts ``style = 'sedan'`` but nothing else)
+   is not over-generalized to ``style = $str``.
+2. **Exports** -- for each accepted condition, first try the full
+   attribute set; on rejection, probe attribute by attribute and record
+   the union of accepted singletons (an under-approximation of the
+   paper's export family, and sound: every recorded export was
+   individually accepted).
+3. **Ordered pairs** -- conjunctions of accepted templates, in both
+   orders, so order-sensitive forms are discovered as such.
+4. **Download** -- a ``true`` probe.
+
+Guarantees: the inferred description is *sound modulo class
+generalization* -- every rule shape was accepted by the live source for
+two distinct constants of the class.  It is deliberately incomplete
+(width <= ``max_width``, no disjunction lists): it describes what was
+verified, nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import TRUE, And, Condition, Leaf
+from repro.data.schema import AttrType, Schema
+from repro.errors import SSDLError, UnsupportedQueryError
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.description import SourceDescription
+
+#: Operators probed per attribute type.
+_OPS_BY_TYPE = {
+    AttrType.STRING: (Op.EQ,),
+    AttrType.INT: (Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE),
+    AttrType.FLOAT: (Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE),
+    AttrType.BOOL: (Op.EQ,),
+}
+
+_OP_TEXT = {Op.EQ: "=", Op.LT: "<", Op.LE: "<=", Op.GT: ">", Op.GE: ">="}
+_CLASS_BY_TYPE = {
+    AttrType.STRING: "$str",
+    AttrType.INT: "$num",
+    AttrType.FLOAT: "$num",
+    AttrType.BOOL: "$bool",
+}
+
+
+@dataclass
+class DiscoveryReport:
+    """The inferred description plus what the probing cost."""
+
+    description: SourceDescription
+    probes_sent: int
+    probes_accepted: int
+    tuples_transferred: int
+    #: (attribute, op) templates verified with two distinct values.
+    templates: list[tuple[str, Op]] = field(default_factory=list)
+    #: Ordered template index pairs accepted as conjunctions.
+    accepted_pairs: list[tuple[int, int]] = field(default_factory=list)
+    download_allowed: bool = False
+
+
+class _Prober:
+    """Wraps the black-box source; counts probes."""
+
+    def __init__(self, source):
+        self.source = source
+        self.sent = 0
+        self.accepted = 0
+        self.tuples = 0
+
+    def try_probe(self, condition: Condition, attributes) -> bool:
+        self.sent += 1
+        try:
+            result = self.source.execute(condition, frozenset(attributes))
+        except UnsupportedQueryError:
+            return False
+        self.accepted += 1
+        self.tuples += len(result)
+        return True
+
+
+def discover_description(
+    source,
+    schema: Schema,
+    samples: dict[str, tuple],
+    max_width: int = 2,
+    probe_projection: str | None = None,
+    name: str = "",
+) -> DiscoveryReport:
+    """Infer a description for a black-box ``source``.
+
+    ``source`` needs only an ``execute(condition, attributes)`` method
+    that raises :class:`UnsupportedQueryError` on unsupported queries
+    (a :class:`~repro.source.source.CapabilitySource` qualifies, but so
+    would a real wrapper).  ``samples`` maps each probeable attribute to
+    **two or more distinct sample values** (use selective values -- every
+    accepted probe transfers its result).  ``probe_projection`` names
+    the attribute projected during condition probes (defaults to the
+    probed attribute itself).
+    """
+    for attribute, values in samples.items():
+        if attribute not in schema:
+            raise SSDLError(f"sample for unknown attribute {attribute!r}")
+        if len(set(values)) < 2:
+            raise SSDLError(
+                f"need two distinct sample values for {attribute!r} to "
+                "avoid over-generalizing literal templates"
+            )
+    if max_width < 1:
+        raise SSDLError("max_width must be at least 1")
+
+    prober = _Prober(source)
+    all_attrs = list(schema.attribute_names)
+
+    # Candidate templates: every (attribute, op) the samples allow, each
+    # carrying two witness atoms (one per sample value).
+    candidates: list[tuple[str, Op, Atom, Atom]] = []
+    for attribute, values in samples.items():
+        ops = _OPS_BY_TYPE.get(schema.attribute(attribute).type, (Op.EQ,))
+        for op in ops:
+            candidates.append(
+                (attribute, op,
+                 Atom(attribute, op, values[0]),
+                 Atom(attribute, op, values[1]))
+            )
+
+    def probe_shape(conditions: list[Condition], preferred: list[str]) -> bool:
+        """Accept a shape iff every witness instantiation is accepted
+        under *some* probe projection (export restrictions must not mask
+        condition support)."""
+        for condition in conditions:
+            accepted = False
+            for projection in list(dict.fromkeys(preferred)) + [all_attrs[0]]:
+                if prober.try_probe(condition, [projection]):
+                    accepted = True
+                    break
+            if not accepted:
+                return False
+        return True
+
+    # -- step 1: atomic templates, verified with two values -------------
+    templates: list[tuple[str, Op]] = []
+    witness: dict[tuple[str, Op], Atom] = {}
+    accepted_singles: set[int] = set()
+    for index, (attribute, op, first, second) in enumerate(candidates):
+        preferred = [probe_projection or attribute]
+        if probe_shape([Leaf(first), Leaf(second)], preferred):
+            accepted_singles.add(index)
+
+    # -- step 2: exports per accepted shape ------------------------------
+    def discover_exports(condition: Condition) -> list[str]:
+        if prober.try_probe(condition, all_attrs):
+            return list(all_attrs)
+        exported = []
+        for attribute in all_attrs:
+            if prober.try_probe(condition, [attribute]):
+                exported.append(attribute)
+        return exported
+
+    def register_template(index: int) -> int:
+        attribute, op, first, __ = candidates[index]
+        key = (attribute, op)
+        if key not in witness:
+            witness[key] = first
+            templates.append(key)
+        return templates.index(key)
+
+    accepted_rules: list[tuple[tuple[int, ...], list[str]]] = []
+    for index in sorted(accepted_singles):
+        __, __, first, __ = candidates[index]
+        exports = discover_exports(Leaf(first))
+        if exports:
+            accepted_rules.append(((register_template(index),), exports))
+
+    # -- step 3: ordered pairs over ALL candidates (forms often accept
+    # only combinations -- Example 4.1 has no single-field rule at all).
+    accepted_pairs: list[tuple[int, int]] = []
+    if max_width >= 2:
+        for i, j in permutations(range(len(candidates)), 2):
+            attr_i, op_i, first_i, second_i = candidates[i]
+            attr_j, op_j, first_j, second_j = candidates[j]
+            if attr_i == attr_j:
+                continue
+            shapes = [
+                And([Leaf(first_i), Leaf(first_j)]),
+                And([Leaf(second_i), Leaf(second_j)]),
+            ]
+            preferred = [probe_projection or attr_i, attr_j]
+            if probe_shape(shapes, preferred):
+                exports = discover_exports(shapes[0])
+                if exports:
+                    ti = register_template(i)
+                    tj = register_template(j)
+                    accepted_rules.append(((ti, tj), exports))
+                    accepted_pairs.append((ti, tj))
+
+    # -- step 4: download -------------------------------------------------
+    download_allowed = prober.try_probe(TRUE, all_attrs)
+
+    # -- assemble ----------------------------------------------------------
+    builder = DescriptionBuilder(name or f"{schema.name}-discovered")
+    if not accepted_rules and not download_allowed:
+        raise SSDLError(
+            "discovery found no supported queries; supply better samples "
+            "or probe more operators"
+        )
+    for rule_index, (template_indices, exports) in enumerate(accepted_rules):
+        parts = []
+        for t_index in template_indices:
+            attribute, op = templates[t_index]
+            const = _CLASS_BY_TYPE[schema.attribute(attribute).type]
+            parts.append(f"{attribute} {_OP_TEXT[op]} {const}")
+        builder.rule(f"d{rule_index}", " and ".join(parts), attributes=exports)
+    if download_allowed:
+        builder.rule("d_download", "true", attributes=all_attrs)
+    description = builder.build()
+    return DiscoveryReport(
+        description=description,
+        probes_sent=prober.sent,
+        probes_accepted=prober.accepted,
+        tuples_transferred=prober.tuples,
+        templates=templates,
+        accepted_pairs=accepted_pairs,
+        download_allowed=download_allowed,
+    )

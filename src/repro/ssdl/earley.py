@@ -1,0 +1,154 @@
+"""An Earley recognizer for SSDL grammars.
+
+The paper builds a YACC parser from the SSDL description.  YACC requires
+LALR(1) grammars; the commutation closure of Section 6.1 and machine-
+generated capability descriptions are frequently ambiguous, so we use an
+Earley recognizer instead: it handles *any* context-free grammar and, as
+the paper requires, "runs in time linear in the size of the condition
+expression" for the non-ambiguous grammars typical of web forms (and at
+worst cubically otherwise -- condition expressions are short).
+
+Only recognition is needed: ``Check`` asks "does this token sequence
+derive from condition nonterminal s_j?"; no parse tree is materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import GrammarError
+from repro.ssdl.symbols import NT, Symbol, Token, is_terminal
+
+#: Productions: nonterminal name -> alternatives, each a symbol sequence.
+Productions = Mapping[str, Sequence[Sequence[Symbol]]]
+
+
+@dataclass(frozen=True)
+class _Item:
+    """An Earley item: (nonterminal, alternative index, dot, origin)."""
+
+    head: str
+    alt: int
+    dot: int
+    origin: int
+
+
+class EarleyRecognizer:
+    """Recognizes token sequences against a fixed set of productions.
+
+    Build once per source description (the analogue of the paper's
+    build-the-parser-when-the-source-joins step); call :meth:`accepts`
+    per candidate source query.
+    """
+
+    def __init__(self, productions: Productions):
+        self._productions: dict[str, list[tuple[Symbol, ...]]] = {
+            head: [tuple(alt) for alt in alts] for head, alts in productions.items()
+        }
+        self._validate()
+        # Nonterminals that can derive the empty string (needed for
+        # completion of nullable rules).
+        self._nullable = self._compute_nullable()
+
+    def _validate(self) -> None:
+        for head, alts in self._productions.items():
+            for alt in alts:
+                for symbol in alt:
+                    if isinstance(symbol, NT) and symbol.name not in self._productions:
+                        raise GrammarError(
+                            f"production for {head!r} references undefined "
+                            f"nonterminal {symbol.name!r}"
+                        )
+
+    def _compute_nullable(self) -> frozenset[str]:
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for head, alts in self._productions.items():
+                if head in nullable:
+                    continue
+                for alt in alts:
+                    if all(isinstance(s, NT) and s.name in nullable for s in alt):
+                        nullable.add(head)
+                        changed = True
+                        break
+        return frozenset(nullable)
+
+    # ------------------------------------------------------------------
+    def accepts(self, tokens: Sequence[Token], start: str) -> bool:
+        """Does ``tokens`` derive from nonterminal ``start``?"""
+        if start not in self._productions:
+            raise GrammarError(f"unknown start nonterminal {start!r}")
+        n = len(tokens)
+        if n == 0:
+            return start in self._nullable
+        chart: list[set[_Item]] = [set() for _ in range(n + 1)]
+        agenda: list[_Item] = []
+
+        def add(position: int, item: _Item) -> None:
+            if item not in chart[position]:
+                chart[position].add(item)
+                if position == current:
+                    agenda.append(item)
+
+        # Seed with the start productions.
+        current = 0
+        for alt_index in range(len(self._productions[start])):
+            add(0, _Item(start, alt_index, 0, 0))
+        for current in range(n + 1):
+            agenda = list(chart[current])
+            while agenda:
+                item = agenda.pop()
+                alt = self._productions[item.head][item.alt]
+                if item.dot < len(alt):
+                    symbol = alt[item.dot]
+                    if is_terminal(symbol):
+                        # Scan.
+                        if current < n and symbol.matches(tokens[current]):  # type: ignore[union-attr]
+                            chart[current + 1].add(
+                                _Item(item.head, item.alt, item.dot + 1, item.origin)
+                            )
+                    else:
+                        # Predict.
+                        name = symbol.name  # type: ignore[union-attr]
+                        for alt_index in range(len(self._productions[name])):
+                            add(current, _Item(name, alt_index, 0, current))
+                        # Magic completion for nullable nonterminals
+                        # (Aycock & Horspool): advance over them eagerly.
+                        if name in self._nullable:
+                            add(
+                                current,
+                                _Item(item.head, item.alt, item.dot + 1, item.origin),
+                            )
+                else:
+                    # Complete.
+                    for parent in list(chart[item.origin]):
+                        parent_alt = self._productions[parent.head][parent.alt]
+                        if parent.dot < len(parent_alt):
+                            expected = parent_alt[parent.dot]
+                            if isinstance(expected, NT) and expected.name == item.head:
+                                add(
+                                    current,
+                                    _Item(
+                                        parent.head,
+                                        parent.alt,
+                                        parent.dot + 1,
+                                        parent.origin,
+                                    ),
+                                )
+        target_len = {
+            len(self._productions[start][alt_index])
+            for alt_index in range(len(self._productions[start]))
+        }
+        for item in chart[n]:
+            if (
+                item.head == start
+                and item.origin == 0
+                and item.dot == len(self._productions[start][item.alt])
+            ):
+                return True
+        # `target_len` intentionally unused beyond sanity; kept minimal.
+        del target_len
+        return False

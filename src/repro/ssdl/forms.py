@@ -1,0 +1,187 @@
+"""Web forms compiled to SSDL.
+
+The deepest of Section 4's structure restrictions is "restricting
+expressions based on the structure of a form".  Authoring the grammar
+for a form by hand is mechanical: every combination of filled-in
+optional fields, in the form's fixed field order, is a rule.  This
+module models the form directly and compiles it:
+
+    form = WebForm("car_form", fields=[
+        SelectField("style", options=["sedan", "coupe"]),
+        TextField("make"),
+        NumberField("price", op="<="),
+        CheckboxField("size"),              # multi-select -> OR list
+    ], exports=["id", "make", "model", "price"])
+    description = form.compile()
+
+Semantics per field kind:
+
+* :class:`TextField` -- one equality on a string constant.
+* :class:`NumberField` -- one comparison (default ``=``) on a number.
+* :class:`SelectField` -- an equality restricted to the declared
+  options (a literal-template alternative per option).
+* :class:`CheckboxField` -- one value or a parenthesized OR-list of
+  values (multi-select).
+
+``required=True`` forces the field into every rule ("requiring that a
+particular field be filled in"); ``max_filled`` bounds how many fields a
+single query may use (the expression-size restriction).  The compiled
+grammar is order-sensitive in field order, exactly like the page --
+GenCompact's commutation closure and query fixing take it from there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+
+from repro.errors import SSDLError
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.description import SourceDescription
+
+
+@dataclass(frozen=True)
+class FormField:
+    """Base class for form fields."""
+
+    attribute: str
+    required: bool = False
+
+    def spellings(self, form_name: str) -> list[str]:
+        """Grammar fragments this field can contribute when filled in."""
+        raise NotImplementedError
+
+    def helpers(self, form_name: str) -> dict[str, str]:
+        """Helper nonterminal rules this field needs (name -> rhs)."""
+        return {}
+
+
+@dataclass(frozen=True)
+class TextField(FormField):
+    """A free-text box matched by equality."""
+
+    def spellings(self, form_name: str) -> list[str]:
+        return [f"{self.attribute} = $str"]
+
+
+@dataclass(frozen=True)
+class KeywordField(FormField):
+    """A free-text box matched by substring (search boxes)."""
+
+    def spellings(self, form_name: str) -> list[str]:
+        return [f"{self.attribute} contains $str"]
+
+
+@dataclass(frozen=True)
+class NumberField(FormField):
+    """A numeric box; ``op`` is the comparison the form applies."""
+
+    op: str = "="
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "<", "<=", ">", ">="):
+            raise SSDLError(f"unsupported number-field operator {self.op!r}")
+
+    def spellings(self, form_name: str) -> list[str]:
+        return [f"{self.attribute} {self.op} $num"]
+
+
+@dataclass(frozen=True)
+class SelectField(FormField):
+    """A single-select dropdown: equality against one of its options."""
+
+    options: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise SSDLError(
+                f"select field {self.attribute!r} needs at least one option"
+            )
+        object.__setattr__(self, "options", tuple(self.options))
+
+    def spellings(self, form_name: str) -> list[str]:
+        return [
+            f"{self.attribute} = '" + option.replace("'", "\\'") + "'"
+            for option in self.options
+        ]
+
+
+@dataclass(frozen=True)
+class CheckboxField(FormField):
+    """A multi-select: one value, or a parenthesized OR-list of values."""
+
+    def _list_nt(self, form_name: str) -> str:
+        return f"{form_name}_{self.attribute}_list"
+
+    def spellings(self, form_name: str) -> list[str]:
+        return [
+            f"{self.attribute} = $str",
+            f"( {self._list_nt(form_name)} )",
+        ]
+
+    def helpers(self, form_name: str) -> dict[str, str]:
+        nt = self._list_nt(form_name)
+        atom = f"{self.attribute} = $str"
+        return {nt: f"{atom} or {atom} | {atom} or {nt}"}
+
+
+@dataclass
+class WebForm:
+    """A form: ordered fields, an export set, optional size limit."""
+
+    name: str
+    fields: list[FormField]
+    exports: list[str]
+    #: Max number of filled-in fields per query (None = all).
+    max_filled: int | None = None
+    #: Whether submitting the empty form (a full download) is allowed.
+    allow_empty: bool = False
+
+    def compile(self) -> SourceDescription:
+        """The SSDL description of this form."""
+        if not self.fields:
+            raise SSDLError(f"form {self.name!r} has no fields")
+        attributes = [f.attribute for f in self.fields]
+        if len(set(attributes)) != len(attributes):
+            raise SSDLError(f"form {self.name!r} repeats an attribute")
+        if len(self.fields) > 8:
+            raise SSDLError(
+                "forms with more than 8 fields produce too many rules; "
+                "split the form"
+            )
+        required = [i for i, f in enumerate(self.fields) if f.required]
+        limit = self.max_filled if self.max_filled is not None else len(self.fields)
+        if len(required) > limit:
+            raise SSDLError(
+                f"form {self.name!r} requires {len(required)} fields but "
+                f"max_filled={limit}"
+            )
+        builder = DescriptionBuilder(self.name)
+        for form_field in self.fields:
+            for nt, rhs in form_field.helpers(self.name).items():
+                builder.helper(nt, rhs)
+        rule_count = 0
+        indices = range(len(self.fields))
+        for size in range(1, limit + 1):
+            for chosen in combinations(indices, size):
+                if not set(required) <= set(chosen):
+                    continue
+                spelling_choices = [
+                    self.fields[i].spellings(self.name) for i in chosen
+                ]
+                for spellings in product(*spelling_choices):
+                    builder.rule(
+                        self.name,
+                        " and ".join(spellings),
+                        attributes=self.exports if rule_count == 0 else None,
+                    )
+                    rule_count += 1
+        if self.allow_empty:
+            builder.rule(
+                self.name, "true",
+                attributes=self.exports if rule_count == 0 else None,
+            )
+            rule_count += 1
+        if rule_count == 0:
+            raise SSDLError(f"form {self.name!r} admits no valid submission")
+        return builder.build()

@@ -1,0 +1,197 @@
+"""Terminal and nonterminal symbols of SSDL grammars, and the tokenizer.
+
+SSDL (Section 4) describes the condition expressions a source accepts
+with a context-free grammar.  The *terminals* of that grammar are
+
+* atomic-condition templates such as ``make = $str`` or ``price < $num``
+  (``$``-classes stand for constants, as in the paper's ``$m``/``$p``),
+  or templates with a fixed literal such as ``style = 'sedan'``;
+* the connector keywords ``and`` / ``or``;
+* parentheses; and
+* the keyword ``true`` (for sources that allow downloading, i.e. accept
+  the trivially true condition of EPG lines 11-12 / IPG's download plan).
+
+A condition tree is matched against the grammar by *serializing* it into
+a token sequence: leaves become atom tokens, connectors become keyword
+tokens, and non-leaf children are wrapped in parentheses.  The top level
+is unparenthesized, matching how the paper writes grammar rules
+(``s1 -> make = $m ^ price < $p`` matches a two-leaf AND tree).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import Condition
+
+
+class ConstClass(enum.Enum):
+    """Constant classes usable in templates (the paper's ``$m``, ``$p``...)."""
+
+    STR = "$str"
+    NUM = "$num"
+    BOOL = "$bool"
+    LIST = "$list"
+    ANY = "$any"
+
+    def admits(self, value) -> bool:
+        """Does a constant value belong to this class?"""
+        if self is ConstClass.ANY:
+            return True
+        if self is ConstClass.STR:
+            return isinstance(value, str)
+        if self is ConstClass.BOOL:
+            return isinstance(value, bool)
+        if self is ConstClass.NUM:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ConstClass.LIST:
+            return isinstance(value, tuple)
+        raise AssertionError(self)  # pragma: no cover
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_CONST_BY_TEXT = {c.value: c for c in ConstClass}
+# Aliases matching the paper's informal notation.
+_CONST_BY_TEXT["$m"] = ConstClass.STR
+_CONST_BY_TEXT["$c"] = ConstClass.STR
+_CONST_BY_TEXT["$s"] = ConstClass.STR
+_CONST_BY_TEXT["$p"] = ConstClass.NUM
+_CONST_BY_TEXT["$n"] = ConstClass.NUM
+_CONST_BY_TEXT["$v"] = ConstClass.ANY
+_CONST_BY_TEXT["$l"] = ConstClass.LIST
+
+
+def const_class_from_text(text: str) -> ConstClass | None:
+    """The :class:`ConstClass` for ``$``-notation, or None if unknown."""
+    return _CONST_BY_TEXT.get(text.lower())
+
+
+class Keyword(enum.Enum):
+    """Non-template terminal symbols."""
+
+    AND = "and"
+    OR = "or"
+    LPAREN = "("
+    RPAREN = ")"
+    TRUE = "true"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# ----------------------------------------------------------------------
+# Tokens (instances appearing in a serialized condition)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AtomToken:
+    """A serialized atomic condition."""
+
+    atom: Atom
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.atom.to_text()
+
+
+#: A token is an atomic condition or a keyword.
+Token = Union[AtomToken, Keyword]
+
+
+def tokenize_condition(condition: Condition) -> tuple[Token, ...]:
+    """Serialize a condition tree into the token sequence the grammar sees."""
+    out: list[Token] = []
+    _serialize(condition, out, top_level=True)
+    return tuple(out)
+
+
+def _serialize(condition: Condition, out: list[Token], top_level: bool) -> None:
+    if condition.is_true:
+        out.append(Keyword.TRUE)
+        return
+    if condition.is_leaf:
+        out.append(AtomToken(condition.atom))
+        return
+    keyword = Keyword.AND if condition.is_and else Keyword.OR
+    if not top_level:
+        out.append(Keyword.LPAREN)
+    for index, child in enumerate(condition.children):
+        if index:
+            out.append(keyword)
+        _serialize(child, out, top_level=False)
+    if not top_level:
+        out.append(Keyword.RPAREN)
+
+
+# ----------------------------------------------------------------------
+# Grammar symbols (what appears on the right-hand side of productions)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Template:
+    """An atomic-condition template terminal: ``attr op constant-or-class``.
+
+    ``constant`` is either a :class:`ConstClass` (matches any constant of
+    the class) or a literal value (matches only that constant).
+    """
+
+    attribute: str
+    op: Op
+    constant: object
+
+    def matches(self, token: Token) -> bool:
+        if not isinstance(token, AtomToken):
+            return False
+        atom = token.atom
+        if atom.attribute != self.attribute or atom.op != self.op:
+            return False
+        if isinstance(self.constant, ConstClass):
+            return self.constant.admits(atom.value)
+        return atom.value == self.constant
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        const = str(self.constant)
+        if isinstance(self.constant, str):
+            const = f"'{self.constant}'"
+        return f"{self.attribute} {self.op.value} {const}"
+
+
+@dataclass(frozen=True)
+class KeywordSym:
+    """A keyword terminal (``and``, ``or``, parens, ``true``)."""
+
+    keyword: Keyword
+
+    def matches(self, token: Token) -> bool:
+        return token is self.keyword
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.keyword.value
+
+
+@dataclass(frozen=True)
+class NT:
+    """A reference to a nonterminal by name."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+
+#: A grammar symbol is a terminal (Template/KeywordSym) or a nonterminal.
+Symbol = Union[Template, KeywordSym, NT]
+
+AND_SYM = KeywordSym(Keyword.AND)
+OR_SYM = KeywordSym(Keyword.OR)
+LPAREN_SYM = KeywordSym(Keyword.LPAREN)
+RPAREN_SYM = KeywordSym(Keyword.RPAREN)
+TRUE_SYM = KeywordSym(Keyword.TRUE)
+
+
+def is_terminal(symbol: Symbol) -> bool:
+    return not isinstance(symbol, NT)

@@ -1,0 +1,244 @@
+"""Textual SSDL: parse source descriptions written like the paper's Example 4.1.
+
+Syntax (``#`` starts a comment; blank lines ignored)::
+
+    s -> s1 | s2
+    s1 -> make = $str and price < $num
+    s2 -> make = $str and color = $str
+    attributes s1 : make, model, year, color
+    attributes s2 : make, model, year
+
+* The rule for the start symbol ``s`` is mandatory and each of its
+  alternatives must be a single nonterminal -- exactly the paper's
+  restriction.  Those nonterminals are the *condition nonterminals*.
+* A right-hand side is a sequence of: atomic-condition templates
+  (``attr op $class`` or ``attr op 'literal'``), the keywords ``and`` /
+  ``or`` / ``true``, parentheses, or nonterminal references.
+* Constant classes: ``$str $num $bool $list $any`` (paper-style aliases
+  ``$m $c $s $p $n $v $l`` also accepted).
+* Helper nonterminals (reachable from condition nonterminals but not
+  listed under ``s``) need no ``attributes`` line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.conditions.atoms import Op, op_from_text
+from repro.errors import SSDLParseError
+from repro.ssdl.description import SourceDescription
+from repro.ssdl.symbols import (
+    AND_SYM,
+    LPAREN_SYM,
+    NT,
+    OR_SYM,
+    RPAREN_SYM,
+    TRUE_SYM,
+    KeywordSym,
+    Symbol,
+    Template,
+    const_class_from_text,
+)
+
+_RHS_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<alt>\|)
+  | (?P<op><=|>=|!=|<>|==|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<const>\$[A-Za-z]+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _lex_rhs(text: str, line_no: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _RHS_TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SSDLParseError(
+                f"line {line_no}: unexpected character {text[pos]!r}", line_no
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        tokens.append((kind, value))
+    return tokens
+
+
+def _parse_alternative(
+    tokens: list[tuple[str, str]], line_no: int
+) -> tuple[Symbol, ...]:
+    """One alternative: a sequence of grammar symbols."""
+    symbols: list[Symbol] = []
+    index = 0
+    n = len(tokens)
+    while index < n:
+        kind, value = tokens[index]
+        if kind == "lparen":
+            symbols.append(LPAREN_SYM)
+            index += 1
+        elif kind == "rparen":
+            symbols.append(RPAREN_SYM)
+            index += 1
+        elif kind == "ident" and value.lower() == "and":
+            symbols.append(AND_SYM)
+            index += 1
+        elif kind == "ident" and value.lower() == "or":
+            symbols.append(OR_SYM)
+            index += 1
+        elif kind == "ident" and value.lower() == "true":
+            symbols.append(TRUE_SYM)
+            index += 1
+        elif kind == "ident":
+            # Template if followed by an operator, else nonterminal ref.
+            if index + 1 < n and tokens[index + 1][0] == "op":
+                symbols.append(_parse_template(tokens, index, line_no))
+                index += 3
+            elif (
+                index + 1 < n
+                and tokens[index + 1][0] == "ident"
+                and tokens[index + 1][1].lower() in ("in", "contains")
+            ):
+                symbols.append(_parse_template(tokens, index, line_no))
+                index += 3
+            else:
+                symbols.append(NT(value))
+                index += 1
+        else:
+            raise SSDLParseError(
+                f"line {line_no}: unexpected token {value!r} in rule body", line_no
+            )
+    if not symbols:
+        raise SSDLParseError(f"line {line_no}: empty alternative", line_no)
+    return tuple(symbols)
+
+
+def _parse_template(
+    tokens: list[tuple[str, str]], index: int, line_no: int
+) -> Template:
+    attr = tokens[index][1]
+    op_kind, op_text = tokens[index + 1]
+    if op_kind == "op":
+        op = op_from_text(op_text)
+    else:
+        op = Op.IN if op_text.lower() == "in" else Op.CONTAINS
+    if index + 2 >= len(tokens):
+        raise SSDLParseError(
+            f"line {line_no}: template {attr!r} {op_text!r} is missing its constant",
+            line_no,
+        )
+    const_kind, const_text = tokens[index + 2]
+    if const_kind == "const":
+        const_class = const_class_from_text(const_text)
+        if const_class is None:
+            raise SSDLParseError(
+                f"line {line_no}: unknown constant class {const_text!r}", line_no
+            )
+        return Template(attr, op, const_class)
+    if const_kind == "number":
+        value = float(const_text) if "." in const_text else int(const_text)
+        return Template(attr, op, value)
+    if const_kind == "string":
+        body = const_text[1:-1]
+        body = body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+        return Template(attr, op, body)
+    raise SSDLParseError(
+        f"line {line_no}: expected a constant after {attr} {op_text}, "
+        f"found {const_text!r}",
+        line_no,
+    )
+
+
+def parse_ssdl(text: str, name: str = "", start: str = "s") -> SourceDescription:
+    """Parse a textual SSDL description into a :class:`SourceDescription`."""
+    productions: dict[str, list[tuple[Symbol, ...]]] = {}
+    attributes: dict[str, list[str]] = {}
+    start_alternatives: list[str] | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        attr_match = re.match(
+            r"^attributes\s+(?:::\s*)?([A-Za-z_][A-Za-z_0-9]*)\s*:\s*(.*)$", line
+        )
+        if attr_match:
+            nt_name, attr_list = attr_match.groups()
+            attrs = [a.strip() for a in attr_list.split(",") if a.strip()]
+            attributes.setdefault(nt_name, []).extend(attrs)
+            continue
+        rule_match = re.match(r"^([A-Za-z_][A-Za-z_0-9]*)\s*(?:->|::=|:=)\s*(.*)$", line)
+        if not rule_match:
+            raise SSDLParseError(f"line {line_no}: cannot parse {line!r}", line_no)
+        head, rhs_text = rule_match.groups()
+        tokens = _lex_rhs(rhs_text, line_no)
+        alternatives: list[list[tuple[str, str]]] = [[]]
+        for token in tokens:
+            if token[0] == "alt":
+                alternatives.append([])
+            else:
+                alternatives[-1].append(token)
+        parsed = [_parse_alternative(alt, line_no) for alt in alternatives]
+        if head == start:
+            if start_alternatives is not None:
+                raise SSDLParseError(
+                    f"line {line_no}: duplicate rule for start symbol {start!r}",
+                    line_no,
+                )
+            start_alternatives = []
+            for alt in parsed:
+                if len(alt) != 1 or not isinstance(alt[0], NT):
+                    raise SSDLParseError(
+                        f"line {line_no}: every alternative of {start!r} must be a "
+                        "single condition nonterminal (Section 4)",
+                        line_no,
+                    )
+                start_alternatives.append(alt[0].name)
+        else:
+            productions.setdefault(head, []).extend(parsed)
+
+    if start_alternatives is None:
+        raise SSDLParseError(f"missing rule for start symbol {start!r}")
+    return SourceDescription(
+        condition_nonterminals=start_alternatives,
+        productions=productions,
+        attributes={nt: attrs for nt, attrs in attributes.items()},
+        name=name,
+    )
+
+
+def format_ssdl(description: SourceDescription, start: str = "s") -> str:
+    """Render a description back to the textual syntax (round-trippable)."""
+    lines = [f"{start} -> " + " | ".join(description.condition_nonterminals)]
+    for head, alts in description.productions.items():
+        rendered = " | ".join(" ".join(_format_symbol(s) for s in alt) for alt in alts)
+        lines.append(f"{head} -> {rendered}")
+    for nt, attrs in description.attributes.items():
+        lines.append(f"attributes {nt} : " + ", ".join(sorted(attrs)))
+    return "\n".join(lines)
+
+
+def _format_symbol(symbol: Symbol) -> str:
+    if isinstance(symbol, NT):
+        return symbol.name
+    if isinstance(symbol, KeywordSym):
+        return symbol.keyword.value
+    # Template
+    const = symbol.constant
+    if hasattr(const, "value") and not isinstance(const, (int, float, str)):
+        const_text = const.value  # ConstClass
+    elif isinstance(const, str):
+        escaped = const.replace("\\", "\\\\").replace("'", "\\'")
+        const_text = f"'{escaped}'"
+    else:
+        const_text = repr(const)
+    return f"{symbol.attribute} {symbol.op.value} {const_text}"

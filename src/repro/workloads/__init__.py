@@ -1,0 +1,37 @@
+"""Workloads: random synthetic worlds and the paper's fixed scenarios."""
+
+from repro.workloads.scenarios import (
+    Scenario,
+    all_scenarios,
+    bank_scenario,
+    bookstore_scenario,
+    car_scenario,
+)
+from repro.workloads.synthetic import (
+    WorldConfig,
+    make_description,
+    make_queries,
+    make_schema,
+    make_source,
+    make_table,
+    random_atom,
+    random_condition,
+    template_space,
+)
+
+__all__ = [
+    "Scenario",
+    "all_scenarios",
+    "bookstore_scenario",
+    "car_scenario",
+    "bank_scenario",
+    "WorldConfig",
+    "make_schema",
+    "make_table",
+    "make_description",
+    "make_source",
+    "make_queries",
+    "random_atom",
+    "random_condition",
+    "template_space",
+]

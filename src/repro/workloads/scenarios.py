@@ -1,0 +1,110 @@
+"""The paper's motivating scenarios as ready-made workloads.
+
+Each scenario bundles a source, the target query, and the plan shapes
+the paper discusses, so examples, tests and the E1/E2 benchmarks all
+speak about exactly the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conditions.parser import parse_condition
+from repro.query import TargetQuery
+from repro.source.library import bank, bookstore, car_guide
+from repro.source.source import CapabilitySource
+
+
+@dataclass
+class Scenario:
+    """A named (source, target query) pair with commentary."""
+
+    name: str
+    source: CapabilitySource
+    query: TargetQuery
+    paper_reference: str
+    expectation: str
+
+
+def bookstore_scenario(n: int = 20000, seed: int = 1999) -> Scenario:
+    """Example 1.1: Freud-or-Jung books about dreams.
+
+    The source cannot search two authors at once.  The good plan is two
+    author+title queries unioned; the Garlic/CNF plan pulls every book
+    matching the title words and filters authors at the mediator.
+    """
+    condition = parse_condition(
+        "(author = 'Sigmund Freud' or author = 'Carl Jung') "
+        "and title contains 'dreams'"
+    )
+    query = TargetQuery(condition, frozenset(["id", "title", "author", "price"]),
+                        "bookstore")
+    return Scenario(
+        name="bookstore (Example 1.1)",
+        source=bookstore(n, seed),
+        query=query,
+        paper_reference="Example 1.1",
+        expectation=(
+            "GenCompact == DNF two-query plan; CNF transfers every "
+            "'dreams' book; DISCO and Naive are infeasible"
+        ),
+    )
+
+
+def car_scenario(n: int = 12000, seed: int = 1999) -> Scenario:
+    """Example 1.2: midsize-or-compact sedans, Toyotas vs BMWs.
+
+    DNF sends four queries; CNF pushes only style and the size list.
+    GenCompact finds the paper's two-query plan (one per make, the size
+    list pushed into both).
+    """
+    condition = parse_condition(
+        "style = 'sedan' and (size = 'compact' or size = 'midsize') and "
+        "((make = 'Toyota' and price <= 20000) or "
+        "(make = 'BMW' and price <= 40000))"
+    )
+    query = TargetQuery(
+        condition, frozenset(["id", "make", "model", "price"]), "car_guide"
+    )
+    return Scenario(
+        name="car guide (Example 1.2)",
+        source=car_guide(n, seed),
+        query=query,
+        paper_reference="Example 1.2",
+        expectation=(
+            "GenCompact two-query plan beats both the four-query DNF plan "
+            "and the style+size-only CNF plan"
+        ),
+    )
+
+
+def bank_scenario(n: int = 5000, seed: int = 1999) -> Scenario:
+    """Section 4's attribute-export restriction: balance needs the PIN.
+
+    Asking for the balance without supplying the PIN in the condition is
+    infeasible for *every* strategy -- the capability machinery must
+    prove it rather than produce a plan the source will reject.
+    """
+    source = bank(n, seed)
+    # Use a real (account, PIN) pair from the generated data so the
+    # answer is non-empty.
+    row = source.relation.rows[42 % len(source.relation)]
+    condition = parse_condition(
+        f"account_no = {row['account_no']} and pin = {row['pin']}"
+    )
+    query = TargetQuery(
+        condition, frozenset(["account_no", "owner", "balance"]), "bank"
+    )
+    return Scenario(
+        name="bank (Section 4)",
+        source=source,
+        query=query,
+        paper_reference="Section 4",
+        expectation="feasible only because the PIN appears in the condition",
+    )
+
+
+def all_scenarios(seed: int = 1999) -> list[Scenario]:
+    """The three fixed scenarios with their default sizes."""
+    return [bookstore_scenario(seed=seed), car_scenario(seed=seed),
+            bank_scenario(seed=seed)]

@@ -1,0 +1,227 @@
+"""Synthetic worlds: random capability-limited sources and random queries.
+
+The paper's evaluation (extended version) studies plan quality and
+planning efficiency over many queries and many sources with varied
+capabilities.  This module generates both, seeded:
+
+* :func:`make_table` -- a relation over ``m`` attributes (mixed
+  categorical/numeric, Zipf-skewed);
+* :func:`make_description` -- a random SSDL description whose
+  **richness** knob controls how much of the query space the source
+  supports (benchmark E6);
+* :func:`make_source` -- the two combined;
+* :func:`random_condition` / :func:`make_queries` -- random condition
+  trees over the source's attributes with data-grounded constants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import And, Condition, Leaf, Or
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.description import SourceDescription
+
+#: Categorical value pool sizes cycle through these.
+_CARDINALITIES = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of a synthetic world."""
+
+    n_attributes: int = 6
+    n_rows: int = 4000
+    #: Fraction of the atomic-condition template space the grammar covers.
+    richness: float = 0.6
+    #: Probability the source allows full download (a ``true`` rule).
+    download_prob: float = 0.15
+    #: Per-attribute probability of appearing in a rule's export set.
+    export_prob: float = 0.8
+    seed: int = 42
+
+
+def _attribute_names(n: int) -> list[str]:
+    return ["key"] + [f"a{i}" for i in range(n)]
+
+
+def make_schema(n_attributes: int) -> Schema:
+    """``key`` plus ``a0..a{n-1}``; even attrs categorical, odd numeric."""
+    spec: list[tuple[str, AttrType]] = [("key", AttrType.INT)]
+    for i in range(n_attributes):
+        kind = AttrType.STRING if i % 2 == 0 else AttrType.INT
+        spec.append((f"a{i}", kind))
+    return Schema.of("world", spec, key="key")
+
+
+def make_table(config: WorldConfig) -> Relation:
+    """A Zipf-skewed table for the synthetic schema."""
+    rng = random.Random(config.seed)
+    schema = make_schema(config.n_attributes)
+    rows = []
+    pools: dict[str, list] = {}
+    for index in range(config.n_attributes):
+        name = f"a{index}"
+        if index % 2 == 0:
+            size = _CARDINALITIES[index % len(_CARDINALITIES)]
+            pools[name] = [f"v{index}_{j}" for j in range(size)]
+        else:
+            pools[name] = list(range(0, 1000))
+    for row_index in range(config.n_rows):
+        row = {"key": row_index}
+        for index in range(config.n_attributes):
+            name = f"a{index}"
+            pool = pools[name]
+            if index % 2 == 0:
+                weights = [1.0 / (r + 1) for r in range(len(pool))]
+                row[name] = rng.choices(pool, weights=weights, k=1)[0]
+            else:
+                row[name] = rng.randint(0, 999)
+        rows.append(row)
+    return Relation(schema, rows, validate=False)
+
+
+def template_space(n_attributes: int) -> list[tuple[str, str]]:
+    """Every (attribute, op-text) template a query generator may use."""
+    templates: list[tuple[str, str]] = []
+    for index in range(n_attributes):
+        name = f"a{index}"
+        if index % 2 == 0:
+            templates.append((name, "="))
+        else:
+            templates.extend([(name, "="), (name, "<="), (name, ">=")])
+    return templates
+
+
+def make_description(config: WorldConfig) -> SourceDescription:
+    """A random description covering ``richness`` of the template space.
+
+    The grammar gets: one single-template rule per supported template,
+    a handful of conjunctive rules (width 2-3, in a fixed random order,
+    i.e. order-sensitive), and -- with ``download_prob`` -- a ``true``
+    rule.  Export sets always include ``key`` plus a random subset of
+    the other attributes (so some projections are not exportable).
+    """
+    rng = random.Random(config.seed * 7919 + 13)
+    all_templates = template_space(config.n_attributes)
+    n_supported = max(1, round(config.richness * len(all_templates)))
+    supported = rng.sample(all_templates, n_supported)
+    attr_names = _attribute_names(config.n_attributes)
+
+    def const_class(op_text: str, attr: str) -> str:
+        index = int(attr[1:])
+        return "$str" if index % 2 == 0 else "$num"
+
+    def export_set(rng: random.Random) -> list[str]:
+        others = [a for a in attr_names if a != "key"]
+        chosen = [a for a in others if rng.random() < config.export_prob]
+        return ["key"] + chosen
+
+    builder = DescriptionBuilder(f"world-r{config.richness:.2f}")
+    for rule_index, (attr, op_text) in enumerate(supported):
+        rhs = f"{attr} {op_text} {const_class(op_text, attr)}"
+        builder.rule(f"t{rule_index}", rhs, attributes=export_set(rng))
+    # Conjunctive rules over supported templates.
+    n_conj = max(1, n_supported // 2)
+    for conj_index in range(n_conj):
+        width = rng.choice((2, 2, 3))
+        if len(supported) < width:
+            break
+        chosen = rng.sample(supported, width)
+        # Skip degenerate conjunctions repeating an attribute with '='.
+        if len({attr for attr, _ in chosen}) < width:
+            continue
+        rhs = " and ".join(
+            f"{attr} {op_text} {const_class(op_text, attr)}"
+            for attr, op_text in chosen
+        )
+        builder.rule(f"c{conj_index}", rhs, attributes=export_set(rng))
+    if rng.random() < config.download_prob:
+        builder.rule("dl", "true", attributes=attr_names)
+    return builder.build()
+
+
+def make_source(config: WorldConfig) -> CapabilitySource:
+    """A synthetic capability-limited source for the given config."""
+    return CapabilitySource(
+        f"world{config.seed}",
+        make_table(config),
+        make_description(config),
+    )
+
+
+# ----------------------------------------------------------------------
+# Random condition trees
+# ----------------------------------------------------------------------
+
+def random_atom(config: WorldConfig, rng: random.Random) -> Atom:
+    """A random atomic condition with a data-plausible constant."""
+    attr, op_text = rng.choice(template_space(config.n_attributes))
+    index = int(attr[1:])
+    if index % 2 == 0:
+        size = _CARDINALITIES[index % len(_CARDINALITIES)]
+        value: object = f"v{index}_{rng.randrange(size)}"
+    else:
+        value = rng.randrange(0, 1000)
+    op = {"=": Op.EQ, "<=": Op.LE, ">=": Op.GE}[op_text]
+    return Atom(attr, op, value)
+
+
+def random_condition(
+    config: WorldConfig,
+    n_atoms: int,
+    rng: random.Random,
+    or_prob: float = 0.5,
+) -> Condition:
+    """A random alternating condition tree with ``n_atoms`` leaves."""
+    if n_atoms <= 1:
+        return Leaf(random_atom(config, rng))
+    top_is_or = rng.random() < or_prob
+
+    def build(count: int, is_or: bool) -> Condition:
+        if count == 1:
+            return Leaf(random_atom(config, rng))
+        fanout = min(count, rng.randint(2, 4))
+        splits = _partition(count, fanout, rng)
+        children = [
+            build(size, not is_or) if size > 1 else Leaf(random_atom(config, rng))
+            for size in splits
+        ]
+        return Or(children) if is_or else And(children)
+
+    return build(n_atoms, top_is_or)
+
+
+def _partition(total: int, parts: int, rng: random.Random) -> list[int]:
+    """Split ``total`` into ``parts`` positive integers."""
+    sizes = [1] * parts
+    for _ in range(total - parts):
+        sizes[rng.randrange(parts)] += 1
+    return sizes
+
+
+def make_queries(
+    config: WorldConfig,
+    source: CapabilitySource,
+    n_queries: int,
+    n_atoms: int,
+    seed: int | None = None,
+    or_prob: float = 0.5,
+) -> list[TargetQuery]:
+    """Random target queries; projections are ``key`` plus 1-2 attributes."""
+    rng = random.Random(config.seed * 31 + 1 if seed is None else seed)
+    attrs = _attribute_names(config.n_attributes)
+    queries = []
+    for _ in range(n_queries):
+        condition = random_condition(config, n_atoms, rng, or_prob)
+        extra = rng.sample([a for a in attrs if a != "key"], rng.randint(1, 2))
+        queries.append(
+            TargetQuery(condition, frozenset(["key"] + extra), source.name)
+        )
+    return queries

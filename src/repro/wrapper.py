@@ -1,0 +1,173 @@
+"""Wrappers: generic relational capability over a limited source.
+
+Section 2: "if wrappers are to provide generic relational capabilities
+for Internet sources, then they need to implement a scheme like the one
+we describe in Section 6. That is, when a wrapper receives a query, it
+must find the best way to execute the query at the underlying source,
+and this is precisely the problem we are addressing in this paper."
+
+:class:`Wrapper` is that wrapper: it accepts *any* select-project query
+over a capability-limited source and answers it by planning with
+GenCompact, fixing the source queries, executing, and postprocessing.
+The only queries it cannot answer are those no feasible plan exists for
+at all -- and for those it raises with a precise reason instead of
+handing the source something it will reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.skeleton import (
+    Skeleton,
+    atom_substitution,
+    substitute_plan,
+)
+from repro.conditions.tree import Condition
+from repro.data.relation import Relation
+from repro.errors import InfeasiblePlanError
+from repro.planners.base import Planner, PlanningResult
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.plans.execute import ExecutionReport, Executor
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+
+
+@dataclass
+class WrapperAnswer:
+    """Result of a wrapped query: rows plus what answering them cost."""
+
+    result: Relation
+    planning: PlanningResult
+    queries_sent: int
+    tuples_transferred: int
+
+    @property
+    def rows(self) -> list[dict]:
+        return self.result.rows
+
+
+class Wrapper:
+    """A relational facade over one capability-limited source.
+
+    Plans are cached per (condition, attributes): a wrapper typically
+    serves many instances of the same query template, and the planning
+    work -- not execution -- dominates for small results.
+
+    With ``reuse_templates`` (the default), a cache miss first tries to
+    *instantiate* the plan of a previously planned query with the same
+    condition skeleton -- same tree shape and constant classes,
+    different constants -- by substituting the new constants into the
+    old plan and re-validating every source query against the source
+    description.  SSDL templates usually match constant classes, so the
+    validated substitution is almost always accepted and a bind-join's
+    thousandth probe costs a validation, not a planning run.
+
+    The classic prepared-statement trade-off applies: the instantiated
+    plan is guaranteed *feasible* but inherits the template's shape, so
+    it may be suboptimal for constants with very different
+    selectivities.  Pass ``reuse_templates=False`` to replan every
+    instance.
+    """
+
+    def __init__(
+        self,
+        source: CapabilitySource,
+        planner: Planner | None = None,
+        k1: float = 100.0,
+        k2: float = 1.0,
+        reuse_templates: bool = True,
+    ):
+        self.source = source
+        self.planner = planner if planner is not None else GenCompact()
+        self.reuse_templates = reuse_templates
+        self._cost_model = CostModel({source.name: source.stats}, k1, k2)
+        self._executor = Executor({source.name: source})
+        self._plan_cache: dict[tuple[Condition, frozenset[str]], PlanningResult] = {}
+        # skeleton-template -> a previously planned (condition, result).
+        self._templates: dict[
+            tuple[Condition, frozenset[str]], tuple[Condition, PlanningResult]
+        ] = {}
+        #: How many plans were produced by template instantiation.
+        self.template_hits = 0
+
+    # ------------------------------------------------------------------
+    def plan(self, condition: Condition | str, attributes: Iterable[str]
+             ) -> PlanningResult:
+        """The best feasible plan for σ_condition π_attributes (cached)."""
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        attrs = self.source.schema.validate_attributes(attributes)
+        self.source.schema.validate_attributes(condition.attributes())
+        key = (condition, attrs)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        result = None
+        template_key = (Skeleton.of(condition).template, attrs)
+        if self.reuse_templates:
+            result = self._instantiate_template(template_key, condition, attrs)
+        if result is None:
+            query = TargetQuery(condition, attrs, self.source.name)
+            result = self.planner.plan(query, self.source, self._cost_model)
+            if result.feasible:
+                self._templates.setdefault(template_key, (condition, result))
+        self._plan_cache[key] = result
+        return result
+
+    def _instantiate_template(
+        self,
+        template_key: tuple[Condition, frozenset[str]],
+        condition: Condition,
+        attrs: frozenset[str],
+    ) -> PlanningResult | None:
+        """Try to rebind a same-skeleton plan to the new constants."""
+        entry = self._templates.get(template_key)
+        if entry is None:
+            return None
+        old_condition, old_result = entry
+        mapping = atom_substitution(old_condition, condition)
+        if mapping is None or old_result.plan is None:
+            return None
+        candidate = substitute_plan(old_result.plan, mapping)
+        # Re-validate: literal templates make support value-dependent.
+        for source_query in candidate.source_queries():
+            if not self.source.supports(source_query.condition, source_query.attrs):
+                return None
+        self.template_hits += 1
+        query = TargetQuery(condition, attrs, self.source.name)
+        return PlanningResult(
+            planner=f"{old_result.planner}+template",
+            query=query,
+            plan=candidate,
+            cost=self._cost_model.cost(candidate),
+        )
+
+    def supports(self, condition: Condition | str, attributes: Iterable[str]
+                 ) -> bool:
+        """Can this wrapper answer the query at all?"""
+        return self.plan(condition, attributes).feasible
+
+    def query(self, condition: Condition | str, attributes: Iterable[str]
+              ) -> WrapperAnswer:
+        """Answer an arbitrary SP query; raise if truly unanswerable."""
+        planning = self.plan(condition, attributes)
+        if planning.plan is None:
+            raise InfeasiblePlanError(
+                f"the capabilities of source {self.source.name!r} admit no "
+                f"plan for σ({planning.query.condition}) "
+                f"π({sorted(planning.query.attributes)})"
+            )
+        before = self.source.meter.snapshot()
+        result = self._executor.execute(planning.plan)
+        delta = self.source.meter.snapshot() - before
+        return WrapperAnswer(result, planning, delta.queries, delta.tuples)
+
+    def cache_size(self) -> int:
+        return len(self._plan_cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wrapper({self.source.name!r}, planner={self.planner.name})"

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's Example 4.1 source and small worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.plans.cost import CostModel
+from repro.source.source import CapabilitySource
+from repro.ssdl.text import parse_ssdl
+
+EXAMPLE_41_SSDL = """
+s  -> s1 | s2
+s1 -> make = $m and price < $p
+s2 -> make = $m and color = $c
+attributes s1 : make, model, year, color
+attributes s2 : make, model, year
+"""
+
+EXAMPLE_41_ROWS = [
+    {"make": "BMW", "model": "328i", "year": 1998, "color": "red", "price": 38000},
+    {"make": "BMW", "model": "318i", "year": 1997, "color": "black", "price": 31000},
+    {"make": "BMW", "model": "740il", "year": 1999, "color": "silver", "price": 62000},
+    {"make": "Toyota", "model": "Camry", "year": 1999, "color": "red", "price": 19000},
+    {"make": "Toyota", "model": "Corolla", "year": 1996, "color": "blue", "price": 11000},
+    {"make": "Toyota", "model": "Celica", "year": 1998, "color": "red", "price": 21000},
+    {"make": "Honda", "model": "Accord", "year": 1997, "color": "black", "price": 17000},
+    {"make": "Honda", "model": "Civic", "year": 1999, "color": "white", "price": 14000},
+]
+
+
+def make_example41_source(name: str = "cars") -> CapabilitySource:
+    schema = Schema.of(
+        "cars",
+        [("make", AttrType.STRING), ("model", AttrType.STRING),
+         ("year", AttrType.INT), ("color", AttrType.STRING),
+         ("price", AttrType.INT)],
+    )
+    description = parse_ssdl(EXAMPLE_41_SSDL, name="example41")
+    return CapabilitySource(name, Relation(schema, EXAMPLE_41_ROWS), description)
+
+
+@pytest.fixture
+def example41() -> CapabilitySource:
+    """The paper's Example 4.1 car source, with a tiny dataset."""
+    return make_example41_source()
+
+
+@pytest.fixture
+def example41_cost(example41) -> CostModel:
+    return CostModel({example41.name: example41.stats}, k1=100.0, k2=1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for atomic conditions."""
+
+import pytest
+
+from repro.conditions.atoms import Atom, Op, format_value, op_from_text
+from repro.errors import ConditionError
+
+
+class TestOpFromText:
+    def test_every_canonical_spelling(self):
+        for op in Op:
+            assert op_from_text(op.value) is op
+
+    def test_aliases(self):
+        assert op_from_text("==") is Op.EQ
+        assert op_from_text("<>") is Op.NE
+        assert op_from_text("CONTAINS") is Op.CONTAINS
+
+    def test_unknown_operator(self):
+        with pytest.raises(ConditionError):
+            op_from_text("~=")
+
+
+class TestAtomValidation:
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(ConditionError):
+            Atom("", Op.EQ, 1)
+
+    def test_in_requires_collection(self):
+        with pytest.raises(ConditionError):
+            Atom("size", Op.IN, "compact")
+
+    def test_in_rejects_empty_collection(self):
+        with pytest.raises(ConditionError):
+            Atom("size", Op.IN, ())
+
+    def test_in_normalizes_list_to_tuple(self):
+        atom = Atom("size", Op.IN, ["midsize", "compact"])
+        assert isinstance(atom.value, tuple)
+        assert set(atom.value) == {"compact", "midsize"}
+
+    def test_contains_requires_string(self):
+        with pytest.raises(ConditionError):
+            Atom("title", Op.CONTAINS, 7)
+
+    def test_ordered_ops_reject_bool(self):
+        with pytest.raises(ConditionError):
+            Atom("flag", Op.LT, True)
+
+    def test_ordered_ops_reject_tuples(self):
+        with pytest.raises(ConditionError):
+            Atom("price", Op.LE, (1, 2))
+
+
+class TestAtomMatches:
+    def test_eq_and_ne(self):
+        assert Atom("make", Op.EQ, "BMW").matches({"make": "BMW"})
+        assert not Atom("make", Op.EQ, "BMW").matches({"make": "Toyota"})
+        assert Atom("make", Op.NE, "BMW").matches({"make": "Toyota"})
+
+    def test_missing_attribute_is_false(self):
+        assert not Atom("make", Op.EQ, "BMW").matches({"model": "328i"})
+        assert not Atom("make", Op.NE, "BMW").matches({})
+
+    def test_none_value_is_false(self):
+        assert not Atom("make", Op.EQ, "BMW").matches({"make": None})
+
+    @pytest.mark.parametrize(
+        "op,value,row_value,expected",
+        [
+            (Op.LT, 10, 5, True),
+            (Op.LT, 10, 10, False),
+            (Op.LE, 10, 10, True),
+            (Op.GT, 10, 11, True),
+            (Op.GE, 10, 10, True),
+            (Op.GE, 10, 9, False),
+        ],
+    )
+    def test_ordered_comparisons(self, op, value, row_value, expected):
+        assert Atom("price", op, value).matches({"price": row_value}) is expected
+
+    def test_ordered_comparison_across_types_is_false(self):
+        assert not Atom("price", Op.LT, 10).matches({"price": "cheap"})
+        assert not Atom("name", Op.LT, "m").matches({"name": 5})
+
+    def test_string_range_comparison(self):
+        assert Atom("name", Op.LT, "m").matches({"name": "alpha"})
+        assert not Atom("name", Op.LT, "m").matches({"name": "zeta"})
+
+    def test_contains_is_case_insensitive_substring(self):
+        atom = Atom("title", Op.CONTAINS, "dreams")
+        assert atom.matches({"title": "The Interpretation of Dreams"})
+        assert not atom.matches({"title": "On Memory"})
+        assert not atom.matches({"title": 42})
+
+    def test_in(self):
+        atom = Atom("size", Op.IN, ("compact", "midsize"))
+        assert atom.matches({"size": "compact"})
+        assert not atom.matches({"size": "fullsize"})
+
+
+class TestAtomPresentation:
+    def test_to_text_round_trippable_forms(self):
+        assert Atom("make", Op.EQ, "BMW").to_text() == "make = 'BMW'"
+        assert Atom("price", Op.LT, 40000).to_text() == "price < 40000"
+        assert Atom("t", Op.CONTAINS, "x").to_text() == "t contains 'x'"
+
+    def test_format_value_escapes_quotes(self):
+        assert format_value("it's") == "'it\\'s'"
+
+    def test_format_value_bool_and_tuple(self):
+        assert format_value(True) == "true"
+        assert format_value((1, 2)) == "(1, 2)"
+
+    def test_atoms_are_hashable_and_equal_by_value(self):
+        a = Atom("make", Op.EQ, "BMW")
+        b = Atom("make", Op.EQ, "BMW")
+        assert a == b and hash(a) == hash(b)
+        assert a != Atom("make", Op.EQ, "Audi")

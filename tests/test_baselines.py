@@ -1,0 +1,163 @@
+"""Unit tests for the baseline strategies' plan shapes."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.plans.cost import CostModel
+from repro.plans.nodes import Postprocess, SourceQuery
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+
+A = frozenset({"model", "year"})
+
+
+def q(text, attrs=A, source="cars"):
+    return TargetQuery(parse_condition(text), frozenset(attrs), source)
+
+
+def model_for(source):
+    return CostModel({source.name: source.stats})
+
+
+class TestNaive:
+    def test_supported_query_is_pure(self, example41):
+        result = NaivePlanner().plan(
+            q("make = 'BMW' and price < 40000"), example41, model_for(example41)
+        )
+        assert isinstance(result.plan, SourceQuery)
+
+    def test_order_insensitivity_granted(self, example41):
+        # Baselines plan against the closed description.
+        result = NaivePlanner().plan(
+            q("price < 40000 and make = 'BMW'"), example41, model_for(example41)
+        )
+        assert result.feasible
+
+    def test_anything_else_infeasible(self, example41):
+        result = NaivePlanner().plan(
+            q("price < 40000 and color = 'red' and make = 'BMW'"),
+            example41,
+            model_for(example41),
+        )
+        assert not result.feasible
+
+
+class TestDisco:
+    def test_pure_when_supported(self, example41):
+        result = DiscoPlanner().plan(
+            q("make = 'BMW' and color = 'red'"), example41, model_for(example41)
+        )
+        assert isinstance(result.plan, SourceQuery)
+
+    def test_no_split_ever(self, example41):
+        # The conjunction needs splitting; DISCO refuses (no download rule).
+        result = DiscoPlanner().plan(
+            q("price < 40000 and color = 'red' and make = 'BMW'"),
+            example41,
+            model_for(example41),
+        )
+        assert not result.feasible
+
+    def test_download_fallback(self):
+        schema = Schema.of("t", [("id", AttrType.INT), ("a", AttrType.STRING)],
+                           key="id")
+        desc = (
+            DescriptionBuilder("d")
+            .rule("dl", "true", attributes=["id", "a"])
+            .build()
+        )
+        source = CapabilitySource(
+            "t",
+            Relation(schema, [{"id": i, "a": "x"} for i in range(5)]),
+            desc,
+        )
+        result = DiscoPlanner().plan(
+            q("a = 'x'", attrs={"id"}, source="t"), source, model_for(source)
+        )
+        assert result.feasible
+        (query,) = list(result.plan.source_queries())
+        assert query.condition.is_true
+
+
+class TestCNF:
+    def test_pushes_supported_clauses_filters_rest(self, example41):
+        # CNF of (make ^ price ^ color-or): clauses [make], [price], [or].
+        # make alone / price alone are not rules, but make^price is after
+        # greedy accumulation.
+        result = CNFPlanner().plan(
+            q("make = 'BMW' and price < 40000 and "
+              "(color = 'red' or color = 'black')"),
+            example41,
+            model_for(example41),
+        )
+        assert result.feasible
+        assert isinstance(result.plan, Postprocess)
+        inner = result.plan.input
+        assert isinstance(inner, SourceQuery)
+        assert inner.condition.is_and
+        assert "color" in inner.attrs
+
+    def test_infeasible_without_pushable_clause_or_download(self, example41):
+        result = CNFPlanner().plan(
+            q("color = 'red' or color = 'black'"), example41, model_for(example41)
+        )
+        assert not result.feasible
+
+    def test_true_condition(self):
+        schema = Schema.of("t", [("id", AttrType.INT)], key="id")
+        desc = DescriptionBuilder("d").rule("dl", "true", attributes=["id"]).build()
+        source = CapabilitySource(
+            "t", Relation(schema, [{"id": 1}]), desc
+        )
+        result = CNFPlanner().plan(
+            TargetQuery(TRUE, frozenset({"id"}), "t"), source, model_for(source)
+        )
+        assert result.feasible
+
+
+class TestDNF:
+    def test_one_query_per_term(self, example41):
+        result = DNFPlanner().plan(
+            q("(make = 'BMW' and price < 40000) or "
+              "(make = 'Toyota' and price < 30000)"),
+            example41,
+            model_for(example41),
+        )
+        assert result.feasible
+        assert len(list(result.plan.source_queries())) == 2
+
+    def test_term_level_pushdown(self, example41):
+        # Each DNF term has an unsupported residue (color) filtered locally.
+        result = DNFPlanner().plan(
+            q("(make = 'BMW' and price < 40000 and color = 'red') or "
+              "(make = 'Toyota' and price < 30000 and color = 'blue')"),
+            example41,
+            model_for(example41),
+        )
+        assert result.feasible
+        for child in result.plan.children:
+            assert isinstance(child, Postprocess)
+
+    def test_any_unplannable_term_sinks_the_plan(self, example41):
+        result = DNFPlanner().plan(
+            q("(make = 'BMW' and price < 40000) or year = 1999"),
+            example41,
+            model_for(example41),
+        )
+        assert not result.feasible
+
+    def test_single_term_no_union(self, example41):
+        result = DNFPlanner().plan(
+            q("make = 'BMW' and price < 40000"), example41, model_for(example41)
+        )
+        assert isinstance(result.plan, SourceQuery)

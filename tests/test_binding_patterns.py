@@ -1,0 +1,99 @@
+"""Unit tests for the binding-pattern -> SSDL embedding."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.data.schema import AttrType, Schema
+from repro.errors import SSDLError
+from repro.ssdl.binding_patterns import compile_binding_patterns
+
+FLIGHTS = Schema.of(
+    "flight",
+    [("origin", AttrType.STRING), ("dest", AttrType.STRING),
+     ("price", AttrType.INT)],
+)
+
+
+class TestCompilation:
+    def test_bbf_requires_both_bindings(self):
+        desc = compile_binding_patterns(FLIGHTS, ["bbf"])
+        assert desc.check(parse_condition("origin = 'SFO' and dest = 'BOS'"))
+        assert not desc.check(parse_condition("origin = 'SFO'"))
+        assert not desc.check(parse_condition("dest = 'BOS'"))
+        assert not desc.check(parse_condition("price = 100"))
+
+    def test_bound_attributes_take_equalities_only(self):
+        desc = compile_binding_patterns(FLIGHTS, ["bbf"])
+        assert not desc.check(
+            parse_condition("origin = 'SFO' and dest != 'BOS'")
+        )
+
+    def test_optional_binding(self):
+        desc = compile_binding_patterns(FLIGHTS, ["bbo"])
+        assert desc.check(parse_condition("origin = 'SFO' and dest = 'BOS'"))
+        assert desc.check(
+            parse_condition("origin = 'SFO' and dest = 'BOS' and price = 100")
+        )
+
+    def test_multiple_patterns_union(self):
+        desc = compile_binding_patterns(FLIGHTS, ["bbf", "ffb"])
+        assert desc.check(parse_condition("origin = 'SFO' and dest = 'BOS'"))
+        assert desc.check(parse_condition("price = 100"))
+        assert not desc.check(parse_condition("origin = 'SFO' and price = 100"))
+
+    def test_all_free_is_download(self):
+        desc = compile_binding_patterns(FLIGHTS, ["fff"])
+        assert desc.check(TRUE)
+
+    def test_exports_full_schema(self):
+        desc = compile_binding_patterns(FLIGHTS, ["bbf"])
+        result = desc.check(parse_condition("origin = 'SFO' and dest = 'BOS'"))
+        assert result.supports({"origin", "dest", "price"})
+
+    def test_typed_constant_classes(self):
+        desc = compile_binding_patterns(FLIGHTS, ["ffb"])
+        assert desc.check(parse_condition("price = 100"))
+        assert not desc.check(parse_condition("price = 'cheap'"))
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SSDLError):
+            compile_binding_patterns(FLIGHTS, ["bb"])
+
+    def test_unknown_letters_rejected(self):
+        with pytest.raises(SSDLError):
+            compile_binding_patterns(FLIGHTS, ["bbx"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SSDLError):
+            compile_binding_patterns(FLIGHTS, [])
+
+
+class TestEndToEnd:
+    def test_planning_over_a_binding_pattern_source(self):
+        from repro.data.relation import Relation
+        from repro.source.source import CapabilitySource
+        from repro.wrapper import Wrapper
+
+        rows = [
+            {"origin": "SFO", "dest": "BOS", "price": 300},
+            {"origin": "SFO", "dest": "BOS", "price": 450},
+            {"origin": "SFO", "dest": "JFK", "price": 350},
+        ]
+        source = CapabilitySource(
+            "flight",
+            Relation(FLIGHTS, rows),
+            compile_binding_patterns(FLIGHTS, ["bbo"]),
+        )
+        wrapper = Wrapper(source)
+        # The mediator can still answer a *range* on price: fetch the
+        # route, filter locally (price is exported, just not bindable
+        # with <=).
+        answer = wrapper.query(
+            "origin = 'SFO' and dest = 'BOS' and price <= 400",
+            ["origin", "dest", "price"],
+        )
+        assert answer.result.as_row_set() == {("SFO", "BOS", 300)}
+        assert answer.queries_sent == 1

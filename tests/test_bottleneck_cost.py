@@ -1,0 +1,189 @@
+"""Tests for the bottleneck (response-time) cost model -- the Section 7
+"different cost models" adaptation, including PR1's unsoundness there."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.planners.gencompact import GenCompact
+from repro.planners.ipg import IPG
+from repro.planners.base import CheckCounter
+from repro.planners.mcsc import CoverCandidate, solve_minmax
+from repro.plans.cost import BottleneckCostModel, CostModel
+from repro.plans.nodes import SourceQuery, UnionPlan
+from repro.query import TargetQuery
+from tests.conftest import make_example41_source
+
+
+def cand(coverage, cost, payload=None):
+    return CoverCandidate(frozenset(coverage), float(cost), payload)
+
+
+class TestSolveMinmax:
+    def test_prefers_low_bottleneck_over_low_sum(self):
+        candidates = [
+            cand({0, 1}, 100),            # sum-optimal single set
+            cand({0}, 60), cand({1}, 60),  # max-optimal pair
+        ]
+        solution = solve_minmax(2, candidates)
+        assert solution.cost == 60
+        assert len(solution.chosen) == 2
+
+    def test_single_cheap_cover(self):
+        candidates = [cand({0, 1}, 10), cand({0}, 5), cand({1}, 50)]
+        solution = solve_minmax(2, candidates)
+        assert solution.cost == 10
+
+    def test_redundant_early_picks_dropped(self):
+        candidates = [cand({0}, 1), cand({0, 1, 2}, 10)]
+        solution = solve_minmax(3, candidates)
+        assert solution.cost == 10
+        assert len(solution.chosen) == 1  # the singleton is redundant
+
+    def test_unsolvable(self):
+        assert solve_minmax(2, [cand({0}, 1)]) is None
+
+    def test_zero_elements(self):
+        assert solve_minmax(0, []).cost == 0
+
+    def test_bottleneck_never_exceeds_any_cover(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(30):
+            n = rng.randint(2, 5)
+            candidates = [
+                cand(rng.sample(range(n), rng.randint(1, n)),
+                     rng.uniform(1, 100))
+                for _ in range(8)
+            ] + [cand({i}, 150) for i in range(n)]
+            solution = solve_minmax(n, candidates)
+            assert solution is not None
+            # Brute force the true min-max for the cross-check.
+            best = float("inf")
+            for subset in range(1, 1 << len(candidates)):
+                covered = set()
+                worst = 0.0
+                for i in range(len(candidates)):
+                    if subset & (1 << i):
+                        covered |= candidates[i].coverage
+                        worst = max(worst, candidates[i].cost)
+                if covered == set(range(n)):
+                    best = min(best, worst)
+            assert solution.cost == pytest.approx(best)
+
+
+class TestBottleneckModel:
+    def test_cost_is_max_over_queries(self, example41):
+        model = BottleneckCostModel({"cars": example41.stats})
+        additive = CostModel({"cars": example41.stats})
+        a = SourceQuery(
+            parse_condition("make = 'BMW' and price < 40000"),
+            frozenset({"model"}), "cars",
+        )
+        b = SourceQuery(
+            parse_condition("make = 'Toyota' and price < 40000"),
+            frozenset({"model"}), "cars",
+        )
+        union = UnionPlan([a, b])
+        assert model.cost(union) == pytest.approx(
+            max(model.cost(a), model.cost(b))
+        )
+        assert additive.cost(union) == pytest.approx(
+            additive.cost(a) + additive.cost(b)
+        )
+
+    def test_flags(self, example41):
+        model = BottleneckCostModel({"cars": example41.stats})
+        assert model.aggregate_kind == "max"
+        assert not model.pr1_sound
+
+
+class TestPR1UnsoundnessUnderBottleneck:
+    """The canonical counterexample: a disjunctive query where the pure
+    plan is feasible but the union plan has a lower bottleneck."""
+
+    def make_source(self):
+        from repro.data.relation import Relation
+        from repro.data.schema import AttrType, Schema
+        from repro.source.source import CapabilitySource
+        from repro.ssdl.builder import DescriptionBuilder
+
+        schema = Schema.of(
+            "t", [("id", AttrType.INT), ("m", AttrType.STRING)], key="id"
+        )
+        rows = [{"id": i, "m": "a" if i % 2 else "b"} for i in range(100)]
+        desc = (
+            DescriptionBuilder("d")
+            # The whole two-way disjunction is supported (pure plan)...
+            .rule("pair", "m = $str or m = $str", attributes=["id", "m"])
+            # ...and so is each single equality.
+            .rule("single", "m = $str", attributes=["id", "m"])
+            .build()
+        )
+        return CapabilitySource("t", Relation(schema, rows), desc)
+
+    QUERY_TEXT = "m = 'a' or m = 'b'"
+
+    def test_union_beats_pure_under_bottleneck(self):
+        source = self.make_source()
+        model = BottleneckCostModel({"t": source.stats}, k1=10.0)
+        query = TargetQuery(
+            parse_condition(self.QUERY_TEXT), frozenset({"id"}), "t"
+        )
+        result = GenCompact().plan(query, source, model)
+        assert result.feasible
+        # 100 rows through one query (cost 110) vs the worst branch of
+        # the union (cost 10 + ~50): the union must win.
+        assert isinstance(result.plan, UnionPlan)
+        pure = SourceQuery(query.condition, query.attributes, "t")
+        assert result.cost < model.cost(pure)
+
+    def test_forcing_pr1_returns_the_worse_pure_plan(self):
+        """Demonstrates *why* the model must gate PR1: keeping it prunes
+        the optimum."""
+        source = self.make_source()
+        model = BottleneckCostModel({"t": source.stats}, k1=10.0)
+        checker = CheckCounter(source.closed_description)
+        ipg = IPG("t", checker, model)
+        ipg.pr1 = True  # override the soundness gate, on purpose
+        plan = ipg.best_plan(
+            parse_condition(self.QUERY_TEXT), frozenset({"id"})
+        )
+        assert isinstance(plan, SourceQuery)  # the pure plan
+        unpruned = IPG("t", CheckCounter(source.closed_description), model)
+        best = unpruned.best_plan(
+            parse_condition(self.QUERY_TEXT), frozenset({"id"})
+        )
+        assert model.cost(best) < model.cost(plan)
+
+    def test_additive_model_still_prefers_pure(self):
+        source = self.make_source()
+        model = CostModel({"t": source.stats}, k1=10.0)
+        query = TargetQuery(
+            parse_condition(self.QUERY_TEXT), frozenset({"id"}), "t"
+        )
+        result = GenCompact().plan(query, source, model)
+        assert isinstance(result.plan, SourceQuery)
+
+
+class TestBottleneckEndToEnd:
+    def test_plans_remain_correct(self):
+        from repro.plans.execute import Executor, reference_answer
+
+        source = make_example41_source()
+        model = BottleneckCostModel({"cars": source.stats})
+        query = TargetQuery(
+            parse_condition(
+                "(make = 'BMW' and price < 40000) or "
+                "(make = 'Toyota' and price < 30000)"
+            ),
+            frozenset({"model", "year"}),
+            "cars",
+        )
+        result = GenCompact().plan(query, source, model)
+        assert result.feasible
+        answer = Executor({"cars": source}).execute(result.plan)
+        expected = reference_answer(
+            source, query.condition, query.attributes
+        ).as_row_set()
+        assert answer.as_row_set() == expected

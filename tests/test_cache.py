@@ -1,0 +1,108 @@
+"""Unit tests for the source-query result cache."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.mediator import Mediator
+from repro.plans.cache import ResultCache
+from repro.plans.execute import Executor
+from repro.plans.nodes import SourceQuery
+from tests.conftest import make_example41_source
+
+A = frozenset({"model"})
+
+
+def rel(n, name="t"):
+    schema = Schema.of(name, [("id", AttrType.INT)], key="id")
+    return Relation(schema, [{"id": i} for i in range(n)])
+
+
+def cond(text):
+    return parse_condition(text)
+
+
+class TestResultCache:
+    def test_get_put_round_trip(self):
+        cache = ResultCache(100)
+        assert cache.get("s", cond("a = 1"), frozenset({"id"})) is None
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(5))
+        hit = cache.get("s", cond("a = 1"), frozenset({"id"}))
+        assert hit is not None and len(hit) == 5
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_includes_attributes_and_source(self):
+        cache = ResultCache(100)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(5))
+        assert cache.get("s", cond("a = 1"), frozenset({"id", "b"})) is None
+        assert cache.get("other", cond("a = 1"), frozenset({"id"})) is None
+
+    def test_lru_eviction_by_tuples(self):
+        cache = ResultCache(10)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(6))
+        cache.put("s", cond("a = 2"), frozenset({"id"}), rel(6))
+        # First entry evicted: 12 > 10.
+        assert cache.get("s", cond("a = 1"), frozenset({"id"})) is None
+        assert cache.get("s", cond("a = 2"), frozenset({"id"})) is not None
+        assert cache.stats.evictions == 1
+        assert cache.cached_tuples == 6
+
+    def test_recently_used_survives(self):
+        cache = ResultCache(12)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(5))
+        cache.put("s", cond("a = 2"), frozenset({"id"}), rel(5))
+        cache.get("s", cond("a = 1"), frozenset({"id"}))  # touch
+        cache.put("s", cond("a = 3"), frozenset({"id"}), rel(5))
+        assert cache.get("s", cond("a = 1"), frozenset({"id"})) is not None
+        assert cache.get("s", cond("a = 2"), frozenset({"id"})) is None
+
+    def test_oversized_result_not_admitted(self):
+        cache = ResultCache(3)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(10))
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = ResultCache(100)
+        cache.put("s1", cond("a = 1"), frozenset({"id"}), rel(2))
+        cache.put("s2", cond("a = 1"), frozenset({"id"}), rel(2))
+        cache.invalidate("s1")
+        assert cache.get("s1", cond("a = 1"), frozenset({"id"})) is None
+        assert cache.get("s2", cond("a = 1"), frozenset({"id"})) is not None
+        cache.invalidate()
+        assert len(cache) == 0 and cache.cached_tuples == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+
+class TestCachedExecution:
+    def test_second_execution_skips_the_source(self):
+        source = make_example41_source()
+        cache = ResultCache(1000)
+        executor = Executor({"cars": source}, cache=cache)
+        plan = SourceQuery(cond("make = 'BMW' and price < 40000"), A, "cars")
+        first = executor.execute(plan)
+        second = executor.execute(plan)
+        assert first.as_row_set() == second.as_row_set()
+        assert source.meter.queries == 1
+        assert cache.stats.hits == 1
+
+    def test_mediator_integration(self):
+        mediator = Mediator(result_cache_tuples=10_000)
+        mediator.add_source(make_example41_source())
+        query = "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+        a1 = mediator.ask(query)
+        a2 = mediator.ask(query)
+        assert a1.rows == a2.rows
+        assert a2.report.queries == 0  # answered from cache
+        assert mediator.result_cache.stats.hit_rate > 0
+
+    def test_mediator_without_cache_requeries(self):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        query = "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+        mediator.ask(query)
+        again = mediator.ask(query)
+        assert again.report.queries == 1

@@ -1,0 +1,69 @@
+"""Unit tests for Section 6.4 canonical form."""
+
+from repro.conditions.canonical import canonicalize, is_canonical
+from repro.conditions.parser import parse_condition
+from repro.conditions.semantics import logically_equivalent
+from repro.conditions.tree import TRUE
+
+
+class TestPaperExamples:
+    def test_flat_conjunction_is_canonical(self):
+        # "(price < 40000 ^ color = red ^ make = BMW) is canonical because
+        # all of the root node's three children are leaf nodes."
+        tree = parse_condition(
+            "price < 40000 and color = 'red' and make = 'BMW'"
+        )
+        assert is_canonical(tree)
+        assert canonicalize(tree) == tree
+
+    def test_nested_same_kind_is_not_canonical(self):
+        # "(price < 40000 ^ (color = red ^ make = BMW)) is not canonical."
+        tree = parse_condition(
+            "price < 40000 and (color = 'red' and make = 'BMW')"
+        )
+        assert not is_canonical(tree)
+        flat = canonicalize(tree)
+        assert is_canonical(flat)
+        assert flat == parse_condition(
+            "price < 40000 and color = 'red' and make = 'BMW'"
+        )
+
+
+class TestProperties:
+    def test_alternating_tree_untouched(self):
+        tree = parse_condition("a = 1 and (b = 2 or c = 3)")
+        assert canonicalize(tree) == tree
+
+    def test_deeply_nested_flattening(self):
+        tree = parse_condition("a = 1 and (b = 2 and (c = 3 and d = 4))")
+        flat = canonicalize(tree)
+        assert flat.is_and and len(flat.children) == 4
+
+    def test_preserves_leaf_order(self):
+        tree = parse_condition("(b = 2 and a = 1) and (d = 4 and c = 3)")
+        flat = canonicalize(tree)
+        assert [leaf.atom.attribute for leaf in flat.children] == [
+            "b", "a", "d", "c",
+        ]
+
+    def test_mixed_nesting(self):
+        tree = parse_condition(
+            "(a = 1 or (b = 2 or c = 3)) and (d = 4 and e = 5)"
+        )
+        flat = canonicalize(tree)
+        assert is_canonical(flat)
+        assert flat.is_and and len(flat.children) == 3
+        assert flat.children[0].is_or and len(flat.children[0].children) == 3
+
+    def test_idempotent_and_equivalent(self):
+        tree = parse_condition(
+            "((a = 1 and b = 2) and c = 3) or ((d = 4 or e = 5) or f = 6)"
+        )
+        once = canonicalize(tree)
+        assert canonicalize(once) == once
+        assert logically_equivalent(tree, once)
+
+    def test_true_and_leaves_pass_through(self):
+        assert canonicalize(TRUE) is TRUE
+        leaf_tree = parse_condition("a = 1")
+        assert canonicalize(leaf_tree) == leaf_tree

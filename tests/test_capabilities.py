@@ -1,0 +1,131 @@
+"""Unit tests for the Section 4 restriction-pattern factories."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import SSDLError
+from repro.ssdl.capabilities import (
+    atomic_only,
+    conjunctive_only,
+    forbidden_attributes,
+    gated_exports,
+    with_download,
+)
+
+TEMPLATES = {
+    "make": "make = $str",
+    "color": "color = $str",
+    "price": "price <= $num",
+}
+EXPORTS = ["id", "make", "color", "price"]
+
+
+class TestAtomicOnly:
+    def test_accepts_single_atoms_only(self):
+        desc = atomic_only(TEMPLATES, EXPORTS).build()
+        assert desc.check(parse_condition("make = 'BMW'"))
+        assert desc.check(parse_condition("price <= 100"))
+        assert not desc.check(
+            parse_condition("make = 'BMW' and price <= 100")
+        )
+        assert not desc.check(
+            parse_condition("make = 'BMW' or make = 'Audi'")
+        )
+
+    def test_wrong_operator_rejected(self):
+        desc = atomic_only(TEMPLATES, EXPORTS).build()
+        assert not desc.check(parse_condition("price >= 100"))
+
+
+class TestConjunctiveOnly:
+    def test_accepts_conjunctions_up_to_limit(self):
+        desc = conjunctive_only(TEMPLATES, EXPORTS, max_conditions=2).build()
+        assert desc.check(parse_condition("make = 'BMW'"))
+        assert desc.check(parse_condition("make = 'BMW' and color = 'red'"))
+        assert not desc.check(
+            parse_condition("make = 'BMW' and color = 'red' and price <= 1")
+        )
+
+    def test_size_restriction_is_the_only_restriction(self):
+        desc = conjunctive_only(TEMPLATES, EXPORTS).build()
+        assert desc.check(
+            parse_condition("make = 'BMW' and color = 'red' and price <= 1")
+        )
+
+    def test_rejects_disjunctions(self):
+        desc = conjunctive_only(TEMPLATES, EXPORTS).build()
+        assert not desc.check(
+            parse_condition("make = 'BMW' or color = 'red'")
+        )
+
+    def test_required_field(self):
+        desc = conjunctive_only(TEMPLATES, EXPORTS, required=["make"]).build()
+        assert desc.check(parse_condition("make = 'BMW'"))
+        assert desc.check(parse_condition("make = 'BMW' and color = 'red'"))
+        # A query without the required make field is rejected.
+        assert not desc.check(parse_condition("color = 'red'"))
+        assert not desc.check(parse_condition("color = 'red' and price <= 1"))
+
+    def test_unknown_required_attribute(self):
+        with pytest.raises(SSDLError):
+            conjunctive_only(TEMPLATES, EXPORTS, required=["ghost"])
+
+    def test_impossible_requirement(self):
+        with pytest.raises(SSDLError):
+            conjunctive_only(
+                TEMPLATES, EXPORTS, max_conditions=1,
+                required=["make", "color"],
+            )
+
+    def test_too_many_templates_guarded(self):
+        many = {f"a{i}": f"a{i} = $str" for i in range(9)}
+        with pytest.raises(SSDLError):
+            conjunctive_only(many, ["a0"])
+
+
+class TestForbiddenAttributes:
+    def test_forbidden_attribute_not_filterable(self):
+        desc = forbidden_attributes(TEMPLATES, EXPORTS, ["price"]).build()
+        assert desc.check(parse_condition("make = 'BMW' and color = 'red'"))
+        assert not desc.check(parse_condition("price <= 100"))
+        assert not desc.check(parse_condition("make = 'BMW' and price <= 1"))
+        # ...but still exported.
+        result = desc.check(parse_condition("make = 'BMW'"))
+        assert result.supports({"price"})
+
+    def test_everything_forbidden_rejected(self):
+        with pytest.raises(SSDLError):
+            forbidden_attributes(TEMPLATES, EXPORTS, list(TEMPLATES))
+
+
+class TestGatedExports:
+    def test_pin_pattern(self):
+        desc = gated_exports(
+            {"account_no": "account_no = $num"},
+            ["account_no", "owner"],
+            gate_template="pin = $num",
+            gated_attributes=["balance"],
+        ).build()
+        plain = desc.check(parse_condition("account_no = 7"))
+        assert plain.supports({"owner"})
+        assert not plain.supports({"balance"})
+        gated = desc.check(parse_condition("account_no = 7 and pin = 1234"))
+        assert gated.supports({"balance"})
+
+    def test_gate_alone_is_not_a_query(self):
+        desc = gated_exports(
+            {"account_no": "account_no = $num"},
+            ["account_no"],
+            gate_template="pin = $num",
+            gated_attributes=["balance"],
+        ).build()
+        assert not desc.check(parse_condition("pin = 1234"))
+
+
+class TestWithDownload:
+    def test_adds_true_rule(self):
+        builder = atomic_only(TEMPLATES, EXPORTS)
+        desc = with_download(builder, EXPORTS).build()
+        assert desc.check(TRUE)
+        assert desc.check(TRUE).supports({"id"})

@@ -1,0 +1,117 @@
+"""Deep semantics of Check: paren transparency, literal templates under
+closure, and interplay between the family semantics and planning."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.ssdl.commute import commutation_closure
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.text import parse_ssdl
+
+
+class TestParenTransparency:
+    """Outer parens are semantically transparent: a rule written as a
+    parenthesized group must also accept the same expression top-level,
+    and vice versa for connector conditions."""
+
+    def test_paren_rule_accepts_top_level(self):
+        desc = parse_ssdl(
+            """
+            s -> f
+            f -> ( pair )
+            pair -> a = $str or b = $str
+            attributes f : a, b
+            """
+        )
+        assert desc.check(parse_condition("a = 'x' or b = 'y'"))
+
+    def test_bare_rule_accepts_top_level_only_as_written(self):
+        desc = parse_ssdl(
+            "s -> f\nf -> a = $str or b = $str\nattributes f : a, b"
+        )
+        assert desc.check(parse_condition("a = 'x' or b = 'y'"))
+
+    def test_leaf_conditions_not_wrapped(self):
+        # The wrapping rule applies to connector conditions only; a
+        # grammar of '( a = $str )' does not accept a bare leaf.
+        desc = parse_ssdl(
+            "s -> f\nf -> ( g )\ng -> a = $str\nattributes f : a"
+        )
+        assert not desc.check(parse_condition("a = 'x'"))
+
+    def test_nested_group_within_conjunction_still_needed(self):
+        desc = parse_ssdl(
+            """
+            s -> f
+            f -> m = $str and ( pair )
+            pair -> a = $str or b = $str
+            attributes f : m, a, b
+            """
+        )
+        assert desc.check(parse_condition("m = 'x' and (a = 'p' or b = 'q')"))
+        # The group is mandatory: a bare second conjunct is a different
+        # token sequence.
+        assert not desc.check(parse_condition("m = 'x' and a = 'p'"))
+
+
+class TestLiteralTemplatesUnderClosure:
+    def test_closure_keeps_literal_constraints(self):
+        native = parse_ssdl(
+            "s -> r\nr -> style = 'sedan' and make = $str\n"
+            "attributes r : style, make"
+        )
+        closed = commutation_closure(native)
+        assert closed.check(parse_condition("make = 'x' and style = 'sedan'"))
+        assert not closed.check(parse_condition("make = 'x' and style = 'coupe'"))
+
+    def test_numeric_literal(self):
+        desc = parse_ssdl(
+            "s -> r\nr -> year = 1999 and make = $str\nattributes r : make"
+        )
+        assert desc.check(parse_condition("year = 1999 and make = 'a'"))
+        assert not desc.check(parse_condition("year = 1998 and make = 'a'"))
+
+
+class TestFamilyInteractionWithPlanning:
+    def test_projection_selects_the_right_form(self):
+        """Two forms accept the same condition with different exports;
+        planning must use whichever form can export the request."""
+        from repro.data.relation import Relation
+        from repro.data.schema import AttrType, Schema
+        from repro.plans.cost import CostModel
+        from repro.planners.gencompact import GenCompact
+        from repro.query import TargetQuery
+        from repro.source.source import CapabilitySource
+
+        schema = Schema.of(
+            "t", [("id", AttrType.INT), ("a", AttrType.STRING),
+                  ("b", AttrType.STRING), ("c", AttrType.STRING)], key="id"
+        )
+        desc = (
+            DescriptionBuilder("d")
+            .rule("form_b", "a = $str", attributes=["id", "b"])
+            .rule("form_c", "a = $str", attributes=["id", "c"])
+            .build()
+        )
+        rows = [{"id": i, "a": "x", "b": f"b{i}", "c": f"c{i}"} for i in range(4)]
+        source = CapabilitySource("t", Relation(schema, rows), desc)
+        model = CostModel({"t": source.stats})
+        for wanted in ("b", "c"):
+            query = TargetQuery(
+                parse_condition("a = 'x'"), frozenset({"id", wanted}), "t"
+            )
+            result = GenCompact().plan(query, source, model)
+            assert result.feasible, wanted
+        # But both at once is impossible: no single form exports b and c.
+        both = TargetQuery(
+            parse_condition("a = 'x'"), frozenset({"id", "b", "c"}), "t"
+        )
+        result = GenCompact().plan(both, source, model)
+        assert not result.feasible
+
+    def test_check_counts_isolated_per_description(self):
+        d1 = parse_ssdl("s -> r\nr -> a = $str\nattributes r : a")
+        d2 = parse_ssdl("s -> r\nr -> a = $str\nattributes r : a")
+        d1.check(parse_condition("a = 'x'"))
+        assert d1.check_calls == 1
+        assert d2.check_calls == 0

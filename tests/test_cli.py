@@ -1,0 +1,75 @@
+"""Tests for the command-line interfaces (repro and repro.experiments)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestSourcesCommand:
+    def test_lists_all_library_sources(self, capsys):
+        assert repro_main(["sources"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bookstore", "car_guide", "bank", "flights", "classifieds"):
+            assert name in out
+
+    def test_verbose_prints_ssdl(self, capsys):
+        assert repro_main(["sources", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out  # grammar arrows
+        assert "attributes" in out
+
+
+class TestPlanCommand:
+    QUERY = (
+        "SELECT title, author FROM bookstore "
+        "WHERE (author = 'Sigmund Freud' or author = 'Carl Jung') "
+        "and title contains 'dreams'"
+    )
+
+    def test_all_planners_compared(self, capsys):
+        assert repro_main(["plan", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "GenCompact" in out
+        assert "DNF" in out
+        assert "infeasible" in out  # DISCO / Naive
+
+    def test_single_planner(self, capsys):
+        assert repro_main(["plan", "--planner", "cnf", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "CNF" in out and "GenCompact" not in out
+
+    def test_unknown_planner_is_an_error(self, capsys):
+        assert repro_main(["plan", "--planner", "magic", self.QUERY]) == 1
+        assert "unknown planner" in capsys.readouterr().err
+
+
+class TestAskCommand:
+    def test_executes_and_prints_rows(self, capsys):
+        code = repro_main(
+            ["ask", "SELECT owner, branch FROM bank WHERE branch = 'downtown'",
+             "--limit", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "source queries" in out
+        assert "owner=" in out
+        assert "more" in out  # truncation notice
+
+    def test_infeasible_query_reports_error(self, capsys):
+        code = repro_main(
+            ["ask", "SELECT balance FROM bank WHERE branch = 'downtown'"]
+        )
+        assert code == 1
+        assert "no feasible plan" in capsys.readouterr().err
+
+
+class TestExperimentsCli:
+    def test_runs_selected_experiment(self, capsys):
+        assert experiments_main(["--quick", "e8"]) == 0
+        out = capsys.readouterr().out
+        assert "E8" in out and "completed" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["e42"])

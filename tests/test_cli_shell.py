@@ -1,0 +1,58 @@
+"""Tests for the interactive shell command."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+
+
+def feed(monkeypatch, lines):
+    iterator = iter(lines)
+
+    def fake_input(prompt=""):
+        try:
+            return next(iterator)
+        except StopIteration:
+            raise EOFError
+
+    monkeypatch.setattr("builtins.input", fake_input)
+
+
+class TestShell:
+    def test_query_then_quit(self, monkeypatch, capsys):
+        feed(monkeypatch, [
+            "SELECT owner FROM bank WHERE branch = 'downtown'",
+            "quit",
+        ])
+        assert repro_main(["shell", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GenCompact" in out
+        assert "source queries" in out
+        assert "owner=" in out
+
+    def test_sources_listing(self, monkeypatch, capsys):
+        feed(monkeypatch, ["sources", "exit"])
+        assert repro_main(["shell"]) == 0
+        out = capsys.readouterr().out
+        assert "bookstore" in out and "car_guide" in out
+
+    def test_bad_query_reports_and_continues(self, monkeypatch, capsys):
+        feed(monkeypatch, [
+            "SELECT nothing",          # parse error
+            "SELECT balance FROM bank WHERE branch = 'downtown'",  # infeasible
+            "quit",
+        ])
+        assert repro_main(["shell"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("error:") == 2
+
+    def test_blank_lines_ignored_and_eof_exits(self, monkeypatch, capsys):
+        feed(monkeypatch, ["", "   "])
+        assert repro_main(["shell"]) == 0
+
+    def test_planner_flag(self, monkeypatch, capsys):
+        feed(monkeypatch, [
+            "SELECT owner FROM bank WHERE branch = 'downtown'",
+            "quit",
+        ])
+        assert repro_main(["shell", "--planner", "dnf"]) == 0
+        assert "[DNF]" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Unit tests for commutation closure and query fixing (Section 6.1)."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import QueryFixingError
+from repro.ssdl.commute import commutation_closure, fix_condition
+from repro.ssdl.text import parse_ssdl
+from tests.conftest import EXAMPLE_41_SSDL
+
+
+@pytest.fixture
+def native():
+    return parse_ssdl(EXAMPLE_41_SSDL, name="example41")
+
+
+@pytest.fixture
+def closed(native):
+    return commutation_closure(native)
+
+
+class TestClosure:
+    def test_accepts_native_order(self, closed):
+        assert closed.check(parse_condition("make = 'BMW' and price < 40000"))
+
+    def test_accepts_swapped_order(self, native, closed):
+        swapped = parse_condition("price < 40000 and make = 'BMW'")
+        assert not native.check(swapped)
+        assert closed.check(swapped)
+
+    def test_same_exports(self, native, closed):
+        swapped = parse_condition("color = 'red' and make = 'BMW'")
+        result = closed.check(swapped)
+        assert result.attribute_sets == frozenset(
+            {frozenset({"make", "model", "year"})}
+        )
+
+    def test_does_not_invent_support(self, closed):
+        assert not closed.check(parse_condition("year = 1999"))
+        assert not closed.check(
+            parse_condition("make = 'BMW' and year = 1999")
+        )
+
+    def test_three_segment_permutations(self):
+        native = parse_ssdl(
+            "s -> r\nr -> a = $str and b = $num and c = $str\n"
+            "attributes r : a, b, c"
+        )
+        closed = commutation_closure(native)
+        for text in (
+            "a = 'x' and b <= 1",  # wrong arity still rejected
+        ):
+            assert not closed.check(parse_condition(text))
+        import itertools
+
+        parts = ["a = 'x'", "b = 1", "c = 'y'"]
+        for order in itertools.permutations(parts):
+            assert closed.check(parse_condition(" and ".join(order)))
+
+    def test_or_segments_permuted(self):
+        native = parse_ssdl(
+            "s -> r\nr -> a = 'x' or b = $num\nattributes r : a, b"
+        )
+        closed = commutation_closure(native)
+        assert closed.check(parse_condition("b = 1 or a = 'x'"))
+
+    def test_parenthesized_groups_move_as_units(self):
+        native = parse_ssdl(
+            """
+            s -> r
+            r -> a = $str and ( bs )
+            bs -> b = $num or b = $num
+            attributes r : a, b
+            """
+        )
+        closed = commutation_closure(native)
+        assert closed.check(parse_condition("(b = 1 or b = 2) and a = 'x'"))
+
+    def test_max_segments_guard(self):
+        wide = " and ".join(f"x{i} = $num" for i in range(8))
+        native = parse_ssdl(
+            f"s -> r\nr -> {wide}\nattributes r : "
+            + ", ".join(f"x{i}" for i in range(8))
+        )
+        closed = commutation_closure(native, max_segments=4)
+        # Too wide to permute: only the native order is accepted.
+        native_order = " and ".join(f"x{i} = {i}" for i in range(8))
+        swapped = " and ".join(f"x{i} = {i}" for i in reversed(range(8)))
+        assert closed.check(parse_condition(native_order))
+        assert not closed.check(parse_condition(swapped))
+
+    def test_mixed_top_level_connectors_left_alone(self):
+        native = parse_ssdl(
+            "s -> r\nr -> a = $str and b = $num or c = $str\n"
+            "attributes r : a, b, c"
+        )
+        # Mixed and/or at the top level of one alternative: closure must
+        # not scramble it (that would change the language).
+        closed = commutation_closure(native)
+        assert closed.rule_count() == native.rule_count()
+
+
+class TestFixing:
+    def test_identity_when_already_accepted(self, native):
+        condition = parse_condition("make = 'BMW' and price < 40000")
+        assert fix_condition(condition, native) == condition
+
+    def test_reorders_swapped_conjunction(self, native):
+        swapped = parse_condition("price < 40000 and make = 'BMW'")
+        fixed = fix_condition(swapped, native)
+        assert fixed == parse_condition("make = 'BMW' and price < 40000")
+
+    def test_respects_attribute_requirement(self, native):
+        # 'make and color' fixed for exporting {color} must fail: s2
+        # cannot export color and no reordering changes that.
+        condition = parse_condition("color = 'red' and make = 'BMW'")
+        with pytest.raises(QueryFixingError):
+            fix_condition(condition, native, frozenset({"color"}))
+        # Without the color projection it fixes fine.
+        fixed = fix_condition(condition, native, frozenset({"model"}))
+        assert fixed == parse_condition("make = 'BMW' and color = 'red'")
+
+    def test_unfixable_raises(self, native):
+        with pytest.raises(QueryFixingError):
+            fix_condition(parse_condition("year = 1999"), native)
+
+    def test_fixes_nested_structures(self):
+        native = parse_ssdl(
+            """
+            s -> r
+            r -> a = $str and ( bs )
+            bs -> b = $num or b = $num
+            attributes r : a, b
+            """
+        )
+        condition = parse_condition("(b = 2 or b = 1) and a = 'x'")
+        fixed = fix_condition(condition, native)
+        assert native.check(fixed)
+        # Same atoms, just reordered.
+        assert sorted(map(str, fixed.atoms())) == sorted(
+            map(str, condition.atoms())
+        )

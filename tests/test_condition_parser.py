@@ -1,0 +1,117 @@
+"""Unit tests for the condition text parser."""
+
+import pytest
+
+from repro.conditions.atoms import Op
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import ConditionParseError
+
+
+class TestBasics:
+    def test_single_atom(self):
+        tree = parse_condition("make = 'BMW'")
+        assert tree.is_leaf
+        assert tree.atom.attribute == "make"
+        assert tree.atom.op is Op.EQ
+        assert tree.atom.value == "BMW"
+
+    def test_numbers(self):
+        assert parse_condition("price < 40000").atom.value == 40000
+        assert parse_condition("rate <= 2.5").atom.value == 2.5
+        assert parse_condition("delta >= -3").atom.value == -3
+
+    def test_booleans(self):
+        assert parse_condition("flag = true").atom.value is True
+        assert parse_condition("flag != false").atom.value is False
+
+    def test_true_condition(self):
+        assert parse_condition("true") is TRUE
+
+    def test_double_quoted_strings(self):
+        assert parse_condition('make = "BMW"').atom.value == "BMW"
+
+    def test_escaped_quote(self):
+        assert parse_condition(r"note = 'it\'s'").atom.value == "it's"
+
+    def test_contains(self):
+        atom = parse_condition("title contains 'dreams'").atom
+        assert atom.op is Op.CONTAINS and atom.value == "dreams"
+
+    def test_in_list(self):
+        atom = parse_condition("size in ('compact', 'midsize')").atom
+        assert atom.op is Op.IN
+        assert set(atom.value) == {"compact", "midsize"}
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        tree = parse_condition("a = 1 or b = 2 and c = 3")
+        assert tree.is_or
+        assert tree.children[0].is_leaf
+        assert tree.children[1].is_and
+
+    def test_flat_chains(self):
+        tree = parse_condition("a = 1 and b = 2 and c = 3")
+        assert tree.is_and and len(tree.children) == 3
+        tree = parse_condition("a = 1 or b = 2 or c = 3")
+        assert tree.is_or and len(tree.children) == 3
+
+    def test_parentheses_override(self):
+        tree = parse_condition("(a = 1 or b = 2) and c = 3")
+        assert tree.is_and
+        assert tree.children[0].is_or
+
+    def test_parentheses_preserve_structure(self):
+        # (a and b) and c keeps the nested And node -- tree shape matters
+        # to structure-sensitive grammars.
+        tree = parse_condition("(a = 1 and b = 2) and c = 3")
+        assert tree.is_and and len(tree.children) == 2
+        assert tree.children[0].is_and
+
+    def test_keywords_case_insensitive(self):
+        tree = parse_condition("a = 1 AND b = 2 OR c = 3")
+        assert tree.is_or
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "make = 'BMW'",
+            "make = 'BMW' and price < 40000",
+            "a = 1 and (b = 2 or c = 3)",
+            "(a = 1 and b = 2) or (c = 3 and d = 4)",
+            "title contains 'dreams' or size in ('compact', 'midsize')",
+        ],
+    )
+    def test_to_text_round_trip(self, text):
+        tree = parse_condition(text)
+        assert parse_condition(tree.to_text()) == tree
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "make =",
+            "= 'BMW'",
+            "make = 'BMW' and",
+            "make = 'BMW' or or price < 1",
+            "(make = 'BMW'",
+            "make = 'BMW')",
+            "make like 'BMW'",
+            "size in ()",
+            "price < 'a' extra",
+            "a = 1 ; drop",
+        ],
+    )
+    def test_rejects_malformed_input(self, bad):
+        with pytest.raises(ConditionParseError):
+            parse_condition(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ConditionParseError) as err:
+            parse_condition("make = 'BMW' @@")
+        assert err.value.position is not None

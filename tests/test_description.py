@@ -1,0 +1,145 @@
+"""Unit tests for SourceDescription / Check -- the paper's Section 4."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import GrammarError
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.text import parse_ssdl
+from tests.conftest import EXAMPLE_41_SSDL
+
+
+@pytest.fixture
+def desc():
+    return parse_ssdl(EXAMPLE_41_SSDL, name="example41")
+
+
+class TestCheckPaperCases:
+    """The exact Check() interactions walked through in Section 4."""
+
+    def test_s1_exports(self, desc):
+        result = desc.check(parse_condition("make = 'BMW' and price < 40000"))
+        assert result
+        assert result.attribute_sets == frozenset(
+            {frozenset({"make", "model", "year", "color"})}
+        )
+        assert result.matched == ("s1",)
+
+    def test_s2_exports(self, desc):
+        result = desc.check(parse_condition("make = 'BMW' and color = 'red'"))
+        assert result.attribute_sets == frozenset(
+            {frozenset({"make", "model", "year"})}
+        )
+
+    def test_n1_supported_for_model_year(self, desc):
+        # "A is a subset of Check(Cond(n1), R) ... so SP(n1, A, R) is a
+        # supported query."
+        n1 = parse_condition("make = 'BMW' and price < 40000")
+        assert desc.supports(n1, {"model", "year"})
+
+    def test_n2_unsupported(self, desc):
+        # "the second source query SP(n2, A, R) is not supported" --
+        # n2 = (color = red or color = black) parses under no rule.
+        n2 = parse_condition("color = 'red' or color = 'black'")
+        assert not desc.check(n2)
+        assert not desc.supports(n2, {"model", "year"})
+
+    def test_s2_cannot_export_color(self, desc):
+        condition = parse_condition("make = 'BMW' and color = 'red'")
+        assert not desc.supports(condition, {"color"})
+        assert desc.supports(condition, {"make", "model", "year"})
+
+    def test_order_sensitivity(self, desc):
+        # Section 6.1: (color = red ^ make = BMW) cannot be evaluated.
+        assert not desc.check(parse_condition("color = 'red' and make = 'BMW'"))
+
+    def test_download_not_allowed(self, desc):
+        assert not desc.check(TRUE)
+
+    def test_whole_condition_of_figure_1_unsupported(self, desc):
+        condition = parse_condition(
+            "(make = 'BMW' and price < 40000) and "
+            "(color = 'red' or color = 'black')"
+        )
+        assert not desc.check(condition)
+
+
+class TestCheckResult:
+    def test_family_semantics(self):
+        # A condition matching two nonterminals with different exports.
+        desc = (
+            DescriptionBuilder("multi")
+            .rule("f1", "a = $str", attributes=["a", "b"])
+            .rule("f2", "a = $str", attributes=["a", "c"])
+            .build()
+        )
+        result = desc.check(parse_condition("a = 'x'"))
+        assert len(result.attribute_sets) == 2
+        assert result.supports({"b"})
+        assert result.supports({"c"})
+        # But never both at once: they come from different forms.
+        assert not result.supports({"b", "c"})
+        assert result.exported == {"a", "b", "c"}
+
+    def test_best_set_for(self):
+        desc = (
+            DescriptionBuilder("multi")
+            .rule("f1", "a = $str", attributes=["a", "b", "c", "d"])
+            .rule("f2", "a = $str", attributes=["a", "b"])
+            .build()
+        )
+        result = desc.check(parse_condition("a = 'x'"))
+        assert result.best_set_for({"a"}) == frozenset({"a", "b"})
+        assert result.best_set_for({"c"}) == frozenset({"a", "b", "c", "d"})
+        assert result.best_set_for({"z"}) is None
+
+    def test_empty_check_is_falsy(self, desc):
+        result = desc.check(parse_condition("year = 1999"))
+        assert not result
+        assert result.exported == frozenset()
+
+
+class TestCaching:
+    def test_cache_hits_counted(self, desc):
+        condition = parse_condition("make = 'BMW' and price < 40000")
+        desc.check(condition)
+        misses = desc.check_calls
+        desc.check(condition)
+        desc.check(condition)
+        assert desc.check_calls == misses
+        assert desc.check_cache_hits >= 2
+
+
+class TestValidation:
+    def test_condition_nt_needs_productions(self):
+        with pytest.raises(GrammarError):
+            parse_ssdl("s -> s1\nattributes s1 : a")
+
+    def test_condition_nt_needs_attributes(self):
+        with pytest.raises((GrammarError, Exception)):
+            parse_ssdl("s -> s1\ns1 -> a = $str")
+
+    def test_helper_nts_may_not_have_attributes(self):
+        from repro.ssdl.description import SourceDescription
+        from repro.ssdl.symbols import Template, ConstClass
+        from repro.conditions.atoms import Op
+
+        template = Template("a", Op.EQ, ConstClass.STR)
+        with pytest.raises(GrammarError):
+            SourceDescription(
+                condition_nonterminals=["s1"],
+                productions={"s1": [[template]], "h": [[template]]},
+                attributes={"s1": ["a"], "h": ["a"]},
+            )
+
+    def test_needs_a_condition_nonterminal(self):
+        from repro.ssdl.description import SourceDescription
+
+        with pytest.raises(GrammarError):
+            SourceDescription([], {}, {})
+
+    def test_introspection_helpers(self, desc):
+        assert desc.all_attributes() == {"make", "model", "year", "color"}
+        assert desc.rule_count() == 2
+        assert len(desc.templates()) == 3

@@ -1,0 +1,164 @@
+"""Tests for black-box capability discovery."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import SSDLError
+from repro.ssdl.discovery import discover_description
+from repro.source.library import bank
+from tests.conftest import make_example41_source
+
+SAMPLES = {
+    "make": ("BMW", "Toyota"),
+    "price": (40000, 20000),
+    "color": ("red", "black"),
+    "year": (1998, 1999),
+}
+
+
+@pytest.fixture
+def source():
+    return make_example41_source()
+
+
+@pytest.fixture
+def report(source):
+    return discover_description(source, source.schema, SAMPLES)
+
+
+class TestDiscoveryOnExample41:
+    def test_finds_the_two_forms(self, report):
+        # Example 4.1 has *no* single-field rule; both discovered shapes
+        # are pairs.
+        inferred = report.description
+        assert inferred.check(parse_condition("make = 'Audi' and price < 1"))
+        assert inferred.check(parse_condition("make = 'VW' and color = 'blue'"))
+
+    def test_respects_order_sensitivity(self, report):
+        inferred = report.description
+        assert not inferred.check(
+            parse_condition("color = 'blue' and make = 'VW'")
+        )
+
+    def test_never_claims_unsupported_shapes(self, source, report):
+        """Soundness modulo class generalization: every inferred-supported
+        probe-shaped query is natively supported."""
+        probes = [
+            "make = 'Honda' and color = 'white'",
+            "year = 1999",
+            "color = 'red'",
+            "make = 'Honda'",
+            "price <= 20000",
+            "make = 'Honda' and year = 1999",
+        ]
+        for text in probes:
+            condition = parse_condition(text)
+            if report.description.check(condition):
+                assert source.description.check(condition), text
+
+    def test_exports_discovered(self, report):
+        result = report.description.check(
+            parse_condition("make = 'X' and color = 'y'")
+        )
+        assert result
+        # s2 cannot export color or price; discovery must have noticed.
+        assert not result.supports({"color"})
+        assert result.supports({"make", "model", "year"})
+
+    def test_download_not_claimed(self, report):
+        from repro.conditions.tree import TRUE
+
+        assert not report.download_allowed
+        assert not report.description.check(TRUE)
+
+    def test_probe_accounting(self, report):
+        assert report.probes_sent > 0
+        assert 0 < report.probes_accepted <= report.probes_sent
+
+
+class TestLiteralGuard:
+    def test_two_value_rule_prevents_overgeneralizing(self):
+        """A form accepting only style='sedan' must not be inferred as
+        accepting style = $str."""
+        from repro.data.relation import Relation
+        from repro.data.schema import AttrType, Schema
+        from repro.source.source import CapabilitySource
+        from repro.ssdl.builder import DescriptionBuilder
+
+        schema = Schema.of(
+            "t", [("id", AttrType.INT), ("style", AttrType.STRING),
+                  ("make", AttrType.STRING)], key="id"
+        )
+        desc = (
+            DescriptionBuilder("d")
+            .rule("sedans_only", "style = 'sedan'", attributes=["id", "style"])
+            .rule("any_make", "make = $str", attributes=["id", "make", "style"])
+            .build()
+        )
+        rows = [{"id": 0, "style": "sedan", "make": "a"}]
+        source = CapabilitySource("t", Relation(schema, rows), desc)
+        report = discover_description(
+            source, schema,
+            {"style": ("sedan", "coupe"), "make": ("a", "b")},
+        )
+        # make generalizes (two values accepted); style must not (only
+        # 'sedan' was accepted).
+        inferred = report.description
+        assert inferred.check(parse_condition("make = 'zzz'"))
+        assert not inferred.check(parse_condition("style = 'coupe'"))
+        assert not inferred.check(parse_condition("style = 'sedan'"))
+
+
+class TestDiscoveryPlanning:
+    def test_planning_with_the_inferred_description(self, source, report):
+        """Plans built against the inferred description execute against
+        the real (natively enforced) source."""
+        from repro.plans.cost import CostModel
+        from repro.plans.execute import Executor, reference_answer
+        from repro.planners.gencompact import GenCompact
+        from repro.query import TargetQuery
+        from repro.source.source import CapabilitySource
+
+        # A source object that *plans* with the inferred description but
+        # *enforces* the native one.
+        twin = CapabilitySource(
+            "cars", source.relation, report.description
+        )
+        query = TargetQuery(
+            parse_condition("make = 'BMW' and color = 'red'"),
+            frozenset({"model", "year"}),
+            "cars",
+        )
+        result = GenCompact().plan(
+            query, twin, CostModel({"cars": twin.stats})
+        )
+        assert result.feasible
+        answer = Executor({"cars": source}).execute(result.plan)
+        expected = reference_answer(
+            source, query.condition, query.attributes
+        ).as_row_set()
+        assert answer.as_row_set() == expected
+
+
+class TestValidation:
+    def test_needs_two_distinct_values(self, source):
+        with pytest.raises(SSDLError):
+            discover_description(
+                source, source.schema, {"make": ("BMW", "BMW")}
+            )
+
+    def test_unknown_attribute_rejected(self, source):
+        with pytest.raises(SSDLError):
+            discover_description(source, source.schema, {"ghost": ("a", "b")})
+
+    def test_nothing_found_raises(self):
+        source = bank(n=50)
+        # Probing only the balance attribute: no form filters on it.
+        with pytest.raises(SSDLError):
+            discover_description(
+                source, source.schema, {"balance": (1.0, 2.0)}
+            )
+
+    def test_bad_width(self, source):
+        with pytest.raises(SSDLError):
+            discover_description(source, source.schema, SAMPLES, max_width=0)

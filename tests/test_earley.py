@@ -1,0 +1,133 @@
+"""Unit tests for the Earley recognizer on SSDL-style grammars."""
+
+import pytest
+
+from repro.conditions.atoms import Op
+from repro.conditions.parser import parse_condition
+from repro.errors import GrammarError
+from repro.ssdl.earley import EarleyRecognizer
+from repro.ssdl.symbols import (
+    AND_SYM,
+    LPAREN_SYM,
+    NT,
+    OR_SYM,
+    RPAREN_SYM,
+    TRUE_SYM,
+    ConstClass,
+    Template,
+    tokenize_condition,
+)
+
+MAKE = Template("make", Op.EQ, ConstClass.STR)
+PRICE = Template("price", Op.LT, ConstClass.NUM)
+COLOR = Template("color", Op.EQ, ConstClass.STR)
+SIZE = Template("size", Op.EQ, ConstClass.STR)
+
+
+def tokens(text):
+    return tokenize_condition(parse_condition(text))
+
+
+class TestBasics:
+    def test_single_template(self):
+        rec = EarleyRecognizer({"s1": [[MAKE]]})
+        assert rec.accepts(tokens("make = 'BMW'"), "s1")
+        assert not rec.accepts(tokens("make != 'BMW'"), "s1")
+        assert not rec.accepts(tokens("color = 'red'"), "s1")
+
+    def test_fixed_conjunction(self):
+        rec = EarleyRecognizer({"s1": [[MAKE, AND_SYM, PRICE]]})
+        assert rec.accepts(tokens("make = 'BMW' and price < 40000"), "s1")
+        # Order matters: the paper's Section 6.1 example.
+        assert not rec.accepts(tokens("price < 40000 and make = 'BMW'"), "s1")
+
+    def test_alternatives(self):
+        rec = EarleyRecognizer(
+            {"s1": [[MAKE, AND_SYM, PRICE], [MAKE, AND_SYM, COLOR]]}
+        )
+        assert rec.accepts(tokens("make = 'BMW' and price < 40000"), "s1")
+        assert rec.accepts(tokens("make = 'BMW' and color = 'red'"), "s1")
+        assert not rec.accepts(tokens("color = 'red' and price < 1"), "s1")
+
+    def test_unknown_start_raises(self):
+        rec = EarleyRecognizer({"s1": [[MAKE]]})
+        with pytest.raises(GrammarError):
+            rec.accepts(tokens("make = 'BMW'"), "nope")
+
+    def test_undefined_nonterminal_raises(self):
+        with pytest.raises(GrammarError):
+            EarleyRecognizer({"s1": [[NT("ghost")]]})
+
+    def test_empty_input(self):
+        rec = EarleyRecognizer({"s1": [[MAKE]]})
+        assert not rec.accepts((), "s1")
+
+
+class TestNestedStructure:
+    def test_parenthesized_disjunction(self):
+        rec = EarleyRecognizer(
+            {
+                "s1": [[MAKE, AND_SYM, LPAREN_SYM, NT("colors"), RPAREN_SYM]],
+                "colors": [[COLOR, OR_SYM, COLOR], [COLOR, OR_SYM, NT("colors")]],
+            }
+        )
+        assert rec.accepts(
+            tokens("make = 'BMW' and (color = 'red' or color = 'black')"), "s1"
+        )
+        assert rec.accepts(
+            tokens(
+                "make = 'BMW' and "
+                "(color = 'red' or color = 'black' or color = 'blue')"
+            ),
+            "s1",
+        )
+        assert not rec.accepts(tokens("make = 'BMW' and color = 'red'"), "s1")
+
+    def test_recursion_depth(self):
+        rec = EarleyRecognizer(
+            {
+                "s1": [[LPAREN_SYM, NT("list"), RPAREN_SYM]],
+                "list": [[SIZE, OR_SYM, SIZE], [SIZE, OR_SYM, NT("list")]],
+            }
+        )
+        many = " or ".join(f"size = 's{i}'" for i in range(12))
+        assert rec.accepts(tokens(f"make = 'x' and ({many})")[2:], "s1")
+
+    def test_true_rule(self):
+        rec = EarleyRecognizer({"dl": [[TRUE_SYM]]})
+        from repro.conditions.tree import TRUE
+
+        assert rec.accepts(tokenize_condition(TRUE), "dl")
+
+
+class TestNullable:
+    def test_nullable_nonterminal(self):
+        # s1 -> MAKE opt ; opt -> (empty) | AND PRICE
+        rec = EarleyRecognizer(
+            {"s1": [[MAKE, NT("opt")]], "opt": [[], [AND_SYM, PRICE]]}
+        )
+        assert rec.accepts(tokens("make = 'BMW'"), "s1")
+        assert rec.accepts(tokens("make = 'BMW' and price < 1"), "s1")
+
+    def test_fully_nullable_start(self):
+        rec = EarleyRecognizer({"s1": [[]]})
+        assert rec.accepts((), "s1")
+
+
+class TestAmbiguity:
+    def test_ambiguous_grammar_still_recognizes(self):
+        # Two alternatives match the same string -- closure-style grammars.
+        rec = EarleyRecognizer(
+            {"s1": [[MAKE, AND_SYM, PRICE], [MAKE, AND_SYM, PRICE]]}
+        )
+        assert rec.accepts(tokens("make = 'BMW' and price < 40000"), "s1")
+
+    def test_left_recursion(self):
+        # list -> list OR SIZE | SIZE  (left recursive; YACC-hostile forms
+        # are fine for Earley).
+        rec = EarleyRecognizer(
+            {"list": [[NT("list"), OR_SYM, SIZE], [SIZE]]}
+        )
+        assert rec.accepts(tokens("size = 'a'"), "list")
+        three = tokens("size = 'a' or size = 'b' or size = 'c'")
+        assert rec.accepts(three, "list")

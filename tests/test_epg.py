@@ -1,0 +1,148 @@
+"""Unit tests for EPG (Algorithm 5.1), walking the paper's Example 5.1/5.2."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.planners.base import CheckCounter
+from repro.planners.epg import EPG
+from repro.planners.mark import mark
+from repro.plans.cost import enumerate_concrete
+from repro.plans.feasible import validate_plan
+from repro.plans.nodes import ChoicePlan, IntersectPlan, SourceQuery
+
+A = frozenset({"model", "year"})
+
+
+@pytest.fixture
+def checker(example41):
+    return CheckCounter(example41.description)
+
+
+def generate(example41, checker, text, attrs=A):
+    condition = parse_condition(text)
+    marking = mark(condition, checker)
+    epg = EPG(example41.name, checker, marking)
+    return epg.generate(condition, frozenset(attrs))
+
+
+class TestExample51and52:
+    """t0 = (price<40000 ^ color=red ^ make=BMW): no part evaluable at R.
+    t1 = ((make=BMW ^ price<40000) ^ (make=BMW ^ color=red)): two parts."""
+
+    T0 = "price < 40000 and color = 'red' and make = 'BMW'"
+    T1 = ("(make = 'BMW' and price < 40000) and "
+          "(make = 'BMW' and color = 'red')")
+
+    def test_t0_yields_no_plans(self, example41, checker):
+        # Every node of t0 has an empty export field (wrong order / no
+        # download rule), so EPG returns the paper's ∅.
+        assert generate(example41, checker, self.T0) is None
+
+    def test_t1_yields_feasible_plans(self, example41, checker):
+        choice = generate(example41, checker, self.T1)
+        assert choice is not None
+        plans = list(enumerate_concrete(choice))
+        assert plans, "EPG found no plans for t1"
+        for plan in plans:
+            assert validate_plan(plan, {example41.name: example41})
+
+    def test_t1_contains_the_intersection_plan(self, example41, checker):
+        # SP(n1, A, R) ∩ SP(n2, A, R) -- Example 5.2's first impure plan.
+        choice = generate(example41, checker, self.T1)
+        plans = list(enumerate_concrete(choice))
+        n1 = parse_condition("make = 'BMW' and price < 40000")
+        n2 = parse_condition("make = 'BMW' and color = 'red'")
+        expected = IntersectPlan(
+            [SourceQuery(n1, A, "cars"), SourceQuery(n2, A, "cars")]
+        )
+        assert expected in plans
+
+    def test_t1_contains_the_nested_plan(self, example41, checker):
+        # SP(n2, A, SP(n1, A ∪ Attr(n2), R)) -- the second impure plan:
+        # evaluate n2 locally on the result of the n1 source query.
+        choice = generate(example41, checker, self.T1)
+        plans = list(enumerate_concrete(choice))
+        nested = [
+            p for p in plans
+            if type(p).__name__ == "Postprocess"
+            and isinstance(p.input, SourceQuery)
+        ]
+        assert nested, "no local-evaluation plan generated"
+
+
+class TestPureAndDownload:
+    def test_pure_plan_when_supported(self, example41, checker):
+        choice = generate(example41, checker, "make = 'BMW' and price < 40000")
+        plans = list(enumerate_concrete(choice))
+        pure = SourceQuery(
+            parse_condition("make = 'BMW' and price < 40000"), A, "cars"
+        )
+        assert pure in plans
+
+    def test_pure_generated_even_with_impure_alternatives(
+        self, example41, checker
+    ):
+        # EPG is exhaustive: it keeps searching even after the pure plan.
+        choice = generate(example41, checker, "make = 'BMW' and price < 40000")
+        assert isinstance(choice, ChoicePlan) or isinstance(choice, SourceQuery)
+
+    def test_leaf_without_support_is_empty(self, example41, checker):
+        assert generate(example41, checker, "year = 1999") is None
+
+    def test_download_plan_when_true_supported(self):
+        from repro.ssdl.builder import DescriptionBuilder
+        from repro.source.source import CapabilitySource
+        from tests.conftest import EXAMPLE_41_ROWS
+        from repro.data.relation import Relation
+        from repro.data.schema import AttrType, Schema
+
+        schema = Schema.of(
+            "cars",
+            [("make", AttrType.STRING), ("model", AttrType.STRING),
+             ("year", AttrType.INT), ("color", AttrType.STRING),
+             ("price", AttrType.INT)],
+        )
+        desc = (
+            DescriptionBuilder("dl")
+            .rule("all", "true", attributes=["make", "model", "year", "color",
+                                             "price"])
+            .build()
+        )
+        source = CapabilitySource("cars", Relation(schema, EXAMPLE_41_ROWS), desc)
+        checker = CheckCounter(source.description)
+        choice = generate(source, checker, "year = 1999")
+        plans = list(enumerate_concrete(choice))
+        assert len(plans) == 1
+        (download,) = plans
+        assert download.input.condition.is_true
+
+
+class TestOrNodes:
+    def test_or_requires_all_children(self, example41, checker):
+        # Neither disjunct alone is supported (bare atoms are not rules),
+        # so the union plan cannot be built and the result is ∅.
+        choice = generate(
+            example41, checker, "color = 'red' or color = 'black'"
+        )
+        assert choice is None
+
+    def test_or_union_when_children_plannable(self, example41, checker):
+        text = ("(make = 'BMW' and price < 40000) or "
+                "(make = 'Toyota' and price < 30000)")
+        choice = generate(example41, checker, text)
+        plans = list(enumerate_concrete(choice))
+        assert any(type(p).__name__ == "UnionPlan" for p in plans)
+
+
+class TestMemoization:
+    def test_repeated_subtrees_share_work(self, example41, checker):
+        condition = parse_condition(
+            "(make = 'BMW' and price < 40000) and "
+            "(make = 'BMW' and price < 40000)"
+        )
+        marking = mark(condition, checker)
+        epg = EPG(example41.name, checker, marking)
+        epg.generate(condition, A)
+        # Both children are the same tree: one recursive evaluation each
+        # for (node, attrs) pairs; ensure the memo is actually keyed.
+        assert len(epg._memo) <= epg.stats.recursive_calls

@@ -1,0 +1,117 @@
+"""Unit tests for the executor (mediator-side plan evaluation)."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import PlanExecutionError, UnsupportedQueryError
+from repro.plans.execute import Executor, reference_answer
+from repro.plans.nodes import (
+    IntersectPlan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    make_choice,
+)
+from tests.conftest import make_example41_source
+
+
+@pytest.fixture
+def source():
+    return make_example41_source()
+
+
+@pytest.fixture
+def executor(source):
+    return Executor({source.name: source})
+
+
+def sq(text, attrs=("model",), source="cars"):
+    return SourceQuery(parse_condition(text), frozenset(attrs), source)
+
+
+class TestSourceQueries:
+    def test_simple(self, executor):
+        result = executor.execute(sq("make = 'BMW' and price < 40000"))
+        assert result.as_row_set() == {("328i",), ("318i",)}
+
+    def test_fixes_order_automatically(self, executor):
+        result = executor.execute(sq("price < 40000 and make = 'BMW'"))
+        assert len(result) == 2
+
+    def test_without_fixing_the_source_rejects(self, source):
+        executor = Executor({source.name: source}, fix_queries=False)
+        with pytest.raises(UnsupportedQueryError):
+            executor.execute(sq("price < 40000 and make = 'BMW'"))
+
+    def test_unknown_source(self, executor):
+        with pytest.raises(PlanExecutionError):
+            executor.execute(sq("make = 'BMW' and price < 1", source="ghost"))
+
+
+class TestComposites:
+    def test_postprocess_select_project(self, executor):
+        inner = sq("make = 'BMW' and price < 40000", attrs=("model", "color"))
+        plan = Postprocess(
+            parse_condition("color = 'red'"), frozenset({"model"}), inner
+        )
+        assert executor.execute(plan).as_row_set() == {("328i",)}
+
+    def test_postprocess_true_projects_only(self, executor):
+        inner = sq("make = 'BMW' and price < 40000", attrs=("model", "color"))
+        plan = Postprocess(TRUE, frozenset({"model"}), inner)
+        assert executor.execute(plan).as_row_set() == {("328i",), ("318i",)}
+
+    def test_union(self, executor):
+        plan = UnionPlan(
+            [sq("make = 'BMW' and color = 'red'"),
+             sq("make = 'Toyota' and color = 'red'")]
+        )
+        assert executor.execute(plan).as_row_set() == {
+            ("328i",), ("Camry",), ("Celica",),
+        }
+
+    def test_intersect(self, executor):
+        plan = IntersectPlan(
+            [sq("make = 'BMW' and price < 40000", attrs=("model", "year")),
+             sq("make = 'BMW' and color = 'red'", attrs=("model", "year"))]
+        )
+        assert executor.execute(plan).as_row_set() == {("328i", 1998)}
+
+    def test_choice_rejected(self, executor):
+        choice = make_choice(
+            [sq("make = 'BMW' and color = 'red'"),
+             sq("make = 'BMW' and price < 40000")]
+        )
+        with pytest.raises(PlanExecutionError):
+            executor.execute(choice)
+
+
+class TestReports:
+    def test_execute_with_report_meters_traffic(self, executor, source):
+        plan = UnionPlan(
+            [sq("make = 'BMW' and color = 'red'"),
+             sq("make = 'Toyota' and color = 'red'")]
+        )
+        report = executor.execute_with_report(plan)
+        assert report.queries == 2
+        assert report.tuples_transferred == 3
+        assert report.measured_cost(100, 1) == 203
+
+    def test_report_only_counts_this_plan(self, executor, source):
+        source.execute(
+            parse_condition("make = 'BMW' and color = 'red'"), ["model"]
+        )
+        report = executor.execute_with_report(
+            sq("make = 'Toyota' and color = 'red'")
+        )
+        assert report.queries == 1
+
+
+class TestReferenceAnswer:
+    def test_ignores_capabilities(self, source):
+        # year = 1999 is not supported by any form but ground truth works.
+        result = reference_answer(
+            source, parse_condition("year = 1999"), ["model"]
+        )
+        assert result.as_row_set() == {("740il",), ("Camry",), ("Civic",)}

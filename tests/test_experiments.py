@@ -1,0 +1,145 @@
+"""Shape tests for the reconstructed evaluation suite (quick instances).
+
+These assert the *qualitative* claims each experiment exists to
+reproduce -- who wins, what is preserved -- not absolute numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.e1_plan_quality import run as run_e1
+from repro.experiments.e2_data_transfer import run as run_e2
+from repro.experiments.e5_pruning import run as run_e5
+from repro.experiments.e6_capability_richness import run as run_e6
+from repro.experiments.e7_feasibility import run as run_e7
+from repro.experiments.e8_mcsc import run as run_e8
+from repro.experiments.e9_commutativity import run as run_e9
+from repro.experiments.report import Table
+
+
+class TestRegistry:
+    def test_all_ten_registered(self):
+        assert sorted(EXPERIMENTS, key=lambda n: int(n[1:])) == [
+            f"e{i}" for i in range(1, 11)
+        ]
+
+
+class TestTable:
+    def test_add_checks_arity(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_format_and_column(self):
+        table = Table("t", ["a", "b"], notes="note")
+        table.add(1, 2.5)
+        text = table.format()
+        assert "t" in text and "2.50" in text and "note" in text
+        assert table.column("a") == [1]
+
+
+@pytest.fixture(scope="module")
+def e1():
+    return run_e1(quick=True)
+
+
+class TestE1PlanQuality:
+    def test_gencompact_always_feasible_and_cheapest(self, e1):
+        by_scenario: dict = {}
+        for row in e1.rows:
+            by_scenario.setdefault(row[0], {})[row[1]] = row[3]
+        for scenario, costs in by_scenario.items():
+            gc = costs["GenCompact"]
+            assert math.isfinite(gc), scenario
+            for planner, cost in costs.items():
+                assert gc <= cost + 1e-9, (scenario, planner)
+
+    def test_disco_naive_infeasible_on_examples(self, e1):
+        for row in e1.rows:
+            scenario, planner, feasible = row[0], row[1], row[2]
+            if "Example" in scenario or "bookstore" in scenario or "car" in scenario:
+                if planner in ("DISCO", "Naive"):
+                    assert feasible == "no", (scenario, planner)
+
+
+class TestE2DataTransfer:
+    def test_all_feasible_plans_correct(self):
+        table = run_e2(quick=True)
+        for row in table.rows:
+            assert row[6] in ("yes", "n/a"), row
+
+    def test_gencompact_moves_least_data(self):
+        table = run_e2(quick=True)
+        by_scenario: dict = {}
+        for row in table.rows:
+            if row[6] == "yes":
+                by_scenario.setdefault(row[0], {})[row[1]] = row[4]
+        for scenario, costs in by_scenario.items():
+            gc = costs["GenCompact"]
+            for planner, cost in costs.items():
+                assert gc <= cost + 1e-9, (scenario, planner)
+
+
+class TestE5Pruning:
+    def test_optimum_preserved_in_every_configuration(self):
+        table = run_e5(quick=True)
+        assert all(row[5] == "yes" for row in table.rows)
+
+    def test_pr3_reduces_mcsc_candidates(self):
+        table = run_e5(quick=True)
+        by_config = {row[0]: row for row in table.rows}
+        assert by_config["no PR3"][3] > by_config["all pruning"][3]
+
+
+class TestE6Richness:
+    def test_gc_feasibility_dominates(self):
+        table = run_e6(quick=True)
+        for row in table.rows:
+            assert row[1] >= row[2] - 1e-9  # GC >= CNF
+            assert row[1] >= row[3] - 1e-9  # GC >= DNF
+
+    def test_cost_ratios_at_least_one(self):
+        table = run_e6(quick=True)
+        for row in table.rows:
+            for ratio in (row[4], row[5]):
+                if ratio != "n/a":
+                    assert ratio >= 1.0 - 1e-6
+
+
+class TestE7Feasibility:
+    def test_paper_ordering(self):
+        table = run_e7(quick=True)
+        rates = dict(zip(table.column("planner"), table.column("rate")))
+        assert rates["GenCompact"] >= rates["CNF (Garlic)"]
+        assert rates["GenCompact"] >= rates["DNF"]
+        assert rates["CNF (Garlic)"] >= rates["DISCO"]
+        assert rates["DISCO"] >= rates["Naive"]
+        assert rates["GenCompact"] == rates["GenModular"]
+
+
+class TestE8MCSC:
+    def test_solvers_agree(self):
+        table = run_e8(quick=True)
+        assert all(row[6] == "yes" for row in table.rows)
+
+    def test_greedy_ratio_at_least_one(self):
+        table = run_e8(quick=True)
+        assert all(row[5] >= 1.0 - 1e-9 for row in table.rows)
+
+
+class TestE9Commutativity:
+    def test_closed_description_processes_fewer_cts(self):
+        table = run_e9(quick=True)
+        by_config = {row[0]: row for row in table.rows}
+        rule_cts = by_config["GenModular + commutative rule"][2]
+        gc_cts = by_config["GenCompact (closed description)"][2]
+        assert gc_cts < rule_cts
+
+    def test_gencompact_plans_everything(self):
+        table = run_e9(quick=True)
+        by_config = {row[0]: row for row in table.rows}
+        feasible = by_config["GenCompact (closed description)"][1]
+        count, total = feasible.split("/")
+        assert count == total

@@ -1,0 +1,72 @@
+"""Shape tests for the remaining experiments (E3, E4, E10) and misc
+experiment plumbing."""
+
+import pytest
+
+from repro.experiments.e3_planning_time import run as run_e3
+from repro.experiments.e4_search_space import run as run_e4
+from repro.experiments.e10_cost_sensitivity import run as run_e10
+from repro.experiments.report import Table
+
+
+@pytest.fixture(scope="module")
+def e3():
+    return run_e3(quick=True)
+
+
+@pytest.fixture(scope="module")
+def e4():
+    return run_e4(quick=True)
+
+
+class TestE3PlanningTime:
+    def test_genmodular_never_wins_on_cost(self, e3):
+        assert all(row[7] == 0 for row in e3.rows)
+
+    def test_every_query_counted(self, e3):
+        for row in e3.rows:
+            assert row[5] + row[6] + row[7] == row[1]
+
+    def test_small_queries_show_speedup(self, e3):
+        # At 3 atoms GenModular's budget covers its space and GenCompact
+        # is strictly faster.
+        first = e3.rows[0]
+        assert first[0] == 3
+        assert first[4] > 1.0
+
+
+class TestE4SearchSpace:
+    def test_gencompact_processes_fewer_cts(self, e4):
+        for row in e4.rows:
+            assert row[4] <= row[1]
+
+    def test_counters_positive(self, e4):
+        for row in e4.rows:
+            assert row[2] > 0 and row[5] > 0
+
+
+class TestE10CostSensitivity:
+    def test_envelope_and_crossover(self):
+        table = run_e10(quick=True)
+        assert all(row[5] == "yes" for row in table.rows)
+        queries = table.column("GC queries")
+        assert all(b <= a for a, b in zip(queries, queries[1:]))
+        assert queries[0] > queries[-1]  # the crossover happens
+
+    def test_gc_cost_monotone_in_k1(self):
+        table = run_e10(quick=True)
+        costs = table.column("GC cost")
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+
+class TestReportTable:
+    def test_unknown_column_raises(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_format_handles_mixed_types(self):
+        table = Table("t", ["x", "y"])
+        table.add("text", 1.23456)
+        out = table.format()
+        assert "1.23" in out and "text" in out

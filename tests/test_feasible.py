@@ -1,0 +1,65 @@
+"""Unit tests for independent plan-feasibility validation."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.plans.feasible import validate_plan
+from repro.plans.nodes import SourceQuery, UnionPlan, make_choice
+from tests.conftest import make_example41_source
+
+A = frozenset({"model"})
+
+
+@pytest.fixture
+def catalog():
+    return {"cars": make_example41_source()}
+
+
+def sq(text, attrs=A, source="cars"):
+    return SourceQuery(parse_condition(text), frozenset(attrs), source)
+
+
+class TestValidatePlan:
+    def test_supported_plan(self, catalog):
+        report = validate_plan(sq("make = 'BMW' and price < 40000"), catalog)
+        assert report.feasible
+        assert bool(report)
+
+    def test_none_is_infeasible(self, catalog):
+        assert not validate_plan(None, catalog)
+
+    def test_unsupported_condition_reported(self, catalog):
+        report = validate_plan(sq("year = 1999"), catalog)
+        assert not report.feasible
+        assert len(report.unsupported) == 1
+
+    def test_unsupported_projection_reported(self, catalog):
+        report = validate_plan(
+            sq("make = 'BMW' and color = 'red'", attrs={"color"}), catalog
+        )
+        assert not report.feasible
+
+    def test_unknown_source_reported(self, catalog):
+        report = validate_plan(
+            sq("make = 'BMW' and price < 1", source="ghost"), catalog
+        )
+        assert not report.feasible
+
+    def test_commuted_order_is_fine_when_fixable(self, catalog):
+        report = validate_plan(sq("price < 40000 and make = 'BMW'"), catalog)
+        assert report.feasible
+
+    def test_every_query_of_composites_checked(self, catalog):
+        plan = UnionPlan(
+            [sq("make = 'BMW' and price < 40000"), sq("year = 1999")]
+        )
+        report = validate_plan(plan, catalog)
+        assert not report.feasible
+        assert len(report.unsupported) == 1
+
+    def test_choice_branches_all_checked(self, catalog):
+        plan = make_choice(
+            [sq("make = 'BMW' and price < 40000"), sq("year = 1999")]
+        )
+        report = validate_plan(plan, catalog)
+        assert not report.feasible

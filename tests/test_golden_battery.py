@@ -1,0 +1,112 @@
+"""Golden battery: a fixed query corpus over the standard catalog.
+
+Every feasible (planner, query) pair must return exactly the reference
+answer, and all feasible planners must return the *same* answer set --
+the strongest cross-check the library offers, run over hand-picked
+queries that exercise each source's quirks.
+"""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.plans.cost import CostModel
+from repro.plans.execute import Executor, reference_answer
+from repro.query import TargetQuery
+from repro.source.library import standard_catalog
+
+#: (source, projection, condition) -- the corpus.
+CORPUS = [
+    ("bookstore", ("id", "title"),
+     "author = 'Carl Jung'"),
+    ("bookstore", ("id", "title", "price"),
+     "author = 'Carl Jung' and title contains 'memory'"),
+    ("bookstore", ("id", "author"),
+     "(author = 'Sigmund Freud' or author = 'Anna Freud') "
+     "and title contains 'childhood'"),
+    ("bookstore", ("id", "title"),
+     "subject = 'philosophy' and title contains 'will'"),
+    ("car_guide", ("id", "model"),
+     "make = 'BMW'"),
+    ("car_guide", ("id", "model", "price"),
+     "price <= 12000 and make = 'Ford'"),   # reversed slot order
+    ("car_guide", ("id", "make"),
+     "style = 'wagon' and (size = 'compact' or size = 'fullsize')"),
+    ("car_guide", ("id", "model"),
+     "(make = 'Honda' and price <= 16000) or "
+     "(make = 'Toyota' and price <= 14000)"),
+    ("bank", ("account_no", "owner"),
+     "branch = 'airport' and type = 'savings'"),
+    ("flights", ("id", "airline", "price"),
+     "origin = 'SEA' and destination = 'MIA' and price <= 700"),
+    ("classifieds", ("id", "make", "price"),
+     "make = 'Toyota'"),
+    ("classifieds", ("id", "price"),
+     "price <= 15000 and color = 'red'"),   # only via download
+]
+
+PLANNERS = [
+    GenCompact(),
+    GenModular(max_rewrites=40),
+    CNFPlanner(),
+    DNFPlanner(),
+    DiscoPlanner(),
+    NaivePlanner(),
+]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return standard_catalog(seed=1999)
+
+
+@pytest.fixture(scope="module")
+def cost_model(catalog):
+    return CostModel({name: s.stats for name, s in catalog.items()})
+
+
+@pytest.mark.parametrize("source_name,attrs,text", CORPUS)
+def test_all_feasible_planners_agree_with_ground_truth(
+    catalog, cost_model, source_name, attrs, text
+):
+    source = catalog[source_name]
+    query = TargetQuery(parse_condition(text), frozenset(attrs), source_name)
+    expected = reference_answer(
+        source, query.condition, query.attributes
+    ).as_row_set()
+    executor = Executor(catalog)
+
+    feasible_count = 0
+    for planner in PLANNERS:
+        result = planner.plan(query, source, cost_model)
+        if not result.feasible:
+            continue
+        feasible_count += 1
+        answer = executor.execute(result.plan)
+        assert answer.as_row_set() == expected, (
+            f"{planner.name} answered {text!r} wrongly"
+        )
+    # GenCompact must always be among the feasible planners on this corpus.
+    gencompact = PLANNERS[0].plan(query, source, cost_model)
+    assert gencompact.feasible, f"GenCompact cannot plan {text!r}"
+    assert feasible_count >= 1
+
+
+@pytest.mark.parametrize("source_name,attrs,text", CORPUS)
+def test_gencompact_is_cheapest_on_corpus(
+    catalog, cost_model, source_name, attrs, text
+):
+    source = catalog[source_name]
+    query = TargetQuery(parse_condition(text), frozenset(attrs), source_name)
+    gencompact = PLANNERS[0].plan(query, source, cost_model)
+    for planner in PLANNERS[1:]:
+        result = planner.plan(query, source, cost_model)
+        if result.feasible:
+            assert gencompact.cost <= result.cost + 1e-6, planner.name

@@ -1,0 +1,145 @@
+"""Unit and integration tests for capability-sensitive bind-joins."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import InfeasiblePlanError, SchemaError
+from repro.joins import BindJoinExecutor, JoinSpec, bind_join
+from repro.query import TargetQuery
+from repro.source.library import flights
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return {"flights": flights(n=4000, seed=5)}
+
+
+class TestJoinSpecValidation:
+    def test_requires_join_attributes(self, catalog):
+        with pytest.raises(SchemaError):
+            JoinSpec(
+                outer=TargetQuery(TRUE, frozenset({"id"}), "flights"),
+                inner_source="flights",
+                inner_condition=TRUE,
+                inner_attributes=frozenset({"id"}),
+                on={},
+            )
+
+    def test_inner_projection_must_not_repeat_join_attrs(self, catalog):
+        with pytest.raises(SchemaError):
+            JoinSpec(
+                outer=TargetQuery(TRUE, frozenset({"id"}), "flights"),
+                inner_source="flights",
+                inner_condition=TRUE,
+                inner_attributes=frozenset({"origin"}),
+                on={"destination": "origin"},
+            )
+
+
+class TestConnectingFlights:
+    """The outer leg leaves SFO; each destination is bound into an
+    origin-equality probe for legs into BOS."""
+
+    def test_join_executes_and_is_correct(self, catalog):
+        # The flights grammar *requires* a full route: 'origin = X' alone
+        # is not supported, so the outer query must carry a destination.
+        outer = TargetQuery(
+            parse_condition("origin = 'SFO' and destination = 'DEN'"),
+            frozenset({"id", "price"}),
+            "flights",
+        )
+        spec = JoinSpec(
+            outer=outer,
+            inner_source="flights",
+            inner_condition=parse_condition("destination = 'BOS'"),
+            inner_attributes=frozenset({"airline", "stops"}),
+            on={"destination": "origin"},
+        )
+        executor = BindJoinExecutor(catalog)
+        answer = executor.execute(spec)
+        assert answer.bindings == 1  # every outer row has destination DEN
+
+        # Ground truth: the set-semantics cross of the two legs' projections.
+        relation = catalog["flights"].relation
+        legs1 = relation.sp(outer.condition, ["id", "price", "destination"])
+        legs2 = relation.sp(
+            parse_condition("origin = 'DEN' and destination = 'BOS'"),
+            ["airline", "stops"],
+        )
+        expected = {
+            (l1["id"], l1["price"], l1["destination"], l2["airline"], l2["stops"])
+            for l1 in legs1
+            for l2 in legs2
+        }
+        got = {
+            (r["id"], r["price"], r["destination"], r["airline"], r["stops"])
+            for r in answer.result
+        }
+        assert got == expected and expected
+
+    def test_probe_counts(self, catalog):
+        outer = TargetQuery(
+            parse_condition("origin = 'SFO' and destination = 'DEN'"),
+            frozenset({"id"}),
+            "flights",
+        )
+        spec = JoinSpec(
+            outer=outer,
+            inner_source="flights",
+            inner_condition=parse_condition("destination = 'BOS'"),
+            inner_attributes=frozenset({"airline"}),
+            on={"destination": "origin"},
+        )
+        answer = BindJoinExecutor(catalog).execute(spec)
+        assert answer.outer_queries == 1
+        assert answer.inner_queries == answer.bindings == 1
+
+    def test_infeasible_probe_detected(self, catalog):
+        # Binding on airline -> airline: the flights grammar has no
+        # airline-only rule, so probes are unplannable and the executor
+        # must raise rather than spam the source.
+        outer = TargetQuery(
+            parse_condition("origin = 'SFO' and destination = 'DEN'"),
+            frozenset({"id"}),
+            "flights",
+        )
+        spec = JoinSpec(
+            outer=outer,
+            inner_source="flights",
+            inner_condition=TRUE,
+            inner_attributes=frozenset({"price"}),
+            on={"airline": "airline"},
+        )
+        executor = BindJoinExecutor(catalog)
+        assert not executor.check_feasible(spec, ("UA",))
+        with pytest.raises(InfeasiblePlanError):
+            executor.execute(spec)
+
+    def test_unknown_inner_source(self, catalog):
+        outer = TargetQuery(
+            parse_condition("origin = 'SFO' and destination = 'DEN'"),
+            frozenset({"id"}), "flights",
+        )
+        with pytest.raises(InfeasiblePlanError):
+            bind_join(catalog, outer, "nowhere", on={"destination": "origin"})
+
+
+class TestBindJoinHelper:
+    def test_one_shot_helper(self, catalog):
+        outer = TargetQuery(
+            parse_condition("origin = 'SFO' and destination = 'ORD'"),
+            frozenset({"id", "airline"}),
+            "flights",
+        )
+        answer = bind_join(
+            catalog,
+            outer,
+            "flights",
+            on={"destination": "origin"},
+            inner_condition=parse_condition("destination = 'JFK'"),
+            inner_attributes=frozenset({"price"}),
+        )
+        for row in answer.result:
+            assert row["destination"] == "ORD"
+        assert answer.bindings == 1

@@ -1,0 +1,172 @@
+"""Capability probes for every source in the library.
+
+These tests pin down exactly what each simulated site's form accepts --
+the contract the examples and benchmarks rely on.
+"""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import UnsupportedQueryError
+from repro.source.library import (
+    bank,
+    bookstore,
+    car_guide,
+    classifieds,
+    flights,
+    standard_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def shops():
+    return {
+        "bookstore": bookstore(n=300),
+        "car_guide": car_guide(n=300),
+        "bank": bank(n=300),
+        "flights": flights(n=300),
+        "classifieds": classifieds(n=100),
+    }
+
+
+class TestBookstore:
+    def test_single_author_search(self, shops):
+        source = shops["bookstore"]
+        assert source.check(parse_condition("author = 'Carl Jung'"))
+
+    def test_author_plus_title_words(self, shops):
+        source = shops["bookstore"]
+        assert source.check(
+            parse_condition("author = 'Carl Jung' and title contains 'dreams'")
+        )
+
+    def test_two_authors_at_once_rejected(self, shops):
+        # The Example 1.1 limitation.
+        source = shops["bookstore"]
+        assert not source.check(
+            parse_condition("author = 'Carl Jung' or author = 'Anna Freud'")
+        )
+
+    def test_no_download(self, shops):
+        assert not shops["bookstore"].check(TRUE)
+
+    def test_no_price_search(self, shops):
+        assert not shops["bookstore"].check(parse_condition("price <= 10"))
+
+    def test_subject_search(self, shops):
+        assert shops["bookstore"].check(parse_condition("subject = 'psychology'"))
+
+
+class TestCarGuide:
+    def test_full_form(self, shops):
+        source = shops["car_guide"]
+        assert source.description.check(
+            parse_condition(
+                "style = 'sedan' and make = 'BMW' and price <= 40000 "
+                "and (size = 'compact' or size = 'midsize')"
+            )
+        )
+
+    def test_any_single_slot(self, shops):
+        source = shops["car_guide"]
+        for text in ("style = 'sedan'", "make = 'BMW'", "price <= 40000",
+                     "size = 'compact'"):
+            assert source.description.check(parse_condition(text)), text
+
+    def test_size_list_alone(self, shops):
+        source = shops["car_guide"]
+        assert source.check(
+            parse_condition("size = 'compact' or size = 'midsize'")
+        )
+
+    def test_field_order_is_native_contract(self, shops):
+        source = shops["car_guide"]
+        swapped = parse_condition("make = 'BMW' and style = 'sedan'")
+        assert not source.description.check(swapped)   # native rejects
+        assert source.check(swapped)                    # planning accepts
+        with pytest.raises(UnsupportedQueryError):
+            source.execute(swapped, ["id"])             # enforcement
+        fixed = source.fix(swapped, ["id"])
+        assert len(source.execute(fixed, ["id"])) >= 0  # no raise
+
+    def test_color_not_searchable_but_exported(self, shops):
+        source = shops["car_guide"]
+        assert not source.check(parse_condition("color = 'red'"))
+        result = source.check(parse_condition("make = 'BMW'"))
+        assert result.supports({"color"})
+
+    def test_mileage_only_via_id_lookup(self, shops):
+        source = shops["car_guide"]
+        assert not source.check(parse_condition("make = 'BMW'")).supports(
+            {"mileage"}
+        )
+        assert source.check(parse_condition("id = 5")).supports({"mileage"})
+
+
+class TestBank:
+    def test_balance_needs_pin(self, shops):
+        source = shops["bank"]
+        no_pin = source.check(parse_condition("account_no = 100001"))
+        assert no_pin.supports({"owner"}) and not no_pin.supports({"balance"})
+        with_pin = source.check(
+            parse_condition("account_no = 100001 and pin = 1234")
+        )
+        assert with_pin.supports({"balance"})
+
+    def test_branch_scan_never_reveals_balance(self, shops):
+        source = shops["bank"]
+        result = source.check(parse_condition("branch = 'downtown'"))
+        assert result and not result.supports({"balance"})
+
+    def test_pin_alone_is_not_a_query(self, shops):
+        assert not shops["bank"].check(parse_condition("pin = 1234"))
+
+
+class TestFlights:
+    def test_route_required(self, shops):
+        source = shops["flights"]
+        assert source.check(
+            parse_condition("origin = 'SFO' and destination = 'BOS'")
+        )
+        assert not source.check(parse_condition("origin = 'SFO'"))
+        assert not source.check(parse_condition("airline = 'UA'"))
+
+    def test_route_with_airline_or_price(self, shops):
+        source = shops["flights"]
+        assert source.check(
+            parse_condition(
+                "origin = 'SFO' and destination = 'BOS' and airline = 'UA'"
+            )
+        )
+        assert source.check(
+            parse_condition(
+                "origin = 'SFO' and destination = 'BOS' and price <= 300"
+            )
+        )
+
+    def test_no_download(self, shops):
+        assert not shops["flights"].check(TRUE)
+
+
+class TestClassifieds:
+    def test_download_allowed(self, shops):
+        source = shops["classifieds"]
+        assert source.check(TRUE)
+        result = source.execute(TRUE, ["id", "make"])
+        assert len(result) == len(source.relation)
+
+    def test_by_make(self, shops):
+        assert shops["classifieds"].check(parse_condition("make = 'BMW'"))
+
+
+class TestStandardCatalog:
+    def test_contains_all_five(self):
+        catalog = standard_catalog()
+        assert set(catalog) == {
+            "bookstore", "car_guide", "bank", "flights", "classifieds",
+        }
+
+    def test_names_match_keys(self):
+        for name, source in standard_catalog().items():
+            assert source.name == name

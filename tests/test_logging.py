@@ -1,0 +1,57 @@
+"""Tests for the debug-logging instrumentation."""
+
+import logging
+
+from repro.mediator import Mediator
+from repro.planners.genmodular import GenModular
+from tests.conftest import make_example41_source
+
+
+class TestPlannerLogging:
+    def test_gencompact_logs_summary(self, caplog):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        with caplog.at_level(logging.DEBUG, logger="repro.planners.gencompact"):
+            mediator.plan(
+                "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+            )
+        assert any("GenCompact planned" in r.message for r in caplog.records)
+
+    def test_genmodular_logs_summary(self, caplog):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        with caplog.at_level(logging.DEBUG, logger="repro.planners.genmodular"):
+            mediator.plan(
+                "SELECT model FROM cars WHERE make = 'BMW' and price < 40000",
+                GenModular(max_rewrites=10),
+            )
+        assert any("GenModular planned" in r.message for r in caplog.records)
+
+
+class TestExecutorLogging:
+    def test_source_answers_logged(self, caplog):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        with caplog.at_level(logging.DEBUG, logger="repro.plans.execute"):
+            mediator.ask(
+                "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+            )
+        assert any("answered SP(" in r.message for r in caplog.records)
+
+    def test_fixing_logged_when_order_changes(self, caplog):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        with caplog.at_level(logging.DEBUG, logger="repro.plans.execute"):
+            mediator.ask(
+                "SELECT model FROM cars WHERE price < 40000 and make = 'BMW'"
+            )
+        assert any("fixed query order" in r.message for r in caplog.records)
+
+    def test_silent_by_default(self, caplog):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        with caplog.at_level(logging.INFO):
+            mediator.ask(
+                "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+            )
+        assert not [r for r in caplog.records if r.name.startswith("repro")]

@@ -1,0 +1,153 @@
+"""Unit tests for the MCSC solvers and PR3 domination pruning."""
+
+import random
+
+import pytest
+
+from repro.planners.mcsc import (
+    CoverCandidate,
+    prune_dominated,
+    solve_dp,
+    solve_enumerate,
+    solve_greedy,
+)
+
+
+def cand(coverage, cost, payload=None):
+    return CoverCandidate(frozenset(coverage), float(cost), payload)
+
+
+class TestExactSolvers:
+    def test_trivial_single_set(self):
+        solution = solve_dp(2, [cand({0, 1}, 10)])
+        assert solution is not None
+        assert solution.cost == 10
+        assert len(solution.chosen) == 1
+
+    def test_prefers_cheap_combination(self):
+        candidates = [
+            cand({0, 1, 2}, 100),
+            cand({0}, 20), cand({1}, 20), cand({2}, 20),
+        ]
+        assert solve_dp(3, candidates).cost == 60
+        assert solve_enumerate(3, candidates).cost == 60
+
+    def test_prefers_big_set_when_cheaper(self):
+        candidates = [
+            cand({0, 1, 2}, 50),
+            cand({0}, 20), cand({1}, 20), cand({2}, 20),
+        ]
+        assert solve_dp(3, candidates).cost == 50
+
+    def test_overlapping_cover_allowed(self):
+        candidates = [cand({0, 1}, 30), cand({1, 2}, 30)]
+        solution = solve_dp(3, candidates)
+        assert solution.cost == 60
+        assert len(solution.chosen) == 2
+
+    def test_unsolvable_returns_none(self):
+        assert solve_dp(3, [cand({0}, 1), cand({1}, 1)]) is None
+        assert solve_enumerate(3, [cand({0}, 1)]) is None
+        assert solve_greedy(3, [cand({0}, 1)]) is None
+
+    def test_zero_elements(self):
+        assert solve_dp(0, []).cost == 0
+        assert solve_enumerate(0, []).cost == 0
+        assert solve_greedy(0, []).cost == 0
+
+    def test_dp_matches_enumeration_on_random_instances(self):
+        rng = random.Random(99)
+        for trial in range(30):
+            n = rng.randint(2, 6)
+            candidates = [
+                cand(
+                    rng.sample(range(n), rng.randint(1, n)),
+                    rng.uniform(1, 100),
+                    trial,
+                )
+                for _ in range(rng.randint(2, 10))
+            ]
+            dp = solve_dp(n, candidates)
+            enum = solve_enumerate(n, candidates)
+            if dp is None:
+                assert enum is None
+            else:
+                assert enum is not None
+                assert dp.cost == pytest.approx(enum.cost)
+
+    def test_chosen_sets_actually_cover(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(2, 6)
+            candidates = [
+                cand(rng.sample(range(n), rng.randint(1, n)), rng.uniform(1, 100))
+                for _ in range(8)
+            ] + [cand({i}, 200) for i in range(n)]
+            solution = solve_dp(n, candidates)
+            covered = frozenset().union(*(c.coverage for c in solution.chosen))
+            assert covered == frozenset(range(n))
+
+
+class TestGreedy:
+    def test_never_beats_optimum(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            n = rng.randint(2, 6)
+            candidates = [
+                cand(rng.sample(range(n), rng.randint(1, n)), rng.uniform(1, 100))
+                for _ in range(8)
+            ] + [cand({i}, 150) for i in range(n)]
+            optimum = solve_dp(n, candidates)
+            greedy = solve_greedy(n, candidates)
+            assert greedy.cost >= optimum.cost - 1e-9
+
+    def test_greedy_can_be_suboptimal(self):
+        # Classic trap: the big cheap-per-element set first, then pay twice.
+        candidates = [
+            cand({0, 1}, 30),         # ratio 15
+            cand({0, 2}, 32),         # ratio 16
+            cand({1}, 40), cand({2}, 40),
+        ]
+        optimum = solve_dp(3, candidates)
+        greedy = solve_greedy(3, candidates)
+        assert greedy.cost >= optimum.cost
+
+
+class TestPruneDominated:
+    def test_superset_cheaper_dominates(self):
+        keep = cand({0, 1}, 10, "keep")
+        drop = cand({0}, 20, "drop")
+        kept = prune_dominated([keep, drop])
+        assert kept == [keep]
+
+    def test_equal_coverage_cheaper_dominates(self):
+        cheap = cand({0, 1}, 10, "cheap")
+        costly = cand({0, 1}, 20, "costly")
+        assert prune_dominated([costly, cheap]) == [cheap]
+
+    def test_exact_ties_keep_one(self):
+        first = cand({0}, 10, "first")
+        second = cand({0}, 10, "second")
+        kept = prune_dominated([first, second])
+        assert kept == [first]
+
+    def test_incomparable_candidates_survive(self):
+        a = cand({0}, 10)
+        b = cand({1}, 5)
+        c = cand({0, 1}, 100)
+        assert set(
+            (tuple(sorted(x.coverage)), x.cost) for x in prune_dominated([a, b, c])
+        ) == {((0,), 10.0), ((1,), 5.0), ((0, 1), 100.0)}
+
+    def test_pruning_preserves_optimum(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            n = rng.randint(2, 5)
+            candidates = [
+                cand(rng.sample(range(n), rng.randint(1, n)), rng.uniform(1, 100))
+                for _ in range(10)
+            ] + [cand({i}, 120) for i in range(n)]
+            full = solve_dp(n, candidates)
+            pruned = solve_dp(n, prune_dominated(candidates))
+            assert pruned is not None
+            assert pruned.cost == pytest.approx(full.cost)

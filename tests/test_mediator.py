@@ -1,0 +1,109 @@
+"""Integration tests for the Mediator facade and the query parser."""
+
+import pytest
+
+from repro.errors import (
+    ConditionParseError,
+    InfeasiblePlanError,
+    PlanExecutionError,
+    UnknownAttributeError,
+)
+from repro.mediator import Mediator
+from repro.planners.baselines import DNFPlanner
+from repro.query import parse_query
+from tests.conftest import make_example41_source
+
+
+@pytest.fixture
+def mediator():
+    m = Mediator()
+    m.add_source(make_example41_source())
+    return m
+
+
+class TestParseQuery:
+    def test_basic(self):
+        query = parse_query(
+            "SELECT model, year FROM cars WHERE make = 'BMW' and price < 40000"
+        )
+        assert query.attributes == {"model", "year"}
+        assert query.source == "cars"
+        assert query.condition.is_and
+
+    def test_no_where_is_true(self):
+        query = parse_query("SELECT model FROM cars")
+        assert query.condition.is_true
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select model from cars where make = 'BMW'")
+        assert query.source == "cars"
+
+    def test_trailing_semicolon(self):
+        assert parse_query("SELECT a FROM t;").attributes == {"a"}
+
+    def test_round_trip_text(self):
+        query = parse_query("SELECT model FROM cars WHERE make = 'BMW'")
+        again = parse_query(query.to_text())
+        assert again == query
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "SELECT FROM cars", "model FROM cars", "SELECT a WHERE b = 1"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConditionParseError):
+            parse_query(bad)
+
+
+class TestMediator:
+    def test_ask_end_to_end(self, mediator):
+        answer = mediator.ask(
+            "SELECT model, year FROM cars "
+            "WHERE make = 'BMW' and price < 40000"
+        )
+        assert {row["model"] for row in answer.rows} == {"328i", "318i"}
+        assert answer.report.queries == 1
+        assert answer.planning.feasible
+
+    def test_ask_fixes_order(self, mediator):
+        answer = mediator.ask(
+            "SELECT model FROM cars WHERE price < 40000 and make = 'BMW'"
+        )
+        assert len(answer.rows) == 2
+
+    def test_infeasible_raises(self, mediator):
+        with pytest.raises(InfeasiblePlanError):
+            mediator.ask("SELECT model FROM cars WHERE year = 1999")
+
+    def test_unknown_source(self, mediator):
+        with pytest.raises(PlanExecutionError):
+            mediator.ask("SELECT a FROM nowhere WHERE a = 1")
+
+    def test_unknown_projection_attribute(self, mediator):
+        with pytest.raises(UnknownAttributeError):
+            mediator.plan("SELECT ghost FROM cars WHERE make = 'BMW'")
+
+    def test_unknown_condition_attribute(self, mediator):
+        with pytest.raises(UnknownAttributeError):
+            mediator.plan("SELECT model FROM cars WHERE ghost = 1")
+
+    def test_duplicate_source_rejected(self, mediator):
+        with pytest.raises(PlanExecutionError):
+            mediator.add_source(make_example41_source())
+
+    def test_per_query_planner_override(self, mediator):
+        result = mediator.plan(
+            "SELECT model FROM cars WHERE make = 'BMW' and price < 40000",
+            DNFPlanner(),
+        )
+        assert result.planner == "DNF"
+
+    def test_answer_exposes_relation(self, mediator):
+        answer = mediator.ask(
+            "SELECT model FROM cars WHERE make = 'BMW' and color = 'red'"
+        )
+        assert answer.result.as_row_set() == {("328i",)}
+
+    def test_cost_model_covers_all_sources(self, mediator):
+        cm = mediator.cost_model()
+        assert "cars" in cm.stats

@@ -1,0 +1,114 @@
+"""Coverage for the smaller shared pieces: stats merging, counters,
+describe strings, convenience APIs."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.mediator import Mediator
+from repro.multisource import MirrorGroup
+from repro.planners.base import CheckCounter, PlannerStats, PlanningResult
+from repro.query import TargetQuery, parse_query
+from tests.conftest import make_example41_source
+
+
+class TestPlannerStats:
+    def test_merge_adds_counters(self):
+        a = PlannerStats(cts_processed=2, check_calls=10, elapsed_sec=0.5)
+        b = PlannerStats(cts_processed=3, check_calls=5, elapsed_sec=0.25,
+                         rewrite_truncated=True)
+        a.merge(b)
+        assert a.cts_processed == 5
+        assert a.check_calls == 15
+        assert a.elapsed_sec == pytest.approx(0.75)
+        assert a.rewrite_truncated
+
+    def test_merge_preserves_truncation_flag(self):
+        a = PlannerStats(rewrite_truncated=True)
+        a.merge(PlannerStats())
+        assert a.rewrite_truncated
+
+
+class TestCheckCounter:
+    def test_counts_requests_not_parses(self, example41):
+        counter = CheckCounter(example41.description)
+        condition = parse_condition("make = 'BMW' and price < 40000")
+        counter.check(condition)
+        counter.check(condition)  # cached parse, still a request
+        assert counter.calls == 2
+        assert example41.description.check_calls == 1
+
+    def test_supports_delegates(self, example41):
+        counter = CheckCounter(example41.description)
+        assert counter.supports(
+            parse_condition("make = 'BMW' and price < 40000"), {"model"}
+        )
+        assert counter.calls == 1
+
+
+class TestPlanningResultDescribe:
+    def test_infeasible_describe(self):
+        query = TargetQuery(
+            parse_condition("a = 1"), frozenset({"a"}), "src"
+        )
+        result = PlanningResult("X", query, None, float("inf"))
+        text = result.describe()
+        assert "INFEASIBLE" in text and "∅" in text
+
+
+class TestMediatorExplain:
+    def test_explain_renders_plan(self):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        text = mediator.explain(
+            "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+        )
+        assert "GenCompact" in text
+        assert "SourceQuery" in text
+
+    def test_explain_infeasible(self):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source())
+        text = mediator.explain("SELECT model FROM cars WHERE year = 1999")
+        assert "INFEASIBLE" in text
+
+
+class TestMirrorAsk:
+    def test_executes_winner(self):
+        from tests.test_multisource import poor_source, rich_source, q
+
+        group = MirrorGroup([rich_source(), poor_source()])
+        report = group.ask(q("make = 'BMW' and price <= 60000"))
+        assert report.result.as_row_set() == {(0,), (1,)}
+        assert report.queries == 1
+
+    def test_infeasible_raises(self):
+        from repro.errors import InfeasiblePlanError
+        from tests.test_multisource import rich_source, q
+
+        group = MirrorGroup([rich_source("r1"), rich_source("r2")])
+        with pytest.raises(InfeasiblePlanError):
+            group.ask(q("price <= 100"))
+
+
+class TestTargetQueryText:
+    def test_str_includes_source_and_condition(self):
+        query = parse_query("SELECT a, b FROM src WHERE a = 1")
+        text = str(query)
+        assert "src" in text and "a = 1" in text
+        assert parse_query(text) == query
+
+    def test_true_condition_text(self):
+        query = parse_query("SELECT a FROM src")
+        assert "true" in query.to_text().lower()
+
+
+class TestRelationSample:
+    def test_sample_bounds(self):
+        import random
+
+        source = make_example41_source()
+        rng = random.Random(3)
+        sample = source.relation.sample(3, rng)
+        assert len(sample) == 3
+        full = source.relation.sample(1000, rng)
+        assert len(full) == len(source.relation)

@@ -1,0 +1,155 @@
+"""Unit tests for mirrors and partitioned sources."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.errors import InfeasiblePlanError, SchemaError
+from repro.multisource import MirrorGroup, PartitionedSource, merge_stats
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+
+SCHEMA = Schema.of(
+    "cars",
+    [("id", AttrType.INT), ("make", AttrType.STRING),
+     ("price", AttrType.INT)],
+    key="id",
+)
+
+ROWS = [
+    {"id": 0, "make": "BMW", "price": 30000},
+    {"id": 1, "make": "BMW", "price": 50000},
+    {"id": 2, "make": "Toyota", "price": 15000},
+    {"id": 3, "make": "Toyota", "price": 22000},
+    {"id": 4, "make": "Honda", "price": 18000},
+    {"id": 5, "make": "Honda", "price": 12000},
+]
+
+
+def rich_source(name="rich", rows=None):
+    """Supports make+price conjunctions."""
+    desc = (
+        DescriptionBuilder(name)
+        .rule("mp", "make = $str and price <= $num | make = $str",
+              attributes=["id", "make", "price"])
+        .build()
+    )
+    return CapabilitySource(name, Relation(SCHEMA, rows or ROWS), desc)
+
+
+def poor_source(name="poor", rows=None):
+    """Only whole downloads."""
+    desc = (
+        DescriptionBuilder(name)
+        .rule("dl", "true", attributes=["id", "make", "price"])
+        .build()
+    )
+    return CapabilitySource(name, Relation(SCHEMA, rows or ROWS), desc)
+
+
+def q(text, attrs=("id",)):
+    return TargetQuery(parse_condition(text), frozenset(attrs), "logical")
+
+
+class TestMirrorGroup:
+    def test_requires_two_distinct_sources(self):
+        with pytest.raises(SchemaError):
+            MirrorGroup([rich_source()])
+        with pytest.raises(SchemaError):
+            MirrorGroup([rich_source("x"), rich_source("x")])
+
+    def test_requires_shared_attributes(self):
+        other_schema = Schema.of("other", [("id", AttrType.INT)], key="id")
+        other = CapabilitySource(
+            "other",
+            Relation(other_schema, [{"id": 1}]),
+            DescriptionBuilder("o").rule("dl", "true", attributes=["id"]).build(),
+        )
+        with pytest.raises(SchemaError):
+            MirrorGroup([rich_source(), other])
+
+    def test_picks_cheaper_mirror(self):
+        group = MirrorGroup([rich_source(), poor_source()])
+        choice = group.plan(q("make = 'BMW' and price <= 40000"))
+        assert choice.feasible
+        # The rich mirror answers with a filtered query; the poor one
+        # must download everything -- rich wins.
+        assert choice.chosen.query.source == "rich"
+        assert len(choice.per_source) == 2
+        assert choice.per_source["poor"].feasible  # download plan exists
+
+    def test_capability_based_failover(self):
+        # A query the rich form cannot express (no price-only rule) falls
+        # over to the download mirror.
+        group = MirrorGroup([rich_source(), poor_source()])
+        choice = group.plan(q("price <= 16000"))
+        assert choice.feasible
+        assert choice.chosen.query.source == "poor"
+
+    def test_infeasible_everywhere(self):
+        group = MirrorGroup([rich_source("r1"), rich_source("r2")])
+        choice = group.plan(q("price <= 16000"))
+        assert not choice.feasible
+        assert choice.chosen is None
+
+    def test_per_source_cost_constants_steer_choice(self):
+        # Same capabilities, but mirror two is 100x more expensive per
+        # tuple: mirror one must win.
+        group = MirrorGroup(
+            [rich_source("m1"), rich_source("m2")],
+            per_source_constants={"m2": (100.0, 100.0)},
+        )
+        choice = group.plan(q("make = 'BMW' and price <= 40000"))
+        assert choice.chosen.query.source == "m1"
+
+    def test_merge_stats(self):
+        group = MirrorGroup([rich_source(), poor_source()])
+        choice = group.plan(q("make = 'BMW' and price <= 40000"))
+        merged = merge_stats(choice.per_source)
+        assert merged.check_calls > 0
+
+
+class TestPartitionedSource:
+    def partitions(self):
+        west = [r for r in ROWS if r["id"] % 2 == 0]
+        east = [r for r in ROWS if r["id"] % 2 == 1]
+        return rich_source("west", west), rich_source("east", east)
+
+    def test_union_over_partitions(self):
+        west, east = self.partitions()
+        partitioned = PartitionedSource([west, east])
+        outcome = partitioned.plan(q("make = 'Toyota' and price <= 30000"))
+        assert outcome.feasible
+        report = partitioned.ask(q("make = 'Toyota' and price <= 30000"))
+        assert report.result.as_row_set() == {(2,), (3,)}
+        assert report.queries == 2  # one per partition
+
+    def test_cost_is_sum_of_partitions(self):
+        west, east = self.partitions()
+        partitioned = PartitionedSource([west, east])
+        outcome = partitioned.plan(q("make = 'Honda' and price <= 30000"))
+        parts = [r.cost for r in outcome.per_source.values()]
+        assert outcome.cost == pytest.approx(sum(parts))
+
+    def test_unplannable_partition_sinks_query(self):
+        west, __ = self.partitions()
+        east_poor = poor_source("east_poor", [r for r in ROWS if r["id"] % 2])
+        # poor partition can still download, so use a partition with a
+        # form that cannot express the query AND no download:
+        east_limited = rich_source("east_limited", [r for r in ROWS if r["id"] % 2])
+        partitioned = PartitionedSource([west, east_limited])
+        outcome = partitioned.plan(q("price <= 16000"))
+        assert not outcome.feasible
+        assert "east_limited" in outcome.infeasible_partitions
+        with pytest.raises(InfeasiblePlanError):
+            partitioned.ask(q("price <= 16000"))
+        del east_poor
+
+    def test_mixed_capability_partitions_work(self):
+        west, __ = self.partitions()
+        east_poor = poor_source("east_poor", [r for r in ROWS if r["id"] % 2])
+        partitioned = PartitionedSource([west, east_poor])
+        report = partitioned.ask(q("make = 'BMW' and price <= 60000"))
+        assert report.result.as_row_set() == {(0,), (1,)}

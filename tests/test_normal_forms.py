@@ -1,0 +1,79 @@
+"""Unit tests for CNF/DNF conversion (the baseline strategies' substrate)."""
+
+import pytest
+
+from repro.conditions.canonical import is_canonical
+from repro.conditions.normal_forms import cnf_clauses, dnf_terms, to_cnf, to_dnf
+from repro.conditions.parser import parse_condition
+from repro.conditions.semantics import logically_equivalent
+from repro.conditions.tree import TRUE
+from repro.errors import ConditionError
+
+
+class TestExamples:
+    def test_example_11_dnf(self):
+        # (freud or jung) and dreams -> two conjunctive terms.
+        tree = parse_condition(
+            "(author = 'Freud' or author = 'Jung') and title contains 'dreams'"
+        )
+        terms = dnf_terms(tree)
+        assert len(terms) == 2
+        assert all(len(term) == 2 for term in terms)
+        assert logically_equivalent(tree, to_dnf(tree))
+
+    def test_example_11_cnf_is_itself(self):
+        tree = parse_condition(
+            "(author = 'Freud' or author = 'Jung') and title contains 'dreams'"
+        )
+        clauses = cnf_clauses(tree)
+        assert len(clauses) == 2
+        assert logically_equivalent(tree, to_cnf(tree))
+
+    def test_example_12_counts(self):
+        # The paper: DNF has four terms, CNF six clauses.
+        tree = parse_condition(
+            "style = 'sedan' and (size = 'compact' or size = 'midsize') and "
+            "((make = 'Toyota' and price <= 20000) or "
+            "(make = 'BMW' and price <= 40000))"
+        )
+        assert len(dnf_terms(tree)) == 4
+        assert len(cnf_clauses(tree)) == 6
+        assert logically_equivalent(tree, to_dnf(tree))
+        assert logically_equivalent(tree, to_cnf(tree))
+
+
+class TestShapes:
+    def test_leaf(self):
+        tree = parse_condition("a = 1")
+        assert to_dnf(tree) == tree
+        assert to_cnf(tree) == tree
+
+    def test_true(self):
+        assert to_dnf(TRUE) is TRUE
+        assert to_cnf(TRUE) is TRUE
+
+    def test_results_are_canonical(self):
+        tree = parse_condition(
+            "(a = 1 or b = 2) and (c = 3 or (d = 4 and e = 5))"
+        )
+        assert is_canonical(to_dnf(tree))
+        assert is_canonical(to_cnf(tree))
+
+    def test_duplicate_atoms_deduplicated_within_terms(self):
+        tree = parse_condition("(a = 1 or b = 2) and a = 1")
+        terms = dnf_terms(tree)
+        for term in terms:
+            assert len(term) == len(set(term))
+
+    def test_dnf_term_count_multiplies(self):
+        tree = parse_condition(
+            "(a = 1 or a = 2) and (b = 1 or b = 2) and (c = 1 or c = 2)"
+        )
+        assert len(dnf_terms(tree)) == 8
+
+    def test_budget_exceeded_raises(self):
+        tree = parse_condition(
+            "(a = 1 or a = 2) and (b = 1 or b = 2) and (c = 1 or c = 2)"
+        )
+        with pytest.raises(ConditionError):
+            dnf_terms(tree, max_terms=7)

@@ -1,0 +1,123 @@
+"""Unit tests for the plan algebra nodes."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.errors import PlanExecutionError
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    download_plan,
+    make_choice,
+    sp,
+)
+
+A = frozenset({"model", "year"})
+
+
+def sq(text="make = 'BMW' and price < 40000", attrs=A, source="cars"):
+    return SourceQuery(parse_condition(text), frozenset(attrs), source)
+
+
+class TestSp:
+    def test_string_input_builds_source_query(self):
+        plan = sp(parse_condition("a = 1"), {"x"}, "src")
+        assert isinstance(plan, SourceQuery)
+        assert plan.source == "src"
+
+    def test_plan_input_builds_postprocess(self):
+        inner = sq(attrs={"model", "year", "color"})
+        plan = sp(parse_condition("color = 'red'"), A, inner)
+        assert isinstance(plan, Postprocess)
+        assert plan.attributes == A
+
+    def test_true_condition_same_attrs_collapses(self):
+        inner = sq()
+        assert sp(TRUE, A, inner) is inner
+
+    def test_true_condition_different_attrs_projects(self):
+        inner = sq(attrs={"model", "year", "color"})
+        plan = sp(TRUE, A, inner)
+        assert isinstance(plan, Postprocess)
+
+
+class TestPostprocessValidation:
+    def test_requires_condition_attributes_from_input(self):
+        inner = sq(attrs=A)  # no color in the input
+        with pytest.raises(PlanExecutionError):
+            Postprocess(parse_condition("color = 'red'"), A, inner)
+
+    def test_requires_projection_from_input(self):
+        inner = sq(attrs={"model"})
+        with pytest.raises(PlanExecutionError):
+            Postprocess(TRUE, frozenset({"model", "year"}), inner)
+
+
+class TestCombinations:
+    def test_union_requires_matching_attributes(self):
+        with pytest.raises(PlanExecutionError):
+            UnionPlan([sq(attrs={"model"}), sq(attrs={"year"})])
+
+    def test_union_requires_two_children(self):
+        with pytest.raises(PlanExecutionError):
+            UnionPlan([sq()])
+
+    def test_attributes_exposed(self):
+        union = UnionPlan([sq(), sq("make = 'BMW' and color = 'red'")])
+        assert union.attributes == A
+
+    def test_source_queries_iterates_leaves(self):
+        plan = IntersectPlan(
+            [sq(), Postprocess(TRUE, A, sq(attrs=A | {"color"}))]
+        )
+        assert len(list(plan.source_queries())) == 2
+
+    def test_equality_and_hash(self):
+        left = UnionPlan([sq(), sq("make = 'BMW' and color = 'red'")])
+        right = UnionPlan([sq(), sq("make = 'BMW' and color = 'red'")])
+        assert left == right and hash(left) == hash(right)
+        assert left != IntersectPlan(list(left.children))
+
+
+class TestChoice:
+    def test_make_choice_none_for_empty(self):
+        assert make_choice([]) is None
+        assert make_choice([None, None]) is None
+
+    def test_make_choice_collapses_singleton(self):
+        only = sq()
+        assert make_choice([only, None]) is only
+
+    def test_make_choice_deduplicates(self):
+        assert make_choice([sq(), sq()]) == sq()
+
+    def test_choice_is_not_concrete(self):
+        choice = make_choice([sq(), sq("make = 'BMW' and color = 'red'")])
+        assert isinstance(choice, ChoicePlan)
+        assert not choice.is_concrete
+        wrapper = Postprocess(TRUE, frozenset({"model"}), choice)
+        assert not wrapper.is_concrete
+
+    def test_concrete_plans_report_concrete(self):
+        assert sq().is_concrete
+        assert UnionPlan([sq(), sq("make = 'X' and color = 'red'")]).is_concrete
+
+
+class TestDownloadPlan:
+    def test_fetches_condition_attributes(self):
+        condition = parse_condition("color = 'red' or color = 'black'")
+        plan = download_plan(condition, A, "cars")
+        assert isinstance(plan, Postprocess)
+        inner = plan.input
+        assert isinstance(inner, SourceQuery)
+        assert inner.condition.is_true
+        assert inner.attrs == A | {"color"}
+
+    def test_true_condition_download_is_bare_query(self):
+        plan = download_plan(TRUE, A, "cars")
+        assert isinstance(plan, SourceQuery)
+        assert plan.condition.is_true

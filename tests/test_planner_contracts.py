@@ -1,0 +1,131 @@
+"""Contract tests every planner must satisfy, over a mixed corpus.
+
+These pin the `Planner` interface's semantics -- the guarantees other
+modules (mediator, wrapper, joins, experiments) silently rely on:
+
+1. the returned plan (if any) produces exactly the query's attributes;
+2. feasibility implies independent validation succeeds;
+3. infeasibility is reported as plan=None + infinite cost;
+4. stats are populated sanely;
+5. planning is deterministic (same inputs, same plan cost);
+6. the planner never mutates the query or the source description.
+"""
+
+import math
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.plans.cost import CostModel
+from repro.plans.feasible import validate_plan
+from repro.query import TargetQuery
+from tests.conftest import make_example41_source
+
+PLANNERS = [
+    GenCompact(),
+    GenModular(max_rewrites=25),
+    CNFPlanner(),
+    DNFPlanner(),
+    DiscoPlanner(),
+    NaivePlanner(),
+]
+
+CORPUS = [
+    ("make = 'BMW' and price < 40000", ("model",)),
+    ("make = 'BMW' and color = 'red'", ("model", "year")),
+    ("price < 40000 and color = 'red' and make = 'BMW'", ("model",)),
+    ("(make = 'BMW' and price < 40000) or (make = 'Toyota' and price < 30000)",
+     ("model",)),
+    ("year = 1999", ("model",)),                      # infeasible for all
+    ("make = 'BMW' and color = 'red'", ("color",)),   # unexportable
+]
+
+
+@pytest.fixture(scope="module")
+def source():
+    return make_example41_source()
+
+
+@pytest.fixture(scope="module")
+def model(source):
+    return CostModel({source.name: source.stats})
+
+
+def queries():
+    return [
+        TargetQuery(parse_condition(text), frozenset(attrs), "cars")
+        for text, attrs in CORPUS
+    ]
+
+
+@pytest.mark.parametrize("planner", PLANNERS, ids=lambda p: p.name)
+class TestContracts:
+    def test_output_attributes_match_query(self, planner, source, model):
+        for query in queries():
+            result = planner.plan(query, source, model)
+            if result.feasible:
+                assert result.plan.attributes == query.attributes, query
+
+    def test_feasible_plans_validate(self, planner, source, model):
+        for query in queries():
+            result = planner.plan(query, source, model)
+            if result.feasible:
+                assert validate_plan(result.plan, {"cars": source}), (
+                    planner.name, query,
+                )
+
+    def test_infeasible_reported_consistently(self, planner, source, model):
+        for query in queries():
+            result = planner.plan(query, source, model)
+            assert (result.plan is None) == (not result.feasible)
+            if not result.feasible:
+                assert math.isinf(result.cost)
+            else:
+                assert math.isfinite(result.cost) and result.cost >= 0
+
+    def test_cost_matches_cost_model(self, planner, source, model):
+        for query in queries():
+            result = planner.plan(query, source, model)
+            if result.feasible:
+                assert result.cost == pytest.approx(model.cost(result.plan))
+
+    def test_stats_populated(self, planner, source, model):
+        result = planner.plan(queries()[0], source, model)
+        assert result.stats.elapsed_sec >= 0
+        assert result.stats.check_calls >= 1
+        assert result.planner == planner.name
+        assert result.query == queries()[0]
+
+    def test_deterministic(self, planner, source, model):
+        for query in queries()[:3]:
+            first = planner.plan(query, source, model)
+            second = planner.plan(query, source, model)
+            assert first.feasible == second.feasible
+            if first.feasible:
+                assert first.cost == pytest.approx(second.cost)
+                assert first.plan == second.plan
+
+    def test_inputs_not_mutated(self, planner, source, model):
+        query = queries()[2]
+        condition_before = query.condition
+        rules_before = source.description.rule_count()
+        closed_rules_before = source.closed_description.rule_count()
+        planner.plan(query, source, model)
+        assert query.condition == condition_before
+        assert source.description.rule_count() == rules_before
+        assert source.closed_description.rule_count() == closed_rules_before
+
+    def test_no_source_traffic_during_planning(self, planner, source, model):
+        before = source.meter.snapshot()
+        for query in queries():
+            planner.plan(query, source, model)
+        delta = source.meter.snapshot() - before
+        assert delta.queries == 0 and delta.rejected == 0

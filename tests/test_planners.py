@@ -1,0 +1,182 @@
+"""Integration tests for the planning schemes on the paper's scenarios."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.plans.cost import CostModel
+from repro.plans.feasible import validate_plan
+from repro.plans.nodes import SourceQuery, UnionPlan
+from repro.query import TargetQuery
+from repro.source.library import bookstore, car_guide
+from repro.workloads.scenarios import bank_scenario
+
+
+@pytest.fixture(scope="module")
+def book_source():
+    return bookstore(n=4000)
+
+
+@pytest.fixture(scope="module")
+def book_query():
+    return TargetQuery(
+        parse_condition(
+            "(author = 'Sigmund Freud' or author = 'Carl Jung') "
+            "and title contains 'dreams'"
+        ),
+        frozenset({"id", "title", "author"}),
+        "bookstore",
+    )
+
+
+@pytest.fixture(scope="module")
+def car_source():
+    return car_guide(n=3000)
+
+
+@pytest.fixture(scope="module")
+def car_query():
+    return TargetQuery(
+        parse_condition(
+            "style = 'sedan' and (size = 'compact' or size = 'midsize') and "
+            "((make = 'Toyota' and price <= 20000) or "
+            "(make = 'BMW' and price <= 40000))"
+        ),
+        frozenset({"id", "make", "model", "price"}),
+        "car_guide",
+    )
+
+
+def model_for(source):
+    return CostModel({source.name: source.stats})
+
+
+class TestExample11:
+    """The bookstore query: two-author search is impossible in one query."""
+
+    def test_gencompact_finds_the_two_query_plan(self, book_source, book_query):
+        result = GenCompact().plan(book_query, book_source, model_for(book_source))
+        assert result.feasible
+        assert isinstance(result.plan, UnionPlan)
+        assert len(result.plan.children) == 2
+        for child in result.plan.children:
+            assert isinstance(child, SourceQuery)
+            assert child.condition.is_and  # author ^ title per branch
+
+    def test_dnf_matches_gencompact_here(self, book_source, book_query):
+        cm = model_for(book_source)
+        gc = GenCompact().plan(book_query, book_source, cm)
+        dnf = DNFPlanner().plan(book_query, book_source, cm)
+        assert dnf.feasible
+        assert dnf.cost == pytest.approx(gc.cost)
+
+    def test_cnf_is_worse(self, book_source, book_query):
+        cm = model_for(book_source)
+        gc = GenCompact().plan(book_query, book_source, cm)
+        cnf = CNFPlanner().plan(book_query, book_source, cm)
+        assert cnf.feasible
+        assert cnf.cost > gc.cost
+
+    def test_disco_and_naive_infeasible(self, book_source, book_query):
+        cm = model_for(book_source)
+        assert not DiscoPlanner().plan(book_query, book_source, cm).feasible
+        assert not NaivePlanner().plan(book_query, book_source, cm).feasible
+
+    def test_genmodular_matches_on_this_query(self, book_source, book_query):
+        cm = model_for(book_source)
+        gc = GenCompact().plan(book_query, book_source, cm)
+        gm = GenModular(max_rewrites=80).plan(book_query, book_source, cm)
+        assert gm.feasible
+        assert gm.cost == pytest.approx(gc.cost)
+
+    def test_plans_validate(self, book_source, book_query):
+        cm = model_for(book_source)
+        for planner in (GenCompact(), DNFPlanner(), CNFPlanner()):
+            result = planner.plan(book_query, book_source, cm)
+            assert validate_plan(result.plan, {book_source.name: book_source})
+
+
+class TestExample12:
+    """The car query: GenCompact beats both DNF (4 queries) and CNF."""
+
+    def test_gencompact_two_queries(self, car_source, car_query):
+        result = GenCompact().plan(car_query, car_source, model_for(car_source))
+        assert result.feasible
+        queries = list(result.plan.source_queries())
+        assert len(queries) == 2
+
+    def test_dnf_four_queries(self, car_source, car_query):
+        result = DNFPlanner().plan(car_query, car_source, model_for(car_source))
+        assert result.feasible
+        assert len(list(result.plan.source_queries())) == 4
+
+    def test_ordering_gencompact_beats_baselines(self, car_source, car_query):
+        cm = model_for(car_source)
+        gc = GenCompact().plan(car_query, car_source, cm)
+        dnf = DNFPlanner().plan(car_query, car_source, cm)
+        cnf = CNFPlanner().plan(car_query, car_source, cm)
+        assert gc.cost < dnf.cost
+        assert gc.cost < cnf.cost
+
+    def test_disco_and_naive_infeasible(self, car_source, car_query):
+        cm = model_for(car_source)
+        assert not DiscoPlanner().plan(car_query, car_source, cm).feasible
+        assert not NaivePlanner().plan(car_query, car_source, cm).feasible
+
+    def test_plan_validates_and_fixes(self, car_source, car_query):
+        result = GenCompact().plan(car_query, car_source, model_for(car_source))
+        report = validate_plan(
+            result.plan, {car_source.name: car_source}, require_fixable=True
+        )
+        assert report.feasible
+
+
+class TestBankScenario:
+    def test_pin_unlocks_balance(self):
+        scenario = bank_scenario(n=500)
+        cm = model_for(scenario.source)
+        result = GenCompact().plan(scenario.query, scenario.source, cm)
+        assert result.feasible
+        # Without the PIN the same projection is infeasible.
+        no_pin = TargetQuery(
+            parse_condition(
+                f"account_no = {scenario.query.condition.children[0].atom.value}"
+            ),
+            scenario.query.attributes,
+            "bank",
+        )
+        assert not GenCompact().plan(no_pin, scenario.source, cm).feasible
+
+
+class TestStatsPopulated:
+    def test_gencompact_stats(self, book_source, book_query):
+        result = GenCompact().plan(book_query, book_source, model_for(book_source))
+        stats = result.stats
+        assert stats.cts_processed >= 1
+        assert stats.check_calls > 0
+        assert stats.elapsed_sec > 0
+        assert stats.recursive_calls > 0
+
+    def test_genmodular_stats(self, book_source, book_query):
+        result = GenModular(max_rewrites=20).plan(
+            book_query, book_source, model_for(book_source)
+        )
+        assert result.stats.cts_processed == 20 or not result.stats.rewrite_truncated
+        assert result.stats.subplans_considered > 0
+
+    def test_planner_names(self):
+        assert GenCompact().name == "GenCompact"
+        assert GenCompact(pr1=False).name == "GenCompact(no pr1)"
+        assert GenModular().name == "GenModular"
+
+    def test_describe(self, book_source, book_query):
+        result = GenCompact().plan(book_query, book_source, model_for(book_source))
+        text = result.describe()
+        assert "GenCompact" in text and "cost=" in text

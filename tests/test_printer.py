@@ -1,0 +1,108 @@
+"""Unit tests for plan rendering."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.plans.cost import CostModel
+from repro.plans.nodes import (
+    IntersectPlan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    make_choice,
+)
+from repro.plans.printer import explain, to_paper_notation
+
+A = frozenset({"model"})
+
+
+def sq(text, attrs=A):
+    return SourceQuery(parse_condition(text), frozenset(attrs), "cars")
+
+
+class TestPaperNotation:
+    def test_source_query(self):
+        text = to_paper_notation(sq("make = 'BMW' and price < 40000"))
+        assert text.startswith("SP(")
+        assert "cars" in text and "{model}" in text
+
+    def test_nested_sp(self):
+        inner = sq("make = 'BMW' and price < 40000", attrs={"model", "color"})
+        plan = Postprocess(parse_condition("color = 'red'"), A, inner)
+        text = to_paper_notation(plan)
+        assert text.count("SP(") == 2
+
+    def test_union_and_intersect_symbols(self):
+        union = UnionPlan([sq("make = 'A' and price < 1"),
+                           sq("make = 'B' and price < 1")])
+        assert "∪" in to_paper_notation(union)
+        inter = IntersectPlan([sq("make = 'A' and price < 1"),
+                               sq("make = 'B' and price < 1")])
+        assert "∩" in to_paper_notation(inter)
+
+    def test_choice(self):
+        choice = make_choice([sq("make = 'A' and price < 1"),
+                              sq("make = 'B' and price < 1")])
+        assert to_paper_notation(choice).startswith("Choice(")
+
+    def test_none_is_empty_set(self):
+        assert to_paper_notation(None) == "∅"
+
+
+class TestExplain:
+    def test_tree_rendering(self):
+        union = UnionPlan([sq("make = 'A' and price < 1"),
+                           sq("make = 'B' and price < 1")])
+        text = explain(union)
+        lines = text.splitlines()
+        assert lines[0] == "Union"
+        assert all(line.startswith("  ") for line in lines[1:])
+
+    def test_annotates_estimates_with_cost_model(self, example41):
+        model = CostModel({"cars": example41.stats})
+        text = explain(sq("make = 'BMW' and price < 40000"), model)
+        assert "est." in text
+
+    def test_none(self):
+        assert "no feasible plan" in explain(None)
+
+
+class TestExplainDict:
+    def test_structure_and_json_safety(self, example41):
+        import json
+
+        from repro.plans.cost import CostModel
+        from repro.plans.printer import explain_dict
+
+        model = CostModel({"cars": example41.stats})
+        inner = sq("make = 'BMW' and price < 40000", attrs={"model", "color"})
+        plan = Postprocess(
+            parse_condition("color = 'red'"), frozenset({"model"}), inner
+        )
+        tree = explain_dict(plan, model)
+        json.dumps(tree)
+        assert tree["node"] == "postprocess"
+        assert tree["input"]["node"] == "source_query"
+        assert tree["input"]["estimated_cost"] > 0
+        assert tree["total_cost"] == pytest.approx(model.cost(plan))
+
+    def test_without_cost_model(self):
+        from repro.plans.printer import explain_dict
+
+        tree = explain_dict(sq("make = 'A' and price < 1"))
+        assert "estimated_cost" not in tree
+        assert "total_cost" not in tree
+
+    def test_empty(self):
+        from repro.plans.printer import explain_dict
+
+        assert explain_dict(None) == {"node": "empty"}
+
+    def test_union_children(self):
+        from repro.plans.printer import explain_dict
+
+        union = UnionPlan([sq("make = 'A' and price < 1"),
+                           sq("make = 'B' and price < 1")])
+        tree = explain_dict(union)
+        assert tree["node"] == "union"
+        assert len(tree["children"]) == 2

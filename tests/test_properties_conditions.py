@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the condition-tree layer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.canonical import canonicalize, is_canonical
+from repro.conditions.normal_forms import to_cnf, to_dnf
+from repro.conditions.parser import parse_condition
+from repro.conditions.rewrite import (
+    associative_rule,
+    commutative_rule,
+    copy_rule,
+    distributive_rule,
+    enumerate_orderings,
+    factoring_rule,
+)
+from repro.conditions.semantics import logically_equivalent
+from repro.conditions.tree import And, Leaf, Or
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_ATTRS = ["a", "b", "c", "d"]
+_OPS = [Op.EQ, Op.NE, Op.LE, Op.GE]
+
+atoms = st.builds(
+    Atom,
+    st.sampled_from(_ATTRS),
+    st.sampled_from(_OPS),
+    st.one_of(st.integers(0, 9), st.sampled_from(["x", "y", "z"])),
+)
+
+leaves = st.builds(Leaf, atoms)
+
+
+def _connector(children):
+    return st.one_of(
+        st.builds(And, st.lists(children, min_size=2, max_size=3)),
+        st.builds(Or, st.lists(children, min_size=2, max_size=3)),
+    )
+
+
+conditions = st.recursive(leaves, _connector, max_leaves=8)
+
+
+# ----------------------------------------------------------------------
+# Canonical form
+# ----------------------------------------------------------------------
+
+@given(conditions)
+@settings(max_examples=150, deadline=None)
+def test_canonicalize_is_canonical_and_equivalent(tree):
+    flat = canonicalize(tree)
+    assert is_canonical(flat)
+    assert logically_equivalent(tree, flat)
+
+
+@given(conditions)
+@settings(max_examples=100, deadline=None)
+def test_canonicalize_idempotent(tree):
+    once = canonicalize(tree)
+    assert canonicalize(once) == once
+
+
+@given(conditions)
+@settings(max_examples=100, deadline=None)
+def test_canonicalize_preserves_atom_order(tree):
+    assert canonicalize(tree).atoms() == tree.atoms()
+
+
+# ----------------------------------------------------------------------
+# Normal forms
+# ----------------------------------------------------------------------
+
+@given(conditions)
+@settings(max_examples=100, deadline=None)
+def test_dnf_equivalent_and_shaped(tree):
+    dnf = to_dnf(tree)
+    assert logically_equivalent(tree, dnf)
+    # Shape: an OR of (leaves / ANDs of leaves), or a single term.
+    terms = dnf.children if dnf.is_or else (dnf,)
+    for term in terms:
+        assert term.is_leaf or (
+            term.is_and and all(child.is_leaf for child in term.children)
+        )
+
+
+@given(conditions)
+@settings(max_examples=100, deadline=None)
+def test_cnf_equivalent_and_shaped(tree):
+    cnf = to_cnf(tree)
+    assert logically_equivalent(tree, cnf)
+    clauses = cnf.children if cnf.is_and else (cnf,)
+    for clause in clauses:
+        assert clause.is_leaf or (
+            clause.is_or and all(child.is_leaf for child in clause.children)
+        )
+
+
+# ----------------------------------------------------------------------
+# Rewrite rules: every produced tree is equivalent to its input
+# ----------------------------------------------------------------------
+
+@given(conditions, st.sampled_from(
+    [commutative_rule, associative_rule, distributive_rule, factoring_rule,
+     copy_rule]
+))
+@settings(max_examples=200, deadline=None)
+def test_rewrite_steps_preserve_equivalence(tree, rule):
+    for produced in rule(tree):
+        assert logically_equivalent(tree, produced)
+
+
+@given(conditions)
+@settings(max_examples=60, deadline=None)
+def test_orderings_preserve_atom_multiset(tree):
+    original = sorted(str(a) for a in tree.atoms())
+    for ordering in enumerate_orderings(tree, limit=24):
+        assert sorted(str(a) for a in ordering.atoms()) == original
+        assert logically_equivalent(tree, ordering)
+
+
+# ----------------------------------------------------------------------
+# Text round trip
+# ----------------------------------------------------------------------
+
+@given(conditions)
+@settings(max_examples=150, deadline=None)
+def test_text_round_trip(tree):
+    assert parse_condition(tree.to_text()) == tree
+
+
+# ----------------------------------------------------------------------
+# Evaluation consistency: concrete evaluation agrees with the abstract
+# truth-table evaluation when atoms are independent
+# ----------------------------------------------------------------------
+
+@given(conditions, st.dictionaries(
+    st.sampled_from(_ATTRS), st.one_of(st.integers(0, 9),
+                                       st.sampled_from(["x", "y", "z"])),
+))
+@settings(max_examples=150, deadline=None)
+def test_evaluate_matches_atom_level_evaluation(tree, row):
+    from repro.conditions.semantics import evaluate_abstract
+
+    assignment = {atom: atom.matches(row) for atom in tree.atoms()}
+    assert tree.evaluate(row) == evaluate_abstract(tree, assignment)

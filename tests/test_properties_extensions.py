@@ -1,0 +1,121 @@
+"""Property tests for the extension modules: caching equivalence,
+form-compilation semantics, binding-pattern semantics."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import And, Leaf
+from repro.data.schema import AttrType, Schema
+from repro.plans.cache import ResultCache
+from repro.plans.cost import CostModel
+from repro.plans.execute import Executor
+from repro.ssdl.binding_patterns import compile_binding_patterns
+from repro.ssdl.forms import NumberField, TextField, WebForm
+from repro.workloads.synthetic import (
+    WorldConfig,
+    make_queries,
+    make_source,
+)
+from repro.planners.gencompact import GenCompact
+
+_CONFIG = WorldConfig(n_attributes=5, n_rows=300, richness=0.7,
+                      download_prob=0.5, seed=71)
+_SOURCE = make_source(_CONFIG)
+_MODEL = CostModel({_SOURCE.name: _SOURCE.stats})
+_PLANNER = GenCompact()
+
+
+@given(st.integers(0, 10**6), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_cached_execution_equals_uncached(seed, n_atoms):
+    """A result cache must never change any answer."""
+    query = make_queries(_CONFIG, _SOURCE, 1, n_atoms, seed=seed)[0]
+    result = _PLANNER.plan(query, _SOURCE, _MODEL)
+    if not result.feasible:
+        return
+    plain = Executor({_SOURCE.name: _SOURCE})
+    cached = Executor({_SOURCE.name: _SOURCE}, cache=ResultCache(100_000))
+    baseline = plain.execute(result.plan).as_row_set()
+    assert cached.execute(result.plan).as_row_set() == baseline
+    # Second run comes from the cache and still matches.
+    assert cached.execute(result.plan).as_row_set() == baseline
+
+
+# ----------------------------------------------------------------------
+# Form compilation: the grammar accepts exactly the legal submissions.
+# ----------------------------------------------------------------------
+
+_FORM_SCHEMA = Schema.of(
+    "f", [("t0", AttrType.STRING), ("n0", AttrType.INT),
+          ("t1", AttrType.STRING)],
+)
+_FORM = WebForm(
+    "f",
+    fields=[TextField("t0"), NumberField("n0", op="<="), TextField("t1")],
+    exports=["t0", "n0", "t1"],
+    max_filled=2,
+)
+_FORM_DESC = _FORM.compile()
+_FIELD_ATOMS = {
+    "t0": Atom("t0", Op.EQ, "x"),
+    "n0": Atom("n0", Op.LE, 5),
+    "t1": Atom("t1", Op.EQ, "y"),
+}
+_FIELD_ORDER = ["t0", "n0", "t1"]
+
+
+@given(st.lists(st.sampled_from(_FIELD_ORDER), min_size=1, max_size=3,
+                unique=True))
+@settings(max_examples=60, deadline=None)
+def test_form_grammar_matches_form_semantics(fields):
+    """A submission is accepted iff: <= max_filled fields, each used
+    once, in the form's declared order."""
+    leaves = [Leaf(_FIELD_ATOMS[f]) for f in fields]
+    condition = leaves[0] if len(leaves) == 1 else And(leaves)
+    in_order = fields == sorted(fields, key=_FIELD_ORDER.index)
+    legal = len(fields) <= 2 and in_order
+    assert bool(_FORM_DESC.check(condition)) == legal
+
+
+# ----------------------------------------------------------------------
+# Binding patterns: acceptance == adornment semantics.
+# ----------------------------------------------------------------------
+
+_BP_SCHEMA = Schema.of(
+    "flight",
+    [("origin", AttrType.STRING), ("dest", AttrType.STRING),
+     ("price", AttrType.INT)],
+)
+_BP_ATOMS = {
+    "origin": Atom("origin", Op.EQ, "SFO"),
+    "dest": Atom("dest", Op.EQ, "BOS"),
+    "price": Atom("price", Op.EQ, 100),
+}
+
+
+@given(
+    st.text(alphabet="bfo", min_size=3, max_size=3),
+    st.lists(st.sampled_from(["origin", "dest", "price"]), min_size=0,
+             max_size=3, unique=True),
+)
+@settings(max_examples=120, deadline=None)
+def test_binding_pattern_semantics(adornment, bound_attrs):
+    """A conjunction of equalities is accepted iff it binds every 'b'
+    attribute, no 'f' attribute, and appears in schema order."""
+    description = compile_binding_patterns(_BP_SCHEMA, [adornment])
+    letters = dict(zip(["origin", "dest", "price"], adornment))
+    # Build the query in schema order (the compiled rules are ordered;
+    # order-insensitivity is the commutation closure's job, not this
+    # test's subject).
+    ordered = [a for a in ["origin", "dest", "price"] if a in bound_attrs]
+    if not ordered:
+        return  # the empty query is the download case, tested separately
+    leaves = [Leaf(_BP_ATOMS[a]) for a in ordered]
+    condition = leaves[0] if len(leaves) == 1 else And(leaves)
+    legal = all(letters[a] == "b" or letters[a] == "o" for a in ordered) and all(
+        a in ordered for a, letter in letters.items() if letter == "b"
+    )
+    assert bool(description.check(condition)) == legal

@@ -1,0 +1,194 @@
+"""Property-based tests for the planning stack: the paper's guarantees.
+
+The heavyweight invariants:
+
+1. **Correctness** -- executing any planner's feasible plan returns
+   exactly SP(C, A, R) evaluated on the full relation (the projection
+   includes the key, so the set operations are exact).
+2. **Feasibility** -- the enforcing source never rejects a query from a
+   planner's plan (queries are fixed first).
+3. **GenCompact dominance** -- GenCompact's plan never costs more than
+   any baseline's plan, and is feasible whenever any baseline is.
+4. **Pruning soundness** -- disabling PR1-PR3 never changes the cost.
+5. **Statistics monotonicity** -- dropping a conjunct never shrinks the
+   estimate (PR1's foundation).
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.planners.baselines import (
+    CNFPlanner,
+    DiscoPlanner,
+    DNFPlanner,
+    NaivePlanner,
+)
+from repro.planners.gencompact import GenCompact
+from repro.planners.genmodular import GenModular
+from repro.plans.cost import CostModel
+from repro.plans.execute import Executor, reference_answer
+from repro.query import TargetQuery
+from repro.workloads.synthetic import (
+    WorldConfig,
+    make_queries,
+    make_source,
+    random_condition,
+)
+
+# Three prebuilt worlds with different capability profiles; building one
+# per hypothesis example would dominate the runtime.
+_CONFIGS = [
+    WorldConfig(n_attributes=5, n_rows=400, richness=0.5, download_prob=1.0,
+                seed=21),
+    WorldConfig(n_attributes=5, n_rows=400, richness=0.8, download_prob=0.0,
+                seed=22),
+    WorldConfig(n_attributes=6, n_rows=400, richness=0.3, download_prob=0.5,
+                seed=23),
+]
+_WORLDS = [(config, make_source(config)) for config in _CONFIGS]
+_MODELS = [CostModel({source.name: source.stats}) for _, source in _WORLDS]
+
+_BASELINES = [CNFPlanner(), DNFPlanner(), DiscoPlanner(), NaivePlanner()]
+_GENCOMPACT = GenCompact()
+
+
+def _query_for(world_index: int, seed: int, n_atoms: int) -> TargetQuery:
+    config, source = _WORLDS[world_index]
+    rng = random.Random(seed)
+    condition = random_condition(config, n_atoms, rng)
+    return TargetQuery(condition, frozenset({"key"}), source.name)
+
+
+@given(
+    st.integers(0, len(_WORLDS) - 1),
+    st.integers(0, 10**6),
+    st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_plans_execute_correctly_and_feasibly(world_index, seed, n_atoms):
+    config, source = _WORLDS[world_index]
+    cost_model = _MODELS[world_index]
+    query = _query_for(world_index, seed, n_atoms)
+    expected = reference_answer(
+        source, query.condition, query.attributes
+    ).as_row_set()
+    executor = Executor({source.name: source})
+    for planner in [_GENCOMPACT] + _BASELINES:
+        result = planner.plan(query, source, cost_model)
+        if not result.feasible:
+            continue
+        # Invariant 2: the enforcing source accepts every fixed query.
+        answer = executor.execute(result.plan)
+        # Invariant 1: exact answers (key is projected).
+        assert answer.as_row_set() == expected, (
+            f"{planner.name} returned a wrong answer for {query}"
+        )
+
+
+@given(
+    st.integers(0, len(_WORLDS) - 1),
+    st.integers(0, 10**6),
+    st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_gencompact_dominates_baselines(world_index, seed, n_atoms):
+    __, source = _WORLDS[world_index]
+    cost_model = _MODELS[world_index]
+    query = _query_for(world_index, seed, n_atoms)
+    gc = _GENCOMPACT.plan(query, source, cost_model)
+    for baseline in _BASELINES:
+        base = baseline.plan(query, source, cost_model)
+        if base.feasible:
+            # Invariant 3: feasibility subsumption + cost dominance.
+            assert gc.feasible, (
+                f"{baseline.name} planned {query} but GenCompact did not"
+            )
+            assert gc.cost <= base.cost + 1e-6, (
+                f"GenCompact ({gc.cost}) worse than {baseline.name} "
+                f"({base.cost}) on {query}"
+            )
+
+
+@given(
+    st.integers(0, len(_WORLDS) - 1),
+    st.integers(0, 10**6),
+    st.integers(1, 4),
+)
+@settings(max_examples=15, deadline=None)
+def test_pruning_never_changes_the_optimum(world_index, seed, n_atoms):
+    __, source = _WORLDS[world_index]
+    cost_model = _MODELS[world_index]
+    query = _query_for(world_index, seed, n_atoms)
+    baseline = _GENCOMPACT.plan(query, source, cost_model)
+    unpruned = GenCompact(pr1=False, pr2=False, pr3=False).plan(
+        query, source, cost_model
+    )
+    assert baseline.feasible == unpruned.feasible
+    if baseline.feasible:
+        assert unpruned.cost == pytest.approx(baseline.cost)
+
+
+@given(
+    st.integers(0, len(_WORLDS) - 1),
+    st.integers(0, 10**6),
+    st.integers(2, 4),
+)
+@settings(max_examples=10, deadline=None)
+def test_genmodular_never_beats_gencompact_on_small_queries(
+    world_index, seed, n_atoms
+):
+    """IPG on canonical trees subsumes the associativity/copy rewrites, so
+    with the same (closed) description GenModular cannot find a cheaper
+    plan than GenCompact on small queries."""
+    __, source = _WORLDS[world_index]
+    cost_model = _MODELS[world_index]
+    query = _query_for(world_index, seed, n_atoms)
+    gc = _GENCOMPACT.plan(query, source, cost_model)
+    gm = GenModular(
+        max_rewrites=150, max_rewrite_steps=20000, use_closed_description=True
+    ).plan(query, source, cost_model)
+    if gm.feasible:
+        assert gc.feasible
+        assert gc.cost <= gm.cost + 1e-6
+
+
+@given(st.integers(0, len(_WORLDS) - 1), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_estimates_monotone_under_conjunct_removal(world_index, seed):
+    """PR1's foundation: weakening a conjunction only grows the estimate."""
+    config, source = _WORLDS[world_index]
+    rng = random.Random(seed)
+    condition = random_condition(config, 4, rng, or_prob=0.0)
+    if not condition.is_and:
+        return
+    whole = source.stats.estimated_rows(condition)
+    children = list(condition.children)
+    for drop in range(len(children)):
+        rest = children[:drop] + children[drop + 1:]
+        weaker = rest[0] if len(rest) == 1 else type(condition)(rest)
+        assert source.stats.estimated_rows(weaker) >= whole - 1e-9
+
+
+@given(st.integers(0, 10**6), st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_fixing_preserves_atoms_and_acceptance(seed, n_atoms):
+    """Every source query of a GenCompact plan can be fixed for the
+    native grammar without changing its atom multiset."""
+    world_index = seed % len(_WORLDS)
+    __, source = _WORLDS[world_index]
+    cost_model = _MODELS[world_index]
+    query = _query_for(world_index, seed, n_atoms)
+    result = _GENCOMPACT.plan(query, source, cost_model)
+    if not result.feasible:
+        return
+    for source_query in result.plan.source_queries():
+        if source_query.condition.is_true:
+            continue
+        fixed = source.fix(source_query.condition, source_query.attrs)
+        assert sorted(map(str, fixed.atoms())) == sorted(
+            map(str, source_query.condition.atoms())
+        )
+        assert source.description.check(fixed).supports(source_query.attrs)

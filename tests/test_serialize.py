@@ -1,0 +1,193 @@
+"""Unit + property tests for plan/condition serialization."""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE, And, Leaf, Or
+from repro.errors import ConditionError, PlanExecutionError
+from repro.plans.nodes import (
+    IntersectPlan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+    make_choice,
+)
+from repro.plans.serialize import (
+    condition_from_dict,
+    condition_to_dict,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    query_from_dict,
+    query_to_dict,
+)
+from repro.query import TargetQuery
+
+A = frozenset({"model", "year"})
+
+
+def sq(text, attrs=A):
+    return SourceQuery(parse_condition(text), frozenset(attrs), "cars")
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "make = 'BMW'",
+            "price <= 40000",
+            "title contains 'dreams'",
+            "size in ('compact', 'midsize')",
+            "a = 1 and (b = 2 or c = 3)",
+            "flag = true",
+        ],
+    )
+    def test_round_trip(self, text):
+        tree = parse_condition(text)
+        assert condition_from_dict(condition_to_dict(tree)) == tree
+
+    def test_true(self):
+        assert condition_from_dict(condition_to_dict(TRUE)) is TRUE
+
+    def test_json_safe(self):
+        tree = parse_condition("size in ('a', 'b') and p <= 2.5")
+        json.dumps(condition_to_dict(tree))  # must not raise
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"kind": "nope"},
+            {"kind": "atom", "attribute": "a"},
+            {"kind": "and", "children": [{"kind": "true"}]},
+            "not a dict",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConditionError):
+            condition_from_dict(bad)
+
+
+class TestQueryRoundTrip:
+    def test_round_trip(self):
+        query = TargetQuery(
+            parse_condition("make = 'BMW' and price < 1"),
+            frozenset({"model"}),
+            "cars",
+        )
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_missing_field(self):
+        with pytest.raises(ConditionError):
+            query_from_dict({"condition": {"kind": "true"}})
+
+
+class TestPlanRoundTrip:
+    def test_source_query(self):
+        plan = sq("make = 'BMW' and price < 40000")
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_nested_plan(self):
+        inner = sq("make = 'BMW' and price < 40000", attrs=A | {"color"})
+        plan = Postprocess(parse_condition("color = 'red'"), A, inner)
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_union_intersect_choice(self):
+        u = UnionPlan([sq("a = 1"), sq("a = 2")])
+        i = IntersectPlan([sq("a = 1"), sq("a = 2")])
+        c = make_choice([u, i])
+        for plan in (u, i, c):
+            assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_none_round_trip(self):
+        assert plan_from_dict(plan_to_dict(None)) is None
+
+    def test_json_round_trip(self):
+        plan = UnionPlan([sq("a = 1"), sq("a = 2")])
+        assert plan_from_json(plan_to_json(plan, indent=2)) == plan
+
+    def test_version_checked(self):
+        with pytest.raises(PlanExecutionError):
+            plan_from_json('{"v": 99, "plan": {"node": "empty"}}')
+
+    def test_invalid_json(self):
+        with pytest.raises(PlanExecutionError):
+            plan_from_json("{nope")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"node": "warp"},
+            {"node": "source_query", "condition": {"kind": "true"}},
+            {"node": "union", "children": [{"node": "empty"}, {"node": "empty"}]},
+            {"node": "postprocess", "condition": {"kind": "true"},
+             "attributes": [], "input": {"node": "empty"}},
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PlanExecutionError):
+            plan_from_dict(bad)
+
+    def test_round_tripped_plan_executes(self):
+        from repro.plans.execute import Executor
+        from tests.conftest import make_example41_source
+
+        source = make_example41_source()
+        plan = sq("make = 'BMW' and price < 40000", attrs={"model"})
+        revived = plan_from_json(plan_to_json(plan))
+        executor = Executor({"cars": source})
+        assert executor.execute(revived).as_row_set() == {("328i",), ("318i",)}
+
+
+# ----------------------------------------------------------------------
+# Property: arbitrary condition trees survive the round trip.
+# ----------------------------------------------------------------------
+
+_atoms = st.builds(
+    Atom,
+    st.sampled_from(["a", "b", "c"]),
+    st.sampled_from([Op.EQ, Op.NE, Op.LE, Op.GE, Op.CONTAINS, Op.IN]),
+    st.sampled_from([1, 2.5, "x", True]),
+).filter(lambda _: True)
+
+
+def _valid_atoms():
+    def build(attr, op, value):
+        if op is Op.IN:
+            value = (value,)
+        if op is Op.CONTAINS:
+            value = "needle"
+        if op in (Op.LE, Op.GE) and isinstance(value, bool):
+            value = 1
+        return Atom(attr, op, value)
+
+    return st.builds(
+        build,
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from([Op.EQ, Op.NE, Op.LE, Op.GE, Op.CONTAINS, Op.IN]),
+        st.sampled_from([1, 2.5, "x"]),
+    )
+
+
+_trees = st.recursive(
+    st.builds(Leaf, _valid_atoms()),
+    lambda children: st.one_of(
+        st.builds(And, st.lists(children, min_size=2, max_size=3)),
+        st.builds(Or, st.lists(children, min_size=2, max_size=3)),
+    ),
+    max_leaves=8,
+)
+
+
+@given(_trees)
+@settings(max_examples=120, deadline=None)
+def test_condition_round_trip_property(tree):
+    payload = json.dumps(condition_to_dict(tree))
+    assert condition_from_dict(json.loads(payload)) == tree

@@ -1,0 +1,114 @@
+"""Unit tests for the capability-enforcing simulated source."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import UnsupportedQueryError
+from tests.conftest import make_example41_source
+
+
+@pytest.fixture
+def source():
+    return make_example41_source()
+
+
+class TestExecution:
+    def test_supported_query(self, source):
+        result = source.execute(
+            parse_condition("make = 'BMW' and price < 40000"),
+            ["model", "year"],
+        )
+        assert result.as_row_set() == {("328i", 1998), ("318i", 1997)}
+
+    def test_unsupported_condition_rejected(self, source):
+        with pytest.raises(UnsupportedQueryError) as err:
+            source.execute(parse_condition("year = 1999"), ["model"])
+        assert "not accepted" in str(err.value)
+
+    def test_unsupported_projection_rejected(self, source):
+        # s2 matches but cannot export color (the paper's case).
+        with pytest.raises(UnsupportedQueryError) as err:
+            source.execute(
+                parse_condition("make = 'BMW' and color = 'red'"), ["color"]
+            )
+        assert "cannot export" in str(err.value)
+
+    def test_order_enforced_natively(self, source):
+        # Planned (commuted) order is rejected by the *native* form.
+        with pytest.raises(UnsupportedQueryError):
+            source.execute(
+                parse_condition("price < 40000 and make = 'BMW'"), ["model"]
+            )
+
+    def test_fix_then_execute(self, source):
+        condition = parse_condition("price < 40000 and make = 'BMW'")
+        fixed = source.fix(condition, ["model"])
+        result = source.execute(fixed, ["model"])
+        assert len(result) == 2
+
+    def test_order_insensitive_source_accepts_any_order(self):
+        source = make_example41_source()
+        source.order_insensitive = True
+        result = source.execute(
+            parse_condition("price < 40000 and make = 'BMW'"), ["model"]
+        )
+        assert len(result) == 2
+
+    def test_order_insensitive_fix_is_identity(self):
+        source = make_example41_source()
+        source.order_insensitive = True
+        condition = parse_condition("price < 40000 and make = 'BMW'")
+        assert source.fix(condition, ["model"]) == condition
+
+
+class TestMetering:
+    def test_counts_queries_and_tuples(self, source):
+        source.execute(
+            parse_condition("make = 'Toyota' and price < 22000"),
+            ["model"],
+        )
+        source.execute(
+            parse_condition("make = 'BMW' and color = 'red'"), ["model"]
+        )
+        snap = source.meter.snapshot()
+        assert snap.queries == 2
+        assert snap.tuples == 4  # 3 Toyotas under 22k + 1 red BMW
+        assert snap.cost(100, 1) == 204
+
+    def test_rejections_counted(self, source):
+        with pytest.raises(UnsupportedQueryError):
+            source.execute(parse_condition("year = 1999"), ["model"])
+        assert source.meter.rejected == 1
+        assert source.meter.queries == 0
+
+    def test_reset(self, source):
+        source.execute(
+            parse_condition("make = 'BMW' and color = 'red'"), ["model"]
+        )
+        source.meter.reset()
+        assert source.meter.snapshot().queries == 0
+
+    def test_snapshot_subtraction(self, source):
+        before = source.meter.snapshot()
+        source.execute(
+            parse_condition("make = 'BMW' and color = 'red'"), ["model"]
+        )
+        delta = source.meter.snapshot() - before
+        assert delta.queries == 1 and delta.tuples == 1
+
+
+class TestPlanningHelpers:
+    def test_check_uses_closed_description(self, source):
+        # Swapped order supported for planning...
+        assert source.supports(
+            parse_condition("price < 40000 and make = 'BMW'"), ["model"]
+        )
+        # ...but the native description still rejects it.
+        assert not source.description.check(
+            parse_condition("price < 40000 and make = 'BMW'")
+        )
+
+    def test_stats_lazily_built_and_cached(self, source):
+        first = source.stats
+        assert source.stats is first
+        assert first.n_rows == len(source.relation)

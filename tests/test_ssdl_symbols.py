@@ -1,0 +1,104 @@
+"""Unit tests for SSDL symbols and condition tokenization."""
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.parser import parse_condition
+from repro.conditions.tree import TRUE
+from repro.ssdl.symbols import (
+    AND_SYM,
+    AtomToken,
+    ConstClass,
+    Keyword,
+    KeywordSym,
+    Template,
+    const_class_from_text,
+    tokenize_condition,
+)
+
+
+class TestConstClass:
+    def test_str(self):
+        assert ConstClass.STR.admits("x")
+        assert not ConstClass.STR.admits(5)
+
+    def test_num_excludes_bool(self):
+        assert ConstClass.NUM.admits(5)
+        assert ConstClass.NUM.admits(2.5)
+        assert not ConstClass.NUM.admits(True)
+        assert not ConstClass.NUM.admits("5")
+
+    def test_bool(self):
+        assert ConstClass.BOOL.admits(True)
+        assert not ConstClass.BOOL.admits(1)
+
+    def test_list(self):
+        assert ConstClass.LIST.admits(("a", "b"))
+        assert not ConstClass.LIST.admits("a")
+
+    def test_any(self):
+        assert ConstClass.ANY.admits(object())
+
+    def test_paper_aliases(self):
+        assert const_class_from_text("$m") is ConstClass.STR
+        assert const_class_from_text("$p") is ConstClass.NUM
+        assert const_class_from_text("$l") is ConstClass.LIST
+        assert const_class_from_text("$str") is ConstClass.STR
+        assert const_class_from_text("$bogus") is None
+
+
+class TestTemplateMatching:
+    def test_class_template(self):
+        template = Template("make", Op.EQ, ConstClass.STR)
+        assert template.matches(AtomToken(Atom("make", Op.EQ, "BMW")))
+        assert not template.matches(AtomToken(Atom("make", Op.EQ, 5)))
+        assert not template.matches(AtomToken(Atom("model", Op.EQ, "BMW")))
+        assert not template.matches(AtomToken(Atom("make", Op.NE, "BMW")))
+        assert not template.matches(Keyword.AND)
+
+    def test_literal_template(self):
+        template = Template("style", Op.EQ, "sedan")
+        assert template.matches(AtomToken(Atom("style", Op.EQ, "sedan")))
+        assert not template.matches(AtomToken(Atom("style", Op.EQ, "coupe")))
+
+    def test_keyword_symbol(self):
+        assert AND_SYM.matches(Keyword.AND)
+        assert not AND_SYM.matches(Keyword.OR)
+        assert not KeywordSym(Keyword.TRUE).matches(
+            AtomToken(Atom("a", Op.EQ, 1))
+        )
+
+
+class TestTokenization:
+    def test_leaf(self):
+        tokens = tokenize_condition(parse_condition("make = 'BMW'"))
+        assert tokens == (AtomToken(Atom("make", Op.EQ, "BMW")),)
+
+    def test_true(self):
+        assert tokenize_condition(TRUE) == (Keyword.TRUE,)
+
+    def test_flat_conjunction_has_no_parens(self):
+        tokens = tokenize_condition(
+            parse_condition("make = 'BMW' and price < 40000")
+        )
+        kinds = [t if isinstance(t, Keyword) else "atom" for t in tokens]
+        assert kinds == ["atom", Keyword.AND, "atom"]
+
+    def test_nested_child_is_parenthesized(self):
+        tokens = tokenize_condition(
+            parse_condition("a = 1 and (b = 2 or c = 3)")
+        )
+        kinds = [t if isinstance(t, Keyword) else "atom" for t in tokens]
+        assert kinds == [
+            "atom",
+            Keyword.AND,
+            Keyword.LPAREN,
+            "atom",
+            Keyword.OR,
+            "atom",
+            Keyword.RPAREN,
+        ]
+
+    def test_nested_same_kind_also_parenthesized(self):
+        tokens = tokenize_condition(
+            parse_condition("a = 1 and (b = 2 and c = 3)")
+        )
+        assert Keyword.LPAREN in tokens and Keyword.RPAREN in tokens

@@ -1,0 +1,171 @@
+"""Unit tests for the textual SSDL syntax and the builder."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import SSDLError, SSDLParseError
+from repro.ssdl.builder import DescriptionBuilder
+from repro.ssdl.text import format_ssdl, parse_ssdl
+
+
+class TestParseSSDL:
+    def test_example_41(self):
+        desc = parse_ssdl(
+            """
+            # the paper's Example 4.1
+            s  -> s1 | s2
+            s1 -> make = $m and price < $p
+            s2 -> make = $m and color = $c
+            attributes s1 : make, model, year, color
+            attributes s2 : make, model, year
+            """
+        )
+        assert desc.condition_nonterminals == ("s1", "s2")
+        assert desc.attributes["s2"] == frozenset({"make", "model", "year"})
+        assert desc.check(parse_condition("make = 'BMW' and price < 40000"))
+
+    def test_alternatives_and_helpers(self):
+        desc = parse_ssdl(
+            """
+            s -> form
+            form -> size = $str | ( size_list )
+            size_list -> size = $str or size = $str | size = $str or size_list
+            attributes form : id, size
+            """
+        )
+        assert desc.check(parse_condition("size = 'compact'"))
+        assert desc.check(
+            parse_condition("size = 'compact' or size = 'midsize'")
+        )
+        assert desc.check(
+            parse_condition(
+                "size = 'a' or size = 'b' or size = 'c' or size = 'd'"
+            )
+        )
+        assert not desc.check(parse_condition("size != 'compact'"))
+
+    def test_literal_templates(self):
+        desc = parse_ssdl(
+            """
+            s -> sedans
+            sedans -> style = 'sedan' and make = $str
+            attributes sedans : make
+            """
+        )
+        assert desc.check(parse_condition("style = 'sedan' and make = 'BMW'"))
+        assert not desc.check(parse_condition("style = 'coupe' and make = 'BMW'"))
+
+    def test_numeric_literal_template(self):
+        desc = parse_ssdl(
+            "s -> y\ny -> year = 1999\nattributes y : year"
+        )
+        assert desc.check(parse_condition("year = 1999"))
+        assert not desc.check(parse_condition("year = 1998"))
+
+    def test_true_rule(self):
+        from repro.conditions.tree import TRUE
+
+        desc = parse_ssdl("s -> dl\ndl -> true\nattributes dl : a, b")
+        assert desc.check(TRUE)
+
+    def test_in_template(self):
+        desc = parse_ssdl(
+            "s -> f\nf -> size in $list\nattributes f : size"
+        )
+        assert desc.check(parse_condition("size in ('a', 'b')"))
+        assert not desc.check(parse_condition("size = 'a'"))
+
+    def test_contains_template(self):
+        desc = parse_ssdl(
+            "s -> f\nf -> title contains $str\nattributes f : title"
+        )
+        assert desc.check(parse_condition("title contains 'dreams'"))
+
+
+class TestParseErrors:
+    def test_missing_start_rule(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl("s1 -> make = $m\nattributes s1 : make")
+
+    def test_start_alternatives_must_be_single_nts(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl("s -> make = $m\nattributes s : make")
+
+    def test_duplicate_start_rule(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl(
+                "s -> s1\ns -> s2\ns1 -> a = $str\ns2 -> a = $str\n"
+                "attributes s1 : a\nattributes s2 : a"
+            )
+
+    def test_unknown_const_class(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl("s -> s1\ns1 -> a = $wat\nattributes s1 : a")
+
+    def test_garbage_line(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl("s -> s1\nthis is not a rule at all!")
+
+    def test_template_missing_constant(self):
+        with pytest.raises(SSDLParseError):
+            parse_ssdl("s -> s1\ns1 -> a =\nattributes s1 : a")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SSDLParseError) as err:
+            parse_ssdl("s -> s1\ns1 -> a = $wat\nattributes s1 : a")
+        assert err.value.line == 2
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        original = parse_ssdl(
+            """
+            s -> s1 | s2
+            s1 -> make = $str and price < $num
+            s2 -> style = 'sedan' and ( colors )
+            colors -> color = $str or color = $str
+            attributes s1 : make, model
+            attributes s2 : make
+            """
+        )
+        text = format_ssdl(original)
+        reparsed = parse_ssdl(text)
+        assert reparsed.condition_nonterminals == original.condition_nonterminals
+        assert reparsed.attributes == original.attributes
+        probe = parse_condition("make = 'BMW' and price < 40000")
+        assert bool(reparsed.check(probe)) == bool(original.check(probe))
+
+
+class TestBuilder:
+    def test_builds_equivalent_description(self):
+        desc = (
+            DescriptionBuilder("b")
+            .rule("s1", "make = $str and price < $num",
+                  attributes=["make", "model"])
+            .build()
+        )
+        assert desc.supports(
+            parse_condition("make = 'BMW' and price < 1"), {"model"}
+        )
+
+    def test_rule_accumulates_alternatives(self):
+        desc = (
+            DescriptionBuilder("b")
+            .rule("s1", "a = $str", attributes=["a"])
+            .rule("s1", "b = $str", attributes=["b"])
+            .build()
+        )
+        assert desc.check(parse_condition("a = 'x'"))
+        assert desc.check(parse_condition("b = 'x'"))
+        assert desc.attributes["s1"] == frozenset({"a", "b"})
+
+    def test_helper_cannot_shadow_condition_nt(self):
+        builder = DescriptionBuilder("b").rule("s1", "a = $str", attributes=["a"])
+        with pytest.raises(SSDLError):
+            builder.helper("s1", "b = $str")
+
+    def test_missing_attributes_detected_at_build(self):
+        builder = DescriptionBuilder("b")
+        builder.rule("s1", "a = $str")
+        with pytest.raises(SSDLError):
+            builder.build()

@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic worlds and the fixed scenarios."""
+
+import random
+
+import pytest
+
+from repro.conditions.canonical import is_canonical
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.workloads.scenarios import (
+    all_scenarios,
+    bank_scenario,
+    bookstore_scenario,
+    car_scenario,
+)
+from repro.workloads.synthetic import (
+    WorldConfig,
+    make_description,
+    make_queries,
+    make_schema,
+    make_source,
+    make_table,
+    random_condition,
+    template_space,
+)
+
+
+class TestSyntheticWorld:
+    def test_schema_shape(self):
+        schema = make_schema(4)
+        assert schema.key == "key"
+        assert len(schema.attrs) == 5
+
+    def test_table_is_deterministic(self):
+        config = WorldConfig(n_attributes=4, n_rows=200, seed=3)
+        assert make_table(config).as_row_set() == make_table(config).as_row_set()
+
+    def test_table_fits_schema(self):
+        config = WorldConfig(n_attributes=4, n_rows=50, seed=3)
+        table = make_table(config)
+        for row in table:
+            table.schema.validate_row(row)
+
+    def test_template_space_mixes_ops(self):
+        templates = template_space(4)
+        ops = {op for _, op in templates}
+        assert "=" in ops and "<=" in ops and ">=" in ops
+
+    def test_description_richness_scales_rule_count(self):
+        lean = make_description(WorldConfig(richness=0.2, seed=5))
+        rich = make_description(WorldConfig(richness=1.0, seed=5))
+        assert rich.rule_count() > lean.rule_count()
+
+    def test_description_exports_always_include_key(self):
+        desc = make_description(WorldConfig(seed=8))
+        for attrs in desc.attributes.values():
+            assert "key" in attrs
+
+    def test_download_prob_zero_means_no_true_rule(self):
+        from repro.conditions.tree import TRUE
+
+        desc = make_description(WorldConfig(download_prob=0.0, seed=8))
+        assert not desc.check(TRUE)
+
+    def test_source_is_usable(self):
+        config = WorldConfig(n_attributes=4, n_rows=200, richness=0.8, seed=4)
+        source = make_source(config)
+        assert source.stats.n_rows == 200
+        assert source.closed_description.rule_count() >= 1
+
+
+class TestRandomConditions:
+    def test_atom_count(self):
+        config = WorldConfig(n_attributes=6, seed=2)
+        rng = random.Random(1)
+        for n in (1, 2, 5, 9):
+            tree = random_condition(config, n, rng)
+            assert len(tree.atoms()) == n
+
+    def test_trees_alternate(self):
+        config = WorldConfig(n_attributes=6, seed=2)
+        rng = random.Random(7)
+        for _ in range(20):
+            tree = random_condition(config, 6, rng)
+            assert is_canonical(tree)
+
+    def test_queries_reference_schema_attributes(self):
+        config = WorldConfig(n_attributes=6, n_rows=100, seed=2)
+        source = make_source(config)
+        for query in make_queries(config, source, 10, 4):
+            source.schema.validate_attributes(query.attributes)
+            source.schema.validate_attributes(query.condition.attributes())
+            assert "key" in query.attributes
+
+    def test_queries_deterministic_by_seed(self):
+        config = WorldConfig(n_attributes=6, n_rows=100, seed=2)
+        source = make_source(config)
+        first = make_queries(config, source, 5, 4, seed=11)
+        second = make_queries(config, source, 5, 4, seed=11)
+        assert [q.condition for q in first] == [q.condition for q in second]
+
+
+class TestScenarios:
+    def test_all_scenarios_plannable_by_gencompact(self):
+        for scenario in all_scenarios():
+            source = scenario.source
+            cm = CostModel({source.name: source.stats})
+            result = GenCompact().plan(scenario.query, source, cm)
+            assert result.feasible, scenario.name
+
+    def test_scenarios_carry_paper_references(self):
+        names = {s.paper_reference for s in all_scenarios()}
+        assert "Example 1.1" in names
+        assert "Example 1.2" in names
+        assert "Section 4" in names
+
+    def test_bank_scenario_uses_real_pin(self):
+        scenario = bank_scenario(n=300)
+        matches = scenario.source.relation.select(scenario.query.condition)
+        assert len(matches) == 1
+
+    def test_scenarios_scale_with_n(self):
+        assert len(bookstore_scenario(100).source.relation) == 100
+        assert len(car_scenario(100).source.relation) == 100
