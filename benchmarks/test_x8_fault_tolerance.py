@@ -1,0 +1,175 @@
+"""X8 (extension): fault-tolerant execution over flaky sources.
+
+The paper's sources are autonomous Internet sites; real ones fail.  This
+benchmark sweeps the per-call fault probability from 0 to 0.5 and
+compares two executors on the same seeded fault sequences:
+
+* **baseline** -- the pre-resilience executor: one attempt, no failover;
+* **resilient** -- retry with exponential backoff (deterministic
+  jitter) plus mirror failover when a source stays dead.
+
+The headline metric is the *recovered-query fraction*: how many of the
+workload's queries produce an answer.  The sweep also demonstrates the
+no-retry-on-rejection rule: capability rejections are permanent, so the
+``rejected`` meter moves while ``retries`` stays at zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import QUICK
+from repro.conditions.parser import parse_condition
+from repro.errors import TransientSourceError, UnsupportedQueryError
+from repro.experiments.report import Table
+from repro.mediator import Mediator
+from repro.multisource import MirrorGroup
+from repro.plans.execute import Executor
+from repro.plans.nodes import SourceQuery
+from repro.plans.retry import RetryPolicy
+from repro.query import parse_query
+from repro.source.faults import FaultInjector
+from repro.source.library import bookstore, car_guide
+
+_N_BOOKS = 1000 if QUICK else 5000
+_N_QUERIES = 100 if QUICK else 240
+_RATES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+_POLICY = RetryPolicy(max_attempts=3, base_backoff=0.05, seed=7)
+
+
+def _injector(p: float, seed: int) -> FaultInjector:
+    """A mixed fault profile totalling probability ``p`` per call."""
+    return FaultInjector(
+        seed=seed,
+        transient_rate=0.6 * p,
+        timeout_rate=0.25 * p,
+        rate_limit_rate=0.15 * p,
+    )
+
+
+def _queries(source) -> list:
+    authors = sorted({row["author"] for row in source.relation})
+    out = []
+    for i in range(_N_QUERIES):
+        author = authors[i % len(authors)]
+        out.append(parse_query(
+            f"SELECT id, title FROM bookstore WHERE author = '{author}'"
+        ))
+    return out
+
+
+def _baseline_fraction(p: float, seed: int) -> float:
+    """No-retry mediator: the pre-resilience behaviour."""
+    source = bookstore(n=_N_BOOKS)
+    source.fault_injector = _injector(p, seed)
+    mediator = Mediator()
+    mediator.add_source(source)
+    answered = 0
+    for query in _queries(source):
+        try:
+            mediator.ask(query)
+            answered += 1
+        except TransientSourceError:
+            pass
+    return answered / _N_QUERIES
+
+
+def _resilient_sweep(p: float, seed: int) -> dict:
+    """Retry + mirror failover over two equally flaky mirrors."""
+    mirrors = []
+    for index, name in enumerate(("books_a", "books_b")):
+        mirror = bookstore(n=_N_BOOKS)
+        mirror.name = name
+        mirror.fault_injector = _injector(p, seed + index)
+        mirrors.append(mirror)
+    group = MirrorGroup(mirrors, retry_policy=_POLICY)
+    answered = retries = failovers = 0
+    backoff = 0.0
+    for query in _queries(mirrors[0]):
+        try:
+            report = group.ask(query)
+        except TransientSourceError:
+            continue
+        answered += 1
+        retries += report.retries
+        failovers += report.failovers
+        backoff += report.backoff_seconds
+    return {
+        "fraction": answered / _N_QUERIES,
+        "retries": retries,
+        "failovers": failovers,
+        "backoff": backoff,
+    }
+
+
+def _sweep_table(seed: int = 101) -> Table:
+    table = Table(
+        "X8: recovered-query fraction vs. per-call fault probability",
+        ["p_fail", "baseline", "resilient", "retries", "failovers",
+         "backoff_s"],
+        notes=(
+            f"{_N_QUERIES} author queries over a {_N_BOOKS}-book source; "
+            "baseline = single mirror, one attempt; resilient = "
+            "2 mirrors, 3 attempts with deterministic-jitter backoff + "
+            "failover.  All faults drawn from seeded injectors."
+        ),
+    )
+    for index, p in enumerate(_RATES):
+        base = _baseline_fraction(p, seed + 10 * index)
+        resilient = _resilient_sweep(p, seed + 10 * index)
+        table.add(p, base, resilient["fraction"], resilient["retries"],
+                  resilient["failovers"], resilient["backoff"])
+    return table
+
+
+# ----------------------------------------------------------------------
+
+def test_x8_retry_and_failover_recover_queries(record_table):
+    table = _sweep_table()
+    record_table("x8", table)
+    rates = table.column("p_fail")
+    baseline = dict(zip(rates, table.column("baseline")))
+    resilient = dict(zip(rates, table.column("resilient")))
+    # No faults: both answer everything, and resilience costs nothing.
+    assert baseline[0.0] == 1.0 and resilient[0.0] == 1.0
+    # The acceptance bar: at a 20% per-call fault rate the resilient
+    # executor still answers nearly everything, the baseline does not.
+    assert resilient[0.2] >= 0.95
+    assert baseline[0.2] < 0.85
+    # Resilience never hurts, anywhere on the sweep.
+    for p in rates:
+        assert resilient[p] >= baseline[p]
+
+
+def test_x8_sweep_is_deterministic():
+    # Same seeds, same fault sequence, same fractions -- the whole sweep
+    # is a pure function of the injector/policy seeds.
+    p = 0.2
+    first = _resilient_sweep(p, seed=121)
+    second = _resilient_sweep(p, seed=121)
+    assert first == second
+    assert _baseline_fraction(p, seed=121) == _baseline_fraction(p, seed=121)
+
+
+def test_x8_capability_rejections_are_never_retried():
+    # The car form is order-sensitive; submitted unfixed, the source
+    # rejects.  Rejections are permanent: the retry policy must not burn
+    # attempts on them (rejected moves, retries stays zero).
+    source = car_guide(n=200)
+    executor = Executor(
+        {"car_guide": source}, fix_queries=False, retry_policy=_POLICY
+    )
+    plan = SourceQuery(
+        parse_condition("make = 'Honda' and style = 'sedan'"),
+        frozenset({"id"}),
+        "car_guide",
+    )
+    with pytest.raises(UnsupportedQueryError):
+        executor.execute(plan)
+    assert source.meter.rejected == 1
+    assert source.meter.retries == 0
+    assert source.meter.failures == 0
+
+
+def test_x8_bench_resilient_execution(benchmark):
+    benchmark(lambda: _resilient_sweep(0.2, seed=131))

@@ -50,6 +50,10 @@ from repro.conditions import (
 from repro.errors import (
     InfeasiblePlanError,
     ReproError,
+    SourceRateLimitError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
     UnsupportedQueryError,
 )
 from repro.mediator import Mediator, MediatorAnswer
@@ -65,6 +69,7 @@ from repro.plans import (
     BottleneckCostModel,
     CostModel,
     Executor,
+    RetryPolicy,
     explain,
     to_paper_notation,
     validate_plan,
@@ -72,6 +77,7 @@ from repro.plans import (
 from repro.query import TargetQuery, parse_query
 from repro.source import (
     CapabilitySource,
+    FaultInjector,
     bank,
     bookstore,
     car_guide,
@@ -80,7 +86,7 @@ from repro.source import (
     standard_catalog,
 )
 from repro.joins import BindJoinExecutor, JoinAnswer, JoinSpec, bind_join
-from repro.multisource import MirrorGroup, PartitionedSource
+from repro.multisource import MirrorGroup, PartialAnswer, PartitionedSource
 from repro.ssdl import DescriptionBuilder, SourceDescription, parse_ssdl
 from repro.wrapper import Wrapper, WrapperAnswer
 
@@ -113,6 +119,7 @@ __all__ = [
     "CostModel",
     "BottleneckCostModel",
     "Executor",
+    "RetryPolicy",
     "explain",
     "to_paper_notation",
     "validate_plan",
@@ -125,6 +132,7 @@ __all__ = [
     "NaivePlanner",
     # sources & mediator
     "CapabilitySource",
+    "FaultInjector",
     "bookstore",
     "car_guide",
     "bank",
@@ -141,9 +149,14 @@ __all__ = [
     "BindJoinExecutor",
     "bind_join",
     "MirrorGroup",
+    "PartialAnswer",
     "PartitionedSource",
     # errors
     "ReproError",
     "UnsupportedQueryError",
     "InfeasiblePlanError",
+    "TransientSourceError",
+    "SourceUnavailableError",
+    "SourceTimeoutError",
+    "SourceRateLimitError",
 ]

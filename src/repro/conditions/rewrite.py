@@ -14,7 +14,7 @@ and reports whether a budget truncated the search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import permutations
 from typing import Callable, Iterator, Sequence
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.conditions.atoms import Atom, Op
+from repro.conditions.atoms import Atom
 from repro.conditions.tree import And, Condition, Leaf, Or
 from repro.errors import ConditionError
 from repro.plans.nodes import (

@@ -8,7 +8,7 @@ with duplicate elimination -- exactly the operator set of Section 3).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.conditions.tree import Condition
 from repro.data.schema import Schema

@@ -11,7 +11,7 @@ whereas intersecting key-less projections can over-approximate (the
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import SchemaError, UnknownAttributeError

@@ -65,6 +65,51 @@ class UnsupportedQueryError(ReproError):
         self.attributes = attributes
 
 
+class TransientSourceError(ReproError):
+    """A source call failed for a reason that may not recur.
+
+    This is the *retryable* family: unlike :class:`UnsupportedQueryError`
+    (a capability rejection, permanent for a given query), a transient
+    failure says nothing about the query itself -- the same call may
+    succeed a moment later, or at a mirror.  Retry policies catch this
+    base class and nothing else.
+    """
+
+    def __init__(self, message: str, source: str | None = None):
+        super().__init__(message)
+        self.source = source
+
+
+class SourceUnavailableError(TransientSourceError):
+    """The source did not answer at all (connection refused, outage)."""
+
+
+class SourceTimeoutError(TransientSourceError):
+    """The source took too long to answer.
+
+    ``elapsed`` carries the simulated seconds spent waiting before the
+    call was abandoned (charged to the plan's backoff accounting).
+    """
+
+    def __init__(self, message: str, source: str | None = None,
+                 elapsed: float = 0.0):
+        super().__init__(message, source=source)
+        self.elapsed = elapsed
+
+
+class SourceRateLimitError(TransientSourceError):
+    """The source rejected the call for sending too many queries.
+
+    ``retry_after`` is the source's suggested wait in (simulated)
+    seconds; retry policies take ``max(backoff, retry_after)``.
+    """
+
+    def __init__(self, message: str, source: str | None = None,
+                 retry_after: float = 0.0):
+        super().__init__(message, source=source)
+        self.retry_after = retry_after
+
+
 class InfeasiblePlanError(ReproError):
     """No feasible plan exists (or was found) for the target query."""
 

@@ -14,7 +14,6 @@ live); the quality gap is reported in the last column.
 
 from __future__ import annotations
 
-import random
 import statistics
 
 from repro.experiments.common import cost_model_for

@@ -29,7 +29,7 @@ from repro.planners.genmodular import GenModular
 from repro.query import TargetQuery
 from repro.source.source import CapabilitySource
 from repro.ssdl.builder import DescriptionBuilder
-from repro.workloads.synthetic import WorldConfig, make_table, random_atom
+from repro.workloads.synthetic import WorldConfig, make_table
 
 #: Fixed conjunct orders the order-sensitive grammar accepts.
 _RULES: tuple[tuple[tuple[str, str], ...], ...] = (

@@ -18,6 +18,7 @@ from repro.planners.base import Planner, PlannerStats, PlanningResult
 from repro.planners.gencompact import GenCompact
 from repro.plans.cost import CostModel
 from repro.plans.execute import ExecutionReport, Executor
+from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery, parse_query
 from repro.source.source import CapabilitySource
 
@@ -49,11 +50,14 @@ class Mediator:
         k2: float = 1.0,
         short_circuit_unsatisfiable: bool = True,
         result_cache_tuples: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         """``short_circuit_unsatisfiable`` answers provably empty queries
         (e.g. ``price < 10 and price > 20``) locally, without planning or
         contacting the source.  ``result_cache_tuples`` enables an LRU
-        source-query result cache bounded by that many cached tuples."""
+        source-query result cache bounded by that many cached tuples.
+        ``retry_policy`` makes the mediator's executor retry transient
+        source failures (capability rejections are never retried)."""
         self.planner = planner if planner is not None else GenCompact()
         self.k1 = k1
         self.k2 = k2
@@ -64,7 +68,9 @@ class Mediator:
             from repro.plans.cache import ResultCache
 
             self.result_cache = ResultCache(result_cache_tuples)
-        self._executor = Executor(self.catalog, cache=self.result_cache)
+        self._executor = Executor(
+            self.catalog, cache=self.result_cache, retry_policy=retry_policy
+        )
 
     # ------------------------------------------------------------------
     def add_source(self, source: CapabilitySource) -> None:

@@ -9,24 +9,40 @@ single-source machinery:
   slow site with a rich form).  Planning = plan against every mirror,
   keep the cheapest feasible plan.  A query only one mirror's form can
   express is still answerable -- capability-sensitive source *selection*.
+  At execution time the mirrors are also each other's **failover
+  targets**: when the chosen mirror dies mid-plan, the failed source
+  query is re-planned against a surviving mirror instead of aborting.
 * **Partitions** -- each source holds a disjoint horizontal slice (e.g.
   regional listings).  Planning = plan the query per partition and union
   the results; the whole query is feasible iff every partition can
   answer it (a partition that cannot would silently lose tuples).
+  ``ask(query, partial=True)`` degrades gracefully instead: partitions
+  that are down or cannot express the query are skipped and the answer
+  comes back *flagged* as incomplete.
 
-Both return ordinary :class:`PlanningResult`-like outcomes whose plans
-execute through the ordinary :class:`~repro.plans.execute.Executor`.
+Both groups hold **one** executor for their lifetime (optionally with a
+shared :class:`~repro.plans.cache.ResultCache` and a
+:class:`~repro.plans.retry.RetryPolicy`), so repeated queries benefit
+from caching across calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.errors import InfeasiblePlanError, SchemaError
+from repro.data.relation import Relation
+from repro.errors import (
+    InfeasiblePlanError,
+    SchemaError,
+    TransientSourceError,
+)
 from repro.planners.base import Planner, PlannerStats, PlanningResult
 from repro.planners.gencompact import GenCompact
+from repro.plans.cache import ResultCache
 from repro.plans.cost import CostModel
-from repro.plans.nodes import Plan, UnionPlan
+from repro.plans.execute import ExecutionReport, Executor
+from repro.plans.nodes import Plan, SourceQuery, UnionPlan
+from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
 from repro.source.source import CapabilitySource
 
@@ -58,6 +74,33 @@ class MirrorChoice:
         return self.chosen is not None and self.chosen.feasible
 
 
+class MirrorFailover:
+    """Re-plans a failed source query against the surviving mirrors.
+
+    The executor hands us the :class:`SourceQuery` that died and the set
+    of sources already known to be down; because every mirror holds the
+    same data, the query can be re-targeted at any survivor whose form
+    can express it.  The cheapest feasible re-plan wins.
+    """
+
+    def __init__(self, group: "MirrorGroup"):
+        self.group = group
+
+    def replan(self, query: SourceQuery,
+               failed: frozenset[str]) -> Plan | None:
+        best: PlanningResult | None = None
+        for name, source in self.group.sources.items():
+            if name in failed:
+                continue
+            retargeted = TargetQuery(query.condition, query.attrs, name)
+            result = self.group.planner.plan(
+                retargeted, source, self.group._cost_model
+            )
+            if result.feasible and (best is None or result.cost < best.cost):
+                best = result
+        return best.plan if best is not None else None
+
+
 class MirrorGroup:
     """The same logical relation served by several sources."""
 
@@ -68,7 +111,12 @@ class MirrorGroup:
         k1: float = 100.0,
         k2: float = 1.0,
         per_source_constants: dict[str, tuple[float, float]] | None = None,
+        cache: ResultCache | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
+        """``cache`` (shared across every ``ask``) and ``retry_policy``
+        configure the group's single long-lived executor; mirrors double
+        as failover targets for each other automatically."""
         _check_same_attributes(sources, "mirror")
         self.sources = {s.name: s for s in sources}
         self.planner = planner if planner is not None else GenCompact()
@@ -77,6 +125,14 @@ class MirrorGroup:
             k1,
             k2,
             per_source=per_source_constants,
+        )
+        self.cache = cache
+        self._executor = Executor(
+            self.sources,
+            cache=cache,
+            retry_policy=retry_policy,
+            failover=MirrorFailover(self),
+            cost_model=self._cost_model,
         )
 
     def plan(self, query: TargetQuery) -> MirrorChoice:
@@ -95,17 +151,19 @@ class MirrorGroup:
                 best = result
         return MirrorChoice(best, per_source)
 
-    def ask(self, query: TargetQuery):
-        """Plan across the mirrors and execute the winning plan."""
-        from repro.plans.execute import Executor
+    def ask(self, query: TargetQuery) -> ExecutionReport:
+        """Plan across the mirrors and execute the winning plan.
 
+        Executes through the group's shared executor, so results are
+        cached across calls and a mirror dying mid-execution fails over
+        to a surviving one (report.failovers counts the re-routes).
+        """
         choice = self.plan(query)
         if not choice.feasible:
             raise InfeasiblePlanError(
                 f"no mirror of the group can answer {query}"
             )
-        executor = Executor(self.sources)
-        return executor.execute_with_report(choice.chosen.plan)
+        return self._executor.execute_with_report(choice.chosen.plan)
 
     def cost_model(self) -> CostModel:
         return self._cost_model
@@ -125,6 +183,25 @@ class PartitionPlan:
         return self.plan is not None
 
 
+@dataclass
+class PartialAnswer:
+    """A flagged, possibly incomplete answer from a partitioned source.
+
+    ``complete`` is True only when every partition contributed;
+    ``missing_partitions`` names the slices whose tuples are absent
+    (down after retries, or unable to express the query at all).
+    """
+
+    result: Relation
+    complete: bool
+    missing_partitions: list[str] = field(default_factory=list)
+    report: ExecutionReport | None = None
+
+    @property
+    def rows(self) -> list[dict]:
+        return self.result.rows
+
+
 class PartitionedSource:
     """A logical relation horizontally partitioned across sources."""
 
@@ -134,12 +211,23 @@ class PartitionedSource:
         planner: Planner | None = None,
         k1: float = 100.0,
         k2: float = 1.0,
+        cache: ResultCache | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
+        """``cache`` and ``retry_policy`` configure the group's single
+        long-lived executor (shared across every ``ask``)."""
         _check_same_attributes(sources, "partition")
         self.sources = {s.name: s for s in sources}
         self.planner = planner if planner is not None else GenCompact()
         self._cost_model = CostModel(
             {s.name: s.stats for s in sources}, k1, k2
+        )
+        self.cache = cache
+        self._executor = Executor(
+            self.sources,
+            cache=cache,
+            retry_policy=retry_policy,
+            cost_model=self._cost_model,
         )
 
     def plan(self, query: TargetQuery) -> PartitionPlan:
@@ -167,18 +255,61 @@ class PartitionedSource:
         plan: Plan = plans[0] if len(plans) == 1 else UnionPlan(plans)
         return PartitionPlan(plan, total, per_source, [])
 
-    def ask(self, query: TargetQuery):
-        """Plan and execute across all partitions."""
-        from repro.plans.execute import Executor
+    def ask(self, query: TargetQuery, partial: bool = False
+            ) -> ExecutionReport | PartialAnswer:
+        """Plan and execute across all partitions.
 
+        By default the usual all-or-nothing semantics: raise if any
+        partition cannot answer (at planning time) and propagate any
+        execution failure.  With ``partial=True`` the query degrades
+        gracefully -- unplannable or dead partitions are dropped and a
+        :class:`PartialAnswer` flags exactly what is missing.  At least
+        one partition must answer; losing all of them still raises.
+        """
+        if partial:
+            return self._ask_partial(query)
         outcome = self.plan(query)
         if outcome.plan is None:
             raise InfeasiblePlanError(
                 "partitions without a feasible plan: "
                 + ", ".join(outcome.infeasible_partitions)
             )
-        executor = Executor(self.sources)
-        return executor.execute_with_report(outcome.plan)
+        return self._executor.execute_with_report(outcome.plan)
+
+    def _ask_partial(self, query: TargetQuery) -> PartialAnswer:
+        """Per-partition execution, skipping slices that are down."""
+        missing: list[str] = []
+        merged: Relation | None = None
+        reports: list[ExecutionReport] = []
+        for name, source in self.sources.items():
+            retargeted = TargetQuery(query.condition, query.attributes, name)
+            planned = self.planner.plan(retargeted, source, self._cost_model)
+            if not planned.feasible:
+                missing.append(name)
+                continue
+            try:
+                report = self._executor.execute_with_report(planned.plan)
+            except TransientSourceError:
+                missing.append(name)
+                continue
+            reports.append(report)
+            merged = report.result if merged is None \
+                else merged.union(report.result)
+        if merged is None:
+            raise InfeasiblePlanError(
+                "no partition could answer the query (missing: "
+                + ", ".join(missing) + ")"
+            )
+        combined = ExecutionReport(
+            merged,
+            sum(r.queries for r in reports),
+            sum(r.tuples_transferred for r in reports),
+            attempts=sum(r.attempts for r in reports),
+            retries=sum(r.retries for r in reports),
+            failovers=sum(r.failovers for r in reports),
+            backoff_seconds=sum(r.backoff_seconds for r in reports),
+        )
+        return PartialAnswer(merged, not missing, missing, combined)
 
     def cost_model(self) -> CostModel:
         return self._cost_model

@@ -29,7 +29,6 @@ from repro.conditions.normal_forms import cnf_clauses, dnf_terms
 from repro.conditions.tree import TRUE, Condition, conjunction, disjunction
 from repro.errors import ConditionError
 from repro.planners.base import CheckCounter, Planner, PlannerStats, PlanningResult
-from repro.plans.cost import CostModel
 from repro.plans.nodes import (
     Plan,
     Postprocess,
@@ -37,8 +36,6 @@ from repro.plans.nodes import (
     UnionPlan,
     download_plan,
 )
-from repro.query import TargetQuery
-from repro.source.source import CapabilitySource
 
 
 def _push_conjunction(

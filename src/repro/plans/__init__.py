@@ -7,8 +7,14 @@ from repro.plans.cost import (
     count_concrete,
     enumerate_concrete,
 )
-from repro.plans.execute import ExecutionReport, Executor, reference_answer
+from repro.plans.execute import (
+    ExecutionReport,
+    Executor,
+    FailoverTarget,
+    reference_answer,
+)
 from repro.plans.feasible import FeasibilityReport, validate_plan
+from repro.plans.retry import RetryPolicy
 from repro.plans.nodes import (
     ChoicePlan,
     IntersectPlan,
@@ -50,6 +56,8 @@ __all__ = [
     "count_concrete",
     "Executor",
     "ExecutionReport",
+    "FailoverTarget",
+    "RetryPolicy",
     "reference_answer",
     "validate_plan",
     "FeasibilityReport",

@@ -9,19 +9,27 @@ retried plans) stop costing anything.
 
 Correctness note: the cache assumes sources are read-only for its
 lifetime -- true of this library's simulated sources.  ``invalidate``
-drops everything for a source if its relation is replaced.
+drops everything for a source if its relation is replaced.  Cached
+relations are isolated from callers by copying on both ``put`` and
+``get``: a caller mutating the rows it was handed (before or after the
+entry was stored) cannot corrupt later cache hits.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.conditions.tree import Condition
 from repro.data.relation import Relation
 
 #: Cache key: (source name, condition tree, projected attributes).
 CacheKey = tuple[str, Condition, frozenset]
+
+
+def _copy_relation(relation: Relation) -> Relation:
+    """A row-level copy (Relation's constructor copies each row dict)."""
+    return Relation(relation.schema, relation, validate=False)
 
 
 @dataclass
@@ -66,7 +74,9 @@ class ResultCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return entry
+        # Defensive copy: handing out the stored relation by reference
+        # would let a caller mutating its rows corrupt every later hit.
+        return _copy_relation(entry)
 
     def put(self, source: str, condition: Condition, attributes: frozenset,
             result: Relation) -> None:
@@ -77,7 +87,8 @@ class ResultCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self._tuples -= len(old)
-        self._entries[key] = result
+        # Store a copy too: the caller keeps the original and may mutate it.
+        self._entries[key] = _copy_relation(result)
         self._tuples += size
         while self._tuples > self.max_tuples and self._entries:
             __, evicted = self._entries.popitem(last=False)

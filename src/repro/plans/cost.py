@@ -29,7 +29,6 @@ from repro.plans.nodes import (
     Postprocess,
     SourceQuery,
     UnionPlan,
-    make_choice,
 )
 
 #: Cost assigned to infeasible / missing plans (the paper's "infeasible

@@ -4,19 +4,32 @@ The executor performs the mediator's half of the paper's architecture:
 it submits the plan's source queries (fixing their conjunct order first,
 Section 6.1), then applies the mediator postprocessing operators --
 selection, projection, union, intersection, duplicate elimination.
+
+Sources are autonomous Internet sites, so calls fail.  The executor is
+the resilience point of the architecture:
+
+* a :class:`~repro.plans.retry.RetryPolicy` governs re-attempts of
+  transiently failed source queries (exponential backoff, deterministic
+  jitter, per-plan retry budget).  Capability rejections
+  (:class:`~repro.errors.UnsupportedQueryError`) are **never** retried:
+  they are a property of the query, not of the moment.
+* an optional **failover** hook re-plans a source query that exhausted
+  its retries against equivalent sources (mirrors) instead of aborting
+  the whole plan.
+* a **Choice** node -- the paper's operator for equivalent alternative
+  plans -- can be resolved *at execution time* when the executor holds a
+  cost model: the cheapest alternative runs first and the survivors are
+  natural failover targets when it dies.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
-from typing import Mapping
-
-logger = logging.getLogger(__name__)
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
 
 from repro.data.relation import Relation
-from repro.data.schema import Attribute, Schema
-from repro.errors import PlanExecutionError
+from repro.errors import PlanExecutionError, TransientSourceError
 from repro.plans.nodes import (
     ChoicePlan,
     IntersectPlan,
@@ -25,19 +38,63 @@ from repro.plans.nodes import (
     SourceQuery,
     UnionPlan,
 )
+from repro.plans.retry import RetryPolicy
 from repro.source.source import CapabilitySource
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
 class ExecutionReport:
-    """What executing a plan actually cost (from the source meters)."""
+    """What executing a plan actually cost (from the source meters).
+
+    Besides the paper's two cost drivers (queries issued, tuples
+    transferred) the report carries resilience accounting: how many
+    source-call ``attempts`` were made, how many were ``retries``, how
+    many ``failovers`` re-routed a dead source query to a mirror, and
+    how much (simulated) time was spent in ``backoff_seconds``.
+    """
 
     result: Relation
     queries: int
     tuples_transferred: int
+    attempts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    backoff_seconds: float = 0.0
 
     def measured_cost(self, k1: float, k2: float) -> float:
         return self.queries * k1 + self.tuples_transferred * k2
+
+
+class FailoverTarget(Protocol):
+    """Anything that can re-plan a failed source query elsewhere."""
+
+    def replan(self, query: SourceQuery,
+               failed: frozenset[str]) -> Plan | None:
+        """An equivalent plan avoiding ``failed`` sources, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class _ExecutionContext:
+    """Per-top-level-execution bookkeeping (retry budget, counters)."""
+
+    attempts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    backoff: float = 0.0
+    failed_sources: set[str] = field(default_factory=set)
+    budget_left: int | None = None
+
+    def take_retry_token(self) -> bool:
+        """Consume one unit of the plan-wide retry budget (if bounded)."""
+        if self.budget_left is None:
+            return True
+        if self.budget_left <= 0:
+            return False
+        self.budget_left -= 1
+        return True
 
 
 class Executor:
@@ -48,6 +105,9 @@ class Executor:
         catalog: Mapping[str, CapabilitySource],
         fix_queries: bool = True,
         cache=None,
+        retry_policy: RetryPolicy | None = None,
+        failover: FailoverTarget | None = None,
+        cost_model=None,
     ):
         """``fix_queries=False`` submits planned conditions verbatim --
         useful in tests demonstrating that order-sensitive sources reject
@@ -55,7 +115,16 @@ class Executor:
 
         ``cache`` is an optional :class:`repro.plans.cache.ResultCache`;
         source-query results are looked up there (keyed by the *planned*
-        condition, before fixing) and stored after execution.
+        condition, before fixing) and stored after execution.  A cache
+        hit never contacts the source, so it also masks its faults.
+
+        ``retry_policy`` governs re-attempts after transient source
+        failures (default: fail fast, the pre-resilience behaviour).
+        ``failover`` re-plans a source query whose retries are exhausted
+        (see :class:`FailoverTarget`; mirrors implement it).
+        ``cost_model`` lets the executor resolve Choice nodes itself --
+        cheapest alternative first, next alternative on transient
+        failure; without one, Choice nodes are rejected as before.
 
         The catalog mapping is held by reference, so sources registered
         after the executor is created are visible to it (the mediator
@@ -64,6 +133,9 @@ class Executor:
         self.catalog = catalog
         self.fix_queries = fix_queries
         self.cache = cache
+        self.retry_policy = retry_policy
+        self.failover = failover
+        self.cost_model = cost_model
 
     def _source(self, name: str) -> CapabilitySource:
         try:
@@ -74,67 +146,184 @@ class Executor:
     # ------------------------------------------------------------------
     def execute(self, plan: Plan) -> Relation:
         """Evaluate a concrete plan; returns the mediator's result relation."""
+        return self._execute(plan, self._new_context())
+
+    def _new_context(self) -> _ExecutionContext:
+        policy = self.retry_policy
+        budget = policy.retry_budget if policy is not None else None
+        return _ExecutionContext(budget_left=budget)
+
+    def _execute(self, plan: Plan, ctx: _ExecutionContext) -> Relation:
         if isinstance(plan, ChoicePlan):
-            raise PlanExecutionError(
-                "plan still contains a Choice operator; resolve it with the "
-                "cost model before execution"
-            )
+            return self._execute_choice(plan, ctx)
         if isinstance(plan, SourceQuery):
-            source = self._source(plan.source)
-            if self.cache is not None:
-                cached = self.cache.get(plan.source, plan.condition, plan.attrs)
-                if cached is not None:
-                    logger.debug(
-                        "cache hit for %s SP(%s)", plan.source, plan.condition
-                    )
-                    return cached
-            condition = plan.condition
-            if self.fix_queries and not condition.is_true:
-                condition = source.fix(condition, plan.attrs)
-                if condition != plan.condition:
-                    logger.debug(
-                        "fixed query order for %s: %s -> %s",
-                        plan.source, plan.condition, condition,
-                    )
-            result = source.execute(condition, plan.attrs)
-            logger.debug(
-                "source %s answered SP(%s) with %d tuples",
-                plan.source, condition, len(result),
-            )
-            if self.cache is not None:
-                self.cache.put(plan.source, plan.condition, plan.attrs, result)
-            return result
+            return self._execute_source_query(plan, ctx)
         if isinstance(plan, Postprocess):
-            inner = self.execute(plan.input)
+            inner = self._execute(plan.input, ctx)
             if plan.condition.is_true:
                 return inner.project(plan.attrs)
             return inner.select(plan.condition).project(plan.attrs)
-        if isinstance(plan, UnionPlan):
-            parts = [self.execute(child) for child in plan.children]
+        if isinstance(plan, (UnionPlan, IntersectPlan)):
+            if not plan.children:
+                raise PlanExecutionError(
+                    f"cannot execute a {plan.op_name} plan with no inputs; "
+                    f"plans must combine at least one sub-plan"
+                )
+            parts = [self._execute(child, ctx) for child in plan.children]
             out = parts[0]
+            combine = (
+                Relation.union if isinstance(plan, UnionPlan)
+                else Relation.intersect
+            )
             for part in parts[1:]:
-                out = out.union(part)
-            return out
-        if isinstance(plan, IntersectPlan):
-            parts = [self.execute(child) for child in plan.children]
-            out = parts[0]
-            for part in parts[1:]:
-                out = out.intersect(part)
+                out = combine(out, part)
             return out
         raise PlanExecutionError(f"cannot execute plan node {type(plan).__name__}")
 
+    # ------------------------------------------------------------------
+    def _execute_choice(self, plan: ChoicePlan, ctx: _ExecutionContext
+                        ) -> Relation:
+        """Resolve a Choice at execution time (cheapest first, then failover).
+
+        The paper resolves Choice with the cost model *before* execution
+        (Section 5.3); keeping the losing alternatives around until now
+        turns them into failover targets for free.
+        """
+        if self.cost_model is None:
+            raise PlanExecutionError(
+                "plan still contains a Choice operator; resolve it with the "
+                "cost model before execution (or construct the Executor "
+                "with cost_model=... to resolve and fail over at runtime)"
+            )
+        ranked = sorted(plan.children, key=self.cost_model.cost)
+        last_fault: TransientSourceError | None = None
+        for index, alternative in enumerate(ranked):
+            if ctx.failed_sources and any(
+                sq.source in ctx.failed_sources
+                for sq in alternative.source_queries()
+            ):
+                continue
+            try:
+                result = self._execute(alternative, ctx)
+            except TransientSourceError as fault:
+                logger.warning(
+                    "Choice alternative %d failed (%s); trying the next one",
+                    index, fault,
+                )
+                last_fault = fault
+                ctx.failovers += 1
+                continue
+            return result
+        if last_fault is not None:
+            raise last_fault
+        raise PlanExecutionError(
+            "every Choice alternative depends on a failed source"
+        )
+
+    def _execute_source_query(self, plan: SourceQuery, ctx: _ExecutionContext
+                              ) -> Relation:
+        source = self._source(plan.source)
+        if self.cache is not None:
+            cached = self.cache.get(plan.source, plan.condition, plan.attrs)
+            if cached is not None:
+                logger.debug(
+                    "cache hit for %s SP(%s)", plan.source, plan.condition
+                )
+                return cached
+        policy = self.retry_policy if self.retry_policy is not None \
+            else RetryPolicy.none()
+        attempt = 0
+        while True:
+            attempt += 1
+            ctx.attempts += 1
+            try:
+                return self._submit(source, plan)
+            except TransientSourceError as fault:
+                if policy.should_retry(attempt) and ctx.take_retry_token():
+                    delay = policy.backoff_delay(
+                        attempt, key=f"{plan.source}|{plan.condition}",
+                        fault=fault,
+                    )
+                    ctx.retries += 1
+                    ctx.backoff += delay
+                    source.meter.record_retry()
+                    logger.debug(
+                        "transient failure at %s (%s); retry %d/%d after "
+                        "%.3fs", plan.source, fault, attempt,
+                        policy.max_attempts - 1, delay,
+                    )
+                    policy.wait(delay)
+                    continue
+                # Retries exhausted: the source is failed for the rest
+                # of this plan execution; try to route around it.
+                ctx.failed_sources.add(plan.source)
+                if self.failover is not None:
+                    alternative = self.failover.replan(
+                        plan, frozenset(ctx.failed_sources)
+                    )
+                    if alternative is not None:
+                        ctx.failovers += 1
+                        logger.warning(
+                            "failing over %s SP(%s) after %d attempts: %s",
+                            plan.source, plan.condition, attempt, fault,
+                        )
+                        return self._execute(alternative, ctx)
+                raise
+
+    def _submit(self, source: CapabilitySource, plan: SourceQuery) -> Relation:
+        """One attempt: fix order, call the source, fill the cache."""
+        condition = plan.condition
+        if self.fix_queries and not condition.is_true:
+            condition = source.fix(condition, plan.attrs)
+            if condition != plan.condition:
+                logger.debug(
+                    "fixed query order for %s: %s -> %s",
+                    plan.source, plan.condition, condition,
+                )
+        result = source.execute(condition, plan.attrs)
+        logger.debug(
+            "source %s answered SP(%s) with %d tuples",
+            plan.source, condition, len(result),
+        )
+        if self.cache is not None:
+            self.cache.put(plan.source, plan.condition, plan.attrs, result)
+        return result
+
+    # ------------------------------------------------------------------
     def execute_with_report(self, plan: Plan) -> ExecutionReport:
-        """Execute and report measured traffic (sums the involved meters)."""
-        involved = {q.source for q in plan.source_queries()}
-        before = {name: self._source(name).meter.snapshot() for name in involved}
-        result = self.execute(plan)
+        """Execute and report measured traffic (sums the involved meters).
+
+        The whole catalog is snapshotted, not just the plan's own
+        sources: failover and execution-time Choice resolution may pull
+        in sources the planned tree never mentions.
+
+        Note on caching: traffic is *measured at the sources*, so a plan
+        answered entirely from the result cache reports zero queries and
+        zero tuples -- by design.  The optimizer's estimate and the
+        measured cost diverge under caching; the meters tell you what
+        the Internet actually saw.
+        """
+        before = {
+            name: source.meter.snapshot()
+            for name, source in self.catalog.items()
+        }
+        ctx = self._new_context()
+        result = self._execute(plan, ctx)
         queries = 0
         tuples = 0
-        for name in involved:
-            delta = self._source(name).meter.snapshot() - before[name]
+        for name, snap in before.items():
+            delta = self._source(name).meter.snapshot() - snap
             queries += delta.queries
             tuples += delta.tuples
-        return ExecutionReport(result, queries, tuples)
+        return ExecutionReport(
+            result,
+            queries,
+            tuples,
+            attempts=ctx.attempts,
+            retries=ctx.retries,
+            failovers=ctx.failovers,
+            backoff_seconds=ctx.backoff,
+        )
 
 
 def reference_answer(

@@ -38,6 +38,14 @@ class Plan:
         for child in self.children:
             yield from child.source_queries()
 
+    def sources(self) -> frozenset[str]:
+        """Names of every source this plan (or any Choice branch) touches.
+
+        Failover uses this to skip alternatives that depend on a source
+        already known to be down.
+        """
+        return frozenset(sq.source for sq in self.source_queries())
+
     @property
     def is_concrete(self) -> bool:
         """True when no Choice node remains anywhere in the plan."""

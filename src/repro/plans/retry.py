@@ -1,0 +1,94 @@
+"""Retry policies for plan execution over flaky sources.
+
+A :class:`RetryPolicy` tells the executor how to respond to a
+:class:`~repro.errors.TransientSourceError`: how many attempts a single
+source query gets, how long to back off between them (exponential, with
+**deterministic** jitter so experiment runs are reproducible), and how
+many retries a whole plan may spend in total (the retry budget).
+
+The policy applies to transient faults *only*.  Capability rejections
+(:class:`~repro.errors.UnsupportedQueryError`) are permanent for a
+given query -- resubmitting the same form can only waste the metered
+source's goodwill -- so the executor re-raises them immediately,
+whatever the policy says.
+
+Backoff is simulated by default: the delay is accounted on the
+execution report (``backoff_seconds``) without sleeping, which keeps
+tests and benchmarks fast while preserving the numbers a capacity
+planner wants.  Pass ``real_sleep=True`` to actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import SourceRateLimitError, TransientSourceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus at most two retries.  ``retry_budget`` caps the *total*
+    retries one plan execution may spend across all of its source
+    queries (``None`` = unbounded); a plan over many sources cannot
+    grind forever even if each individual query stays under
+    ``max_attempts``.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 5.0
+    jitter: float = 0.1
+    retry_budget: int | None = None
+    seed: int = 0
+    real_sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """The no-retry policy: one attempt, fail fast."""
+        return cls(max_attempts=1, retry_budget=0)
+
+    def should_retry(self, attempt: int) -> bool:
+        """May a query that failed on its ``attempt``-th try go again?"""
+        return attempt < self.max_attempts
+
+    def backoff_delay(self, attempt: int, key: str = "",
+                      fault: TransientSourceError | None = None) -> float:
+        """Simulated seconds to wait before retry number ``attempt``.
+
+        Exponential in the attempt number, capped at ``max_backoff``,
+        shrunk by up to ``jitter`` using a hash of ``(key, attempt,
+        seed)`` -- deterministic across runs and processes (no RNG
+        state, no ``PYTHONHASHSEED`` dependence).  A rate-limited fault
+        floors the delay at the source's ``retry_after``.
+        """
+        delay = min(
+            self.max_backoff,
+            self.base_backoff * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter > 0.0:
+            word = f"{key}:{attempt}:{self.seed}".encode()
+            fraction = zlib.crc32(word) / 0xFFFFFFFF
+            delay *= 1.0 - self.jitter * fraction
+        if isinstance(fault, SourceRateLimitError):
+            delay = max(delay, fault.retry_after)
+        return delay
+
+    def wait(self, delay: float) -> None:
+        """Spend the backoff (really, when ``real_sleep`` is set)."""
+        if self.real_sleep and delay > 0.0:
+            time.sleep(delay)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.conditions.atoms import Atom, Op, op_from_text
+from repro.conditions.atoms import Atom, op_from_text
 from repro.conditions.tree import TRUE, And, Condition, Leaf, Or
 from repro.errors import ConditionError, PlanExecutionError
 from repro.plans.nodes import (

@@ -1,0 +1,134 @@
+"""Fault injection for the simulated Internet sources.
+
+The paper's setting is *autonomous* sources (Section 3): the mediator
+does not control them, and real ones are intermittently slow, metered
+and down.  A :class:`FaultInjector` attached to a
+:class:`~repro.source.source.CapabilitySource` makes the simulation
+honest about that: before a call reaches the form, the injector may
+raise a transient fault -- an outage, a timeout, or a rate-limit
+rejection -- drawn from a **seeded** RNG so every run of an experiment
+sees the identical fault sequence.
+
+Faults are *transient* (:class:`~repro.errors.TransientSourceError`
+subclasses) and therefore retryable; they are deliberately disjoint
+from capability rejections (:class:`~repro.errors.UnsupportedQueryError`),
+which are permanent for a given query and must never be retried.
+
+Besides probabilistic faults the injector models hard outages:
+:meth:`take_down` makes every subsequent call fail until
+:meth:`restore` -- the scenario mirror failover exists for.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import (
+    SourceRateLimitError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source for one simulated site.
+
+    ``transient_rate`` / ``timeout_rate`` / ``rate_limit_rate`` are
+    per-call probabilities of the three fault kinds (their sum must not
+    exceed 1).  ``timeout_latency`` is the simulated seconds a timed-out
+    call wastes; ``retry_after`` is the wait a rate-limit response asks
+    for.  No real time passes -- both are accounting values surfaced on
+    the raised exception.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        rate_limit_rate: float = 0.0,
+        timeout_latency: float = 0.5,
+        retry_after: float = 0.25,
+    ):
+        if min(transient_rate, timeout_rate, rate_limit_rate) < 0.0:
+            raise ValueError("fault rates must be non-negative")
+        total = transient_rate + timeout_rate + rate_limit_rate
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates must sum to a probability, got {total}"
+            )
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.timeout_rate = timeout_rate
+        self.rate_limit_rate = rate_limit_rate
+        self.timeout_latency = timeout_latency
+        self.retry_after = retry_after
+        self._rng = random.Random(seed)
+        self.down = False
+        #: How many faults of each kind were injected (for assertions).
+        self.injected = {"outage": 0, "unavailable": 0, "timeout": 0,
+                         "rate_limit": 0}
+
+    # ------------------------------------------------------------------
+    def take_down(self) -> None:
+        """Hard outage: every call fails until :meth:`restore`."""
+        self.down = True
+
+    def restore(self) -> None:
+        self.down = False
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset(self) -> None:
+        """Restore the source and rewind the RNG to the seed."""
+        self.down = False
+        self._rng = random.Random(self.seed)
+        for kind in self.injected:
+            self.injected[kind] = 0
+
+    # ------------------------------------------------------------------
+    def draw(self, source: str) -> TransientSourceError | None:
+        """The fault (if any) for the next call against ``source``.
+
+        Advances the seeded RNG exactly once per call, so the fault
+        sequence is a pure function of the seed and the call order.
+        """
+        if self.down:
+            self.injected["outage"] += 1
+            return SourceUnavailableError(
+                f"source {source!r} is down", source=source
+            )
+        roll = self._rng.random()
+        if roll < self.transient_rate:
+            self.injected["unavailable"] += 1
+            return SourceUnavailableError(
+                f"source {source!r} dropped the connection", source=source
+            )
+        roll -= self.transient_rate
+        if roll < self.timeout_rate:
+            self.injected["timeout"] += 1
+            return SourceTimeoutError(
+                f"source {source!r} timed out after "
+                f"{self.timeout_latency:g}s", source=source,
+                elapsed=self.timeout_latency,
+            )
+        roll -= self.timeout_rate
+        if roll < self.rate_limit_rate:
+            self.injected["rate_limit"] += 1
+            return SourceRateLimitError(
+                f"source {source!r} rate-limited the caller "
+                f"(retry after {self.retry_after:g}s)", source=source,
+                retry_after=self.retry_after,
+            )
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "DOWN" if self.down else "up"
+        return (
+            f"FaultInjector(seed={self.seed}, p_fail="
+            f"{self.transient_rate + self.timeout_rate + self.rate_limit_rate:g}, "
+            f"{state}, injected={self.total_injected})"
+        )

@@ -4,11 +4,18 @@ The cost model the paper motivates (Section 6.2) is about real resource
 use: number of source queries issued and amount of data transferred.
 Every simulated source carries a :class:`QueryMeter` so experiments can
 report *measured* costs next to the optimizer's estimates (benchmark E2).
+
+Beyond the paper's two cost drivers the meter tracks reliability
+accounting: ``rejected`` (capability rejections -- permanent, never
+retried), ``failures`` (transient faults injected or observed at the
+source) and ``retries`` (re-attempts the executor charged to this
+source).  The ``rejected``-vs-``retries`` split is what lets tests
+assert that capability rejections are never retried.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -18,6 +25,8 @@ class MeterSnapshot:
     queries: int = 0
     tuples: int = 0
     rejected: int = 0
+    failures: int = 0
+    retries: int = 0
 
     def cost(self, k1: float, k2: float) -> float:
         """Measured cost under the paper's Eq. 1."""
@@ -28,16 +37,20 @@ class MeterSnapshot:
             self.queries - other.queries,
             self.tuples - other.tuples,
             self.rejected - other.rejected,
+            self.failures - other.failures,
+            self.retries - other.retries,
         )
 
 
 @dataclass
 class QueryMeter:
-    """Counts queries answered, tuples returned and queries rejected."""
+    """Counts queries answered, tuples returned, rejections, faults, retries."""
 
     queries: int = 0
     tuples: int = 0
     rejected: int = 0
+    failures: int = 0
+    retries: int = 0
 
     def record(self, result_size: int) -> None:
         self.queries += 1
@@ -46,10 +59,22 @@ class QueryMeter:
     def record_rejection(self) -> None:
         self.rejected += 1
 
+    def record_failure(self) -> None:
+        """A transient fault (outage, timeout, rate limit) hit a call."""
+        self.failures += 1
+
+    def record_retry(self) -> None:
+        """The executor is re-attempting a failed call against this source."""
+        self.retries += 1
+
     def snapshot(self) -> MeterSnapshot:
-        return MeterSnapshot(self.queries, self.tuples, self.rejected)
+        return MeterSnapshot(
+            self.queries, self.tuples, self.rejected, self.failures, self.retries
+        )
 
     def reset(self) -> None:
         self.queries = 0
         self.tuples = 0
         self.rejected = 0
+        self.failures = 0
+        self.retries = 0

@@ -25,6 +25,7 @@ from repro.conditions.tree import Condition
 from repro.data.relation import Relation
 from repro.data.stats import TableStats
 from repro.errors import UnsupportedQueryError
+from repro.source.faults import FaultInjector
 from repro.source.metering import QueryMeter
 from repro.ssdl.commute import commutation_closure, fix_condition
 from repro.ssdl.description import CheckResult, SourceDescription
@@ -39,15 +40,21 @@ class CapabilitySource:
         relation: Relation,
         description: SourceDescription,
         order_insensitive: bool = False,
+        fault_injector: FaultInjector | None = None,
     ):
         """``order_insensitive=True`` records that the native grammar's
         conjunct order is immaterial to the real source; the closed
         description is then used for enforcement too (no fixing needed).
+
+        ``fault_injector`` (also assignable after construction) makes
+        calls fail transiently with the injector's seeded probabilities
+        -- the offline stand-in for a flaky live site.
         """
         self.name = name
         self.relation = relation
         self.description = description
         self.order_insensitive = order_insensitive
+        self.fault_injector = fault_injector
         self.meter = QueryMeter()
         self._stats: TableStats | None = None
         self._closed: SourceDescription | None = None
@@ -101,7 +108,18 @@ class CapabilitySource:
         :class:`UnsupportedQueryError` for anything the form cannot
         express -- callers are expected to have fixed query order first
         (see :meth:`fix`).
+
+        With a :class:`FaultInjector` attached, the call may instead
+        raise a :class:`~repro.errors.TransientSourceError`: the network
+        fails before the form can even reject, so faults are drawn
+        *before* capability enforcement and metered as ``failures``
+        (distinct from ``rejected``).
         """
+        if self.fault_injector is not None:
+            fault = self.fault_injector.draw(self.name)
+            if fault is not None:
+                self.meter.record_failure()
+                raise fault
         attrs = frozenset(attributes)
         result = self.enforcing_description.check(condition)
         if not result.supports(attrs):

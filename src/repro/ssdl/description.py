@@ -18,13 +18,13 @@ matching nonterminal this is exactly the paper's definition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.conditions.tree import TRUE, Condition
 from repro.errors import GrammarError
 from repro.ssdl.earley import EarleyRecognizer
-from repro.ssdl.symbols import NT, Symbol, Template, is_terminal, tokenize_condition
+from repro.ssdl.symbols import Symbol, Template, tokenize_condition
 
 
 @dataclass(frozen=True)

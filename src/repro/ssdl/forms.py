@@ -32,7 +32,7 @@ GenCompact's commutation closure and query fixing take it from there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations, product
 
 from repro.errors import SSDLError

@@ -31,7 +31,8 @@ from repro.errors import InfeasiblePlanError
 from repro.planners.base import Planner, PlanningResult
 from repro.planners.gencompact import GenCompact
 from repro.plans.cost import CostModel
-from repro.plans.execute import ExecutionReport, Executor
+from repro.plans.execute import Executor
+from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
 from repro.source.source import CapabilitySource
 
@@ -80,12 +81,15 @@ class Wrapper:
         k1: float = 100.0,
         k2: float = 1.0,
         reuse_templates: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.source = source
         self.planner = planner if planner is not None else GenCompact()
         self.reuse_templates = reuse_templates
         self._cost_model = CostModel({source.name: source.stats}, k1, k2)
-        self._executor = Executor({source.name: source})
+        self._executor = Executor(
+            {source.name: source}, retry_policy=retry_policy
+        )
         self._plan_cache: dict[tuple[Condition, frozenset[str]], PlanningResult] = {}
         # skeleton-template -> a previously planned (condition, result).
         self._templates: dict[

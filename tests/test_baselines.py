@@ -1,6 +1,5 @@
 """Unit tests for the baseline strategies' plan shapes."""
 
-import pytest
 
 from repro.conditions.parser import parse_condition
 from repro.conditions.tree import TRUE

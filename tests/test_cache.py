@@ -76,6 +76,26 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(0)
 
+    def test_mutating_a_hit_does_not_corrupt_the_cache(self):
+        # Regression: get() used to hand out the cached Relation by
+        # reference, so a caller editing rows poisoned every later hit.
+        cache = ResultCache(100)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), rel(3))
+        hit = cache.get("s", cond("a = 1"), frozenset({"id"}))
+        for row in hit:
+            row["id"] = 999
+        fresh = cache.get("s", cond("a = 1"), frozenset({"id"}))
+        assert fresh.as_row_set() == {(0,), (1,), (2,)}
+
+    def test_mutating_the_original_after_put_does_not_corrupt(self):
+        cache = ResultCache(100)
+        original = rel(3)
+        cache.put("s", cond("a = 1"), frozenset({"id"}), original)
+        for row in original:
+            row["id"] = 999
+        hit = cache.get("s", cond("a = 1"), frozenset({"id"}))
+        assert hit.as_row_set() == {(0,), (1,), (2,)}
+
 
 class TestCachedExecution:
     def test_second_execution_skips_the_source(self):
@@ -106,3 +126,28 @@ class TestCachedExecution:
         mediator.ask(query)
         again = mediator.ask(query)
         assert again.report.queries == 1
+
+    def test_cache_hits_report_zero_measured_traffic(self):
+        # Intended semantics, not a bug: execute_with_report measures
+        # *source* traffic via the meters, so a plan answered entirely
+        # from the result cache reports zero queries and zero tuples --
+        # the optimizer's estimate and the measured cost diverge under
+        # caching, and the meters tell you what the Internet saw.
+        source = make_example41_source()
+        cache = ResultCache(1000)
+        executor = Executor({"cars": source}, cache=cache)
+        plan = SourceQuery(cond("make = 'BMW' and price < 40000"), A, "cars")
+        warm = executor.execute_with_report(plan)
+        assert warm.queries == 1
+        assert warm.tuples_transferred == 2
+        hit = executor.execute_with_report(plan)
+        assert hit.queries == 0
+        assert hit.tuples_transferred == 0
+        assert hit.measured_cost(100, 1) == 0.0
+        assert hit.result.as_row_set() == warm.result.as_row_set()
+        # The estimated cost of the plan is unchanged -- only the
+        # measured side collapses.
+        from repro.plans.cost import CostModel
+
+        model = CostModel({"cars": source.stats})
+        assert model.cost(plan) > 0.0

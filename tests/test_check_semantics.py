@@ -1,7 +1,6 @@
 """Deep semantics of Check: paren transparency, literal templates under
 closure, and interplay between the family semantics and planning."""
 
-import pytest
 
 from repro.conditions.parser import parse_condition
 from repro.ssdl.commute import commutation_closure

@@ -1,6 +1,5 @@
 """Tests for the interactive shell command."""
 
-import pytest
 
 from repro.__main__ import main as repro_main
 

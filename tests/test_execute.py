@@ -86,6 +86,17 @@ class TestComposites:
         with pytest.raises(PlanExecutionError):
             executor.execute(choice)
 
+    @pytest.mark.parametrize("node_cls", [UnionPlan, IntersectPlan])
+    def test_empty_combination_raises_plan_error(self, executor, node_cls):
+        # The constructor refuses < 2 children, but a degenerate node can
+        # still reach the executor (hand-built, or from a future
+        # deserializer bug).  Regression: this used to be a bare
+        # IndexError from reading parts[0].
+        degenerate = node_cls.__new__(node_cls)
+        object.__setattr__(degenerate, "_children", ())
+        with pytest.raises(PlanExecutionError, match="no inputs"):
+            executor.execute(degenerate)
+
 
 class TestReports:
     def test_execute_with_report_meters_traffic(self, executor, source):

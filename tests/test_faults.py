@@ -1,0 +1,288 @@
+"""Unit tests for fault injection, retry policies and failover."""
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import (
+    PlanExecutionError,
+    SourceRateLimitError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+    UnsupportedQueryError,
+)
+from repro.plans.cost import CostModel
+from repro.plans.execute import Executor
+from repro.plans.nodes import ChoicePlan, SourceQuery
+from repro.plans.retry import RetryPolicy
+from repro.source.faults import FaultInjector
+from tests.conftest import make_example41_source
+
+A = frozenset({"model"})
+
+
+def sq(text, attrs=A, source="cars"):
+    return SourceQuery(parse_condition(text), frozenset(attrs), source)
+
+
+BMW = "make = 'BMW' and price < 40000"
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_deterministic_sequence(self):
+        a = FaultInjector(seed=42, transient_rate=0.3, timeout_rate=0.2,
+                          rate_limit_rate=0.1)
+        b = FaultInjector(seed=42, transient_rate=0.3, timeout_rate=0.2,
+                          rate_limit_rate=0.1)
+        outcomes_a = [type(a.draw("s")).__name__ for _ in range(50)]
+        outcomes_b = [type(b.draw("s")).__name__ for _ in range(50)]
+        assert outcomes_a == outcomes_b
+        assert a.injected == b.injected
+
+    def test_zero_rates_never_fail(self):
+        injector = FaultInjector(seed=0)
+        assert all(injector.draw("s") is None for _ in range(100))
+        assert injector.total_injected == 0
+
+    def test_certain_failure(self):
+        injector = FaultInjector(seed=0, transient_rate=1.0)
+        fault = injector.draw("s")
+        assert isinstance(fault, SourceUnavailableError)
+        assert fault.source == "s"
+
+    def test_fault_kinds_carry_metadata(self):
+        timeouts = FaultInjector(seed=0, timeout_rate=1.0, timeout_latency=2.5)
+        fault = timeouts.draw("s")
+        assert isinstance(fault, SourceTimeoutError)
+        assert fault.elapsed == 2.5
+        limited = FaultInjector(seed=0, rate_limit_rate=1.0, retry_after=1.5)
+        fault = limited.draw("s")
+        assert isinstance(fault, SourceRateLimitError)
+        assert fault.retry_after == 1.5
+
+    def test_take_down_and_restore(self):
+        injector = FaultInjector(seed=0)
+        injector.take_down()
+        assert isinstance(injector.draw("s"), SourceUnavailableError)
+        assert injector.injected["outage"] == 1
+        injector.restore()
+        assert injector.draw("s") is None
+
+    def test_reset_rewinds_rng(self):
+        injector = FaultInjector(seed=9, transient_rate=0.5)
+        first = [injector.draw("s") is None for _ in range(20)]
+        injector.reset()
+        again = [injector.draw("s") is None for _ in range(20)]
+        assert first == again
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=0.7, timeout_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=-0.1)
+
+    def test_source_meters_failures(self):
+        source = make_example41_source()
+        source.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        with pytest.raises(SourceUnavailableError):
+            source.execute(parse_condition(BMW), ["model"])
+        assert source.meter.failures == 1
+        assert source.meter.queries == 0
+        assert source.meter.rejected == 0
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_backoff=1.0, multiplier=2.0,
+                             max_backoff=5.0, jitter=0.0)
+        delays = [policy.backoff_delay(a) for a in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff=1.0, jitter=0.5, seed=3)
+        one = policy.backoff_delay(1, key="s|c")
+        two = policy.backoff_delay(1, key="s|c")
+        assert one == two
+        assert 0.5 <= one <= 1.0
+        # Different keys de-synchronize their delays.
+        assert policy.backoff_delay(1, key="other") != one
+
+    def test_rate_limit_floors_the_delay(self):
+        policy = RetryPolicy(base_backoff=0.01, jitter=0.0)
+        fault = SourceRateLimitError("slow down", retry_after=9.0)
+        assert policy.backoff_delay(1, fault=fault) == 9.0
+
+    def test_none_policy_fails_fast(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_budget=-1)
+
+
+# ----------------------------------------------------------------------
+# Executor retry behaviour
+# ----------------------------------------------------------------------
+
+class TestExecutorRetry:
+    def test_recovers_from_transient_failure(self):
+        # Random(1) draws ~0.134 then ~0.847: with rate 0.5 the first
+        # attempt fails and the retry succeeds.
+        source = make_example41_source()
+        source.fault_injector = FaultInjector(seed=1, transient_rate=0.5)
+        executor = Executor(
+            {"cars": source}, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        report = executor.execute_with_report(sq(BMW))
+        assert report.result.as_row_set() == {("328i",), ("318i",)}
+        assert report.attempts == 2
+        assert report.retries == 1
+        assert report.backoff_seconds > 0.0
+        assert source.meter.failures == 1
+        assert source.meter.retries == 1
+        assert source.meter.queries == 1
+
+    def test_no_policy_fails_fast(self):
+        source = make_example41_source()
+        source.fault_injector = FaultInjector(seed=1, transient_rate=0.5)
+        executor = Executor({"cars": source})
+        with pytest.raises(TransientSourceError):
+            executor.execute(sq(BMW))
+        assert source.meter.retries == 0
+
+    def test_gives_up_after_max_attempts(self):
+        source = make_example41_source()
+        source.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        executor = Executor(
+            {"cars": source}, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(SourceUnavailableError):
+            executor.execute(sq(BMW))
+        assert source.meter.failures == 3
+        assert source.meter.retries == 2
+
+    def test_plan_wide_retry_budget(self):
+        source = make_example41_source()
+        source.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        executor = Executor(
+            {"cars": source},
+            retry_policy=RetryPolicy(max_attempts=10, retry_budget=2),
+        )
+        with pytest.raises(SourceUnavailableError):
+            executor.execute(sq(BMW))
+        # 1 try + a budget of 2 retries, not 10 attempts.
+        assert source.meter.failures == 3
+
+    def test_capability_rejections_are_never_retried(self):
+        source = make_example41_source()
+        executor = Executor(
+            {"cars": source},
+            fix_queries=False,
+            retry_policy=RetryPolicy(max_attempts=5),
+        )
+        # Reversed conjunct order: the order-sensitive form rejects it.
+        with pytest.raises(UnsupportedQueryError):
+            executor.execute(sq("price < 40000 and make = 'BMW'"))
+        assert source.meter.rejected == 1
+        assert source.meter.retries == 0
+        assert source.meter.failures == 0
+
+    def test_cache_hit_masks_faults(self):
+        from repro.plans.cache import ResultCache
+
+        source = make_example41_source()
+        cache = ResultCache(1000)
+        executor = Executor({"cars": source}, cache=cache)
+        plan = sq(BMW)
+        warm = executor.execute(plan)
+        source.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        hit = executor.execute(plan)
+        assert hit.as_row_set() == warm.as_row_set()
+        assert source.meter.failures == 0
+
+
+# ----------------------------------------------------------------------
+# Choice resolution at execution time
+# ----------------------------------------------------------------------
+
+class TestChoiceFailover:
+    def two_sources(self):
+        cheap = make_example41_source("cheap")
+        dear = make_example41_source("dear")
+        model = CostModel(
+            {"cheap": cheap.stats, "dear": dear.stats},
+            per_source={"dear": (1000.0, 10.0)},
+        )
+        return cheap, dear, model
+
+    def test_without_cost_model_choice_still_rejected(self):
+        cheap, dear, __ = self.two_sources()
+        executor = Executor({"cheap": cheap, "dear": dear})
+        choice = ChoicePlan([sq(BMW, source="cheap"), sq(BMW, source="dear")])
+        with pytest.raises(PlanExecutionError):
+            executor.execute(choice)
+
+    def test_picks_cheapest_alternative(self):
+        cheap, dear, model = self.two_sources()
+        executor = Executor({"cheap": cheap, "dear": dear}, cost_model=model)
+        choice = ChoicePlan([sq(BMW, source="dear"), sq(BMW, source="cheap")])
+        result = executor.execute(choice)
+        assert result.as_row_set() == {("328i",), ("318i",)}
+        assert cheap.meter.queries == 1
+        assert dear.meter.queries == 0
+
+    def test_falls_over_to_next_alternative(self):
+        cheap, dear, model = self.two_sources()
+        cheap.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        executor = Executor({"cheap": cheap, "dear": dear}, cost_model=model)
+        choice = ChoicePlan([sq(BMW, source="dear"), sq(BMW, source="cheap")])
+        report = executor.execute_with_report(choice)
+        assert report.result.as_row_set() == {("328i",), ("318i",)}
+        assert report.failovers == 1
+        assert dear.meter.queries == 1
+
+    def test_all_alternatives_dead_raises_the_fault(self):
+        cheap, dear, model = self.two_sources()
+        cheap.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        dear.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        executor = Executor({"cheap": cheap, "dear": dear}, cost_model=model)
+        choice = ChoicePlan([sq(BMW, source="dear"), sq(BMW, source="cheap")])
+        with pytest.raises(TransientSourceError):
+            executor.execute(choice)
+
+    def test_failed_source_skipped_across_choices(self):
+        cheap, dear, model = self.two_sources()
+        cheap.fault_injector = FaultInjector(seed=0, transient_rate=1.0)
+        executor = Executor({"cheap": cheap, "dear": dear}, cost_model=model)
+        red = "make = 'BMW' and color = 'red'"
+        choice1 = ChoicePlan([sq(BMW, source="cheap"), sq(BMW, source="dear")])
+        choice2 = ChoicePlan([sq(red, source="cheap"), sq(red, source="dear")])
+        from repro.plans.nodes import IntersectPlan
+
+        report = executor.execute_with_report(IntersectPlan([choice1, choice2]))
+        assert report.result.as_row_set() == {("328i",)}
+        # The second Choice skips 'cheap' without re-probing it: one
+        # failed attempt total, both answers from 'dear'.
+        assert cheap.meter.failures == 1
+        assert dear.meter.queries == 2
+
+
+class TestPlanSources:
+    def test_sources_includes_choice_branches(self):
+        choice = ChoicePlan([sq(BMW, source="a"), sq(BMW, source="b")])
+        assert choice.sources() == {"a", "b"}
+        assert sq(BMW, source="a").sources() == {"a"}

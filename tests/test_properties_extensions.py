@@ -1,7 +1,6 @@
 """Property tests for the extension modules: caching equivalence,
 form-compilation semantics, binding-pattern semantics."""
 
-import random
 
 import hypothesis.strategies as st
 from hypothesis import given, settings

@@ -13,7 +13,6 @@ random worlds and random canonical CTs:
 import random
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.conditions.canonical import canonicalize

@@ -1,6 +1,5 @@
 """Unit tests for the rewrite rules and the bounded rewrite engine."""
 
-import pytest
 
 from repro.conditions.parser import parse_condition
 from repro.conditions.rewrite import (

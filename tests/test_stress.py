@@ -8,7 +8,6 @@ inputs) fails loudly.
 
 import time
 
-import pytest
 
 from repro.conditions.canonical import canonicalize
 from repro.conditions.parser import parse_condition

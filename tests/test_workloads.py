@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.conditions.canonical import is_canonical
 from repro.planners.gencompact import GenCompact
