@@ -69,6 +69,7 @@ from repro.plans import (
     BottleneckCostModel,
     CostModel,
     Executor,
+    ParallelExecutor,
     RetryPolicy,
     explain,
     to_paper_notation,
@@ -78,6 +79,7 @@ from repro.query import TargetQuery, parse_query
 from repro.source import (
     CapabilitySource,
     FaultInjector,
+    SimulatedLatency,
     bank,
     bookstore,
     car_guide,
@@ -119,6 +121,7 @@ __all__ = [
     "CostModel",
     "BottleneckCostModel",
     "Executor",
+    "ParallelExecutor",
     "RetryPolicy",
     "explain",
     "to_paper_notation",
@@ -133,6 +136,7 @@ __all__ = [
     # sources & mediator
     "CapabilitySource",
     "FaultInjector",
+    "SimulatedLatency",
     "bookstore",
     "car_guide",
     "bank",

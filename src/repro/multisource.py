@@ -23,7 +23,11 @@ single-source machinery:
 Both groups hold **one** executor for their lifetime (optionally with a
 shared :class:`~repro.plans.cache.ResultCache` and a
 :class:`~repro.plans.retry.RetryPolicy`), so repeated queries benefit
-from caching across calls.
+from caching across calls.  Pass ``parallel_workers=N`` to make that
+executor a :class:`~repro.plans.parallel.ParallelExecutor`: a
+partitioned query's per-slice source calls then overlap instead of
+queueing -- the natural fit, since a partition plan is a Union over
+independent slices.
 """
 
 from __future__ import annotations
@@ -42,9 +46,21 @@ from repro.plans.cache import ResultCache
 from repro.plans.cost import CostModel
 from repro.plans.execute import ExecutionReport, Executor
 from repro.plans.nodes import Plan, SourceQuery, UnionPlan
+from repro.plans.parallel import ParallelExecutor
 from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
 from repro.source.source import CapabilitySource
+
+
+def _make_executor(
+    catalog: dict[str, CapabilitySource],
+    parallel_workers: int | None = None,
+    **kwargs,
+) -> Executor:
+    """The group's long-lived executor: serial, or parallel when asked."""
+    if parallel_workers is None:
+        return Executor(catalog, **kwargs)
+    return ParallelExecutor(catalog, max_workers=parallel_workers, **kwargs)
 
 
 def _check_same_attributes(sources: list[CapabilitySource], role: str) -> None:
@@ -113,10 +129,12 @@ class MirrorGroup:
         per_source_constants: dict[str, tuple[float, float]] | None = None,
         cache: ResultCache | None = None,
         retry_policy: RetryPolicy | None = None,
+        parallel_workers: int | None = None,
     ):
         """``cache`` (shared across every ``ask``) and ``retry_policy``
         configure the group's single long-lived executor; mirrors double
-        as failover targets for each other automatically."""
+        as failover targets for each other automatically.
+        ``parallel_workers`` makes that executor parallel."""
         _check_same_attributes(sources, "mirror")
         self.sources = {s.name: s for s in sources}
         self.planner = planner if planner is not None else GenCompact()
@@ -127,12 +145,13 @@ class MirrorGroup:
             per_source=per_source_constants,
         )
         self.cache = cache
-        self._executor = Executor(
+        self._executor = _make_executor(
             self.sources,
             cache=cache,
             retry_policy=retry_policy,
             failover=MirrorFailover(self),
             cost_model=self._cost_model,
+            parallel_workers=parallel_workers,
         )
 
     def plan(self, query: TargetQuery) -> MirrorChoice:
@@ -213,9 +232,12 @@ class PartitionedSource:
         k2: float = 1.0,
         cache: ResultCache | None = None,
         retry_policy: RetryPolicy | None = None,
+        parallel_workers: int | None = None,
     ):
         """``cache`` and ``retry_policy`` configure the group's single
-        long-lived executor (shared across every ``ask``)."""
+        long-lived executor (shared across every ``ask``);
+        ``parallel_workers`` makes it parallel, so the per-partition
+        slices of a union plan are fetched concurrently."""
         _check_same_attributes(sources, "partition")
         self.sources = {s.name: s for s in sources}
         self.planner = planner if planner is not None else GenCompact()
@@ -223,11 +245,12 @@ class PartitionedSource:
             {s.name: s.stats for s in sources}, k1, k2
         )
         self.cache = cache
-        self._executor = Executor(
+        self._executor = _make_executor(
             self.sources,
             cache=cache,
             retry_policy=retry_policy,
             cost_model=self._cost_model,
+            parallel_workers=parallel_workers,
         )
 
     def plan(self, query: TargetQuery) -> PartitionPlan:

@@ -14,6 +14,7 @@ from repro.plans.execute import (
     reference_answer,
 )
 from repro.plans.feasible import FeasibilityReport, validate_plan
+from repro.plans.parallel import ParallelExecutor
 from repro.plans.retry import RetryPolicy
 from repro.plans.nodes import (
     ChoicePlan,
@@ -55,6 +56,7 @@ __all__ = [
     "enumerate_concrete",
     "count_concrete",
     "Executor",
+    "ParallelExecutor",
     "ExecutionReport",
     "FailoverTarget",
     "RetryPolicy",

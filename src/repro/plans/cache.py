@@ -13,10 +13,18 @@ drops everything for a source if its relation is replaced.  Cached
 relations are isolated from callers by copying on both ``put`` and
 ``get``: a caller mutating the rows it was handed (before or after the
 entry was stored) cannot corrupt later cache hits.
+
+The cache is **thread-safe**: the parallel executor consults one shared
+cache from many worker threads, and LRU bookkeeping (move-to-end, the
+eviction loop, the tuple budget) is read-modify-write, so every public
+operation runs under an internal lock.  The copy-on-put/get discipline
+does the rest -- each thread gets its own isolated relation, never a
+reference shared with another thread.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -55,52 +63,60 @@ class ResultCache:
         self.max_tuples = max_tuples
         self._entries: OrderedDict[CacheKey, Relation] = OrderedDict()
         self._tuples = 0
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def cached_tuples(self) -> int:
-        return self._tuples
+        with self._lock:
+            return self._tuples
 
     # ------------------------------------------------------------------
     def get(self, source: str, condition: Condition, attributes: frozenset
             ) -> Relation | None:
         key = (source, condition, frozenset(attributes))
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        # Defensive copy: handing out the stored relation by reference
-        # would let a caller mutating its rows corrupt every later hit.
-        return _copy_relation(entry)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            # Defensive copy: handing out the stored relation by reference
+            # would let a caller mutating its rows corrupt every later hit.
+            return _copy_relation(entry)
 
     def put(self, source: str, condition: Condition, attributes: frozenset,
             result: Relation) -> None:
         key = (source, condition, frozenset(attributes))
+        # Copy outside the lock (the expensive part); the caller keeps
+        # the original and may mutate it after we return.
         size = len(result)
         if size > self.max_tuples:
             return  # larger than the whole cache: never admit
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._tuples -= len(old)
-        # Store a copy too: the caller keeps the original and may mutate it.
-        self._entries[key] = _copy_relation(result)
-        self._tuples += size
-        while self._tuples > self.max_tuples and self._entries:
-            __, evicted = self._entries.popitem(last=False)
-            self._tuples -= len(evicted)
-            self.stats.evictions += 1
+        stored = _copy_relation(result)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._tuples -= len(old)
+            self._entries[key] = stored
+            self._tuples += size
+            while self._tuples > self.max_tuples and self._entries:
+                __, evicted = self._entries.popitem(last=False)
+                self._tuples -= len(evicted)
+                self.stats.evictions += 1
 
     def invalidate(self, source: str | None = None) -> None:
         """Drop everything (or everything for one source)."""
-        if source is None:
-            self._entries.clear()
-            self._tuples = 0
-            return
-        keys = [k for k in self._entries if k[0] == source]
-        for key in keys:
-            self._tuples -= len(self._entries.pop(key))
+        with self._lock:
+            if source is None:
+                self._entries.clear()
+                self._tuples = 0
+                return
+            keys = [k for k in self._entries if k[0] == source]
+            for key in keys:
+                self._tuples -= len(self._entries.pop(key))

@@ -25,8 +25,9 @@ the resilience point of the architecture:
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol
+from typing import Iterable, Mapping, Protocol
 
 from repro.data.relation import Relation
 from repro.errors import PlanExecutionError, TransientSourceError
@@ -78,7 +79,14 @@ class FailoverTarget(Protocol):
 
 @dataclass
 class _ExecutionContext:
-    """Per-top-level-execution bookkeeping (retry budget, counters)."""
+    """Per-top-level-execution bookkeeping (retry budget, counters).
+
+    Counter updates are serialized on a lock: the parallel executor
+    shares one context across every branch of a plan, and the
+    accounting (and especially the retry budget) must stay exact under
+    contention.  The serial executor pays one uncontended lock per
+    source call -- noise next to the call itself.
+    """
 
     attempts: int = 0
     retries: int = 0
@@ -86,15 +94,42 @@ class _ExecutionContext:
     backoff: float = 0.0
     failed_sources: set[str] = field(default_factory=set)
     budget_left: int | None = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add_attempt(self) -> None:
+        with self._lock:
+            self.attempts += 1
+
+    def add_retry(self, delay: float) -> None:
+        with self._lock:
+            self.retries += 1
+            self.backoff += delay
+
+    def add_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def mark_failed(self, source: str) -> None:
+        with self._lock:
+            self.failed_sources.add(source)
+
+    def any_failed(self, sources: Iterable[str]) -> bool:
+        with self._lock:
+            if not self.failed_sources:
+                return False
+            return any(s in self.failed_sources for s in sources)
 
     def take_retry_token(self) -> bool:
         """Consume one unit of the plan-wide retry budget (if bounded)."""
-        if self.budget_left is None:
+        with self._lock:
+            if self.budget_left is None:
+                return True
+            if self.budget_left <= 0:
+                return False
+            self.budget_left -= 1
             return True
-        if self.budget_left <= 0:
-            return False
-        self.budget_left -= 1
-        return True
 
 
 class Executor:
@@ -169,16 +204,34 @@ class Executor:
                     f"cannot execute a {plan.op_name} plan with no inputs; "
                     f"plans must combine at least one sub-plan"
                 )
-            parts = [self._execute(child, ctx) for child in plan.children]
-            out = parts[0]
-            combine = (
-                Relation.union if isinstance(plan, UnionPlan)
-                else Relation.intersect
-            )
-            for part in parts[1:]:
-                out = combine(out, part)
-            return out
+            return self._execute_combination(plan, ctx)
         raise PlanExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+    def _execute_combination(
+        self, plan: UnionPlan | IntersectPlan, ctx: _ExecutionContext
+    ) -> Relation:
+        """Evaluate a Union/Intersect node's children and combine them.
+
+        The serial executor runs the children left to right; the
+        parallel executor overrides exactly this method to fan them out
+        (the children of a combination node are independent -- no data
+        flows between them).
+        """
+        parts = [self._execute(child, ctx) for child in plan.children]
+        return self._combine(plan, parts)
+
+    @staticmethod
+    def _combine(
+        plan: UnionPlan | IntersectPlan, parts: list[Relation]
+    ) -> Relation:
+        out = parts[0]
+        combine = (
+            Relation.union if isinstance(plan, UnionPlan)
+            else Relation.intersect
+        )
+        for part in parts[1:]:
+            out = combine(out, part)
+        return out
 
     # ------------------------------------------------------------------
     def _execute_choice(self, plan: ChoicePlan, ctx: _ExecutionContext
@@ -198,9 +251,8 @@ class Executor:
         ranked = sorted(plan.children, key=self.cost_model.cost)
         last_fault: TransientSourceError | None = None
         for index, alternative in enumerate(ranked):
-            if ctx.failed_sources and any(
-                sq.source in ctx.failed_sources
-                for sq in alternative.source_queries()
+            if ctx.any_failed(
+                sq.source for sq in alternative.source_queries()
             ):
                 continue
             try:
@@ -211,7 +263,7 @@ class Executor:
                     index, fault,
                 )
                 last_fault = fault
-                ctx.failovers += 1
+                ctx.add_failover()
                 continue
             return result
         if last_fault is not None:
@@ -235,7 +287,7 @@ class Executor:
         attempt = 0
         while True:
             attempt += 1
-            ctx.attempts += 1
+            ctx.add_attempt()
             try:
                 return self._submit(source, plan)
             except TransientSourceError as fault:
@@ -244,8 +296,7 @@ class Executor:
                         attempt, key=f"{plan.source}|{plan.condition}",
                         fault=fault,
                     )
-                    ctx.retries += 1
-                    ctx.backoff += delay
+                    ctx.add_retry(delay)
                     source.meter.record_retry()
                     logger.debug(
                         "transient failure at %s (%s); retry %d/%d after "
@@ -256,13 +307,13 @@ class Executor:
                     continue
                 # Retries exhausted: the source is failed for the rest
                 # of this plan execution; try to route around it.
-                ctx.failed_sources.add(plan.source)
+                ctx.mark_failed(plan.source)
                 if self.failover is not None:
                     alternative = self.failover.replan(
                         plan, frozenset(ctx.failed_sources)
                     )
                     if alternative is not None:
-                        ctx.failovers += 1
+                        ctx.add_failover()
                         logger.warning(
                             "failing over %s SP(%s) after %d attempts: %s",
                             plan.source, plan.condition, attempt, fault,

@@ -13,13 +13,14 @@ from repro.source.library import (
     flights_description,
     standard_catalog,
 )
-from repro.source.faults import FaultInjector
+from repro.source.faults import FaultInjector, SimulatedLatency
 from repro.source.metering import MeterSnapshot, QueryMeter
 from repro.source.source import CapabilitySource
 
 __all__ = [
     "CapabilitySource",
     "FaultInjector",
+    "SimulatedLatency",
     "QueryMeter",
     "MeterSnapshot",
     "bookstore",

@@ -17,11 +17,26 @@ which are permanent for a given query and must never be retried.
 Besides probabilistic faults the injector models hard outages:
 :meth:`take_down` makes every subsequent call fail until
 :meth:`restore` -- the scenario mirror failover exists for.
+
+The same family includes :class:`SimulatedLatency`: a seeded per-call
+delay standing in for the round-trip a real Internet source costs.  It
+is what makes parallel execution *measurable* -- with every source call
+paying, say, 50 ms, a Union fanned out over four sources finishes in
+one round-trip instead of four, and the speedup is reproducible because
+the delays are drawn from a seeded RNG, not from the network weather.
+
+Both classes are thread-safe: the parallel executor drives one source
+(and thus its injector and latency model) from many worker threads, and
+RNG draws plus the accounting counters are serialized on an internal
+lock so the drawn sequence is exactly the seeded one, merely consumed
+in whatever order the threads arrive.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
 
 from repro.errors import (
     SourceRateLimitError,
@@ -65,6 +80,7 @@ class FaultInjector:
         self.timeout_latency = timeout_latency
         self.retry_after = retry_after
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
         self.down = False
         #: How many faults of each kind were injected (for assertions).
         self.injected = {"outage": 0, "unavailable": 0, "timeout": 0,
@@ -84,10 +100,11 @@ class FaultInjector:
 
     def reset(self) -> None:
         """Restore the source and rewind the RNG to the seed."""
-        self.down = False
-        self._rng = random.Random(self.seed)
-        for kind in self.injected:
-            self.injected[kind] = 0
+        with self._lock:
+            self.down = False
+            self._rng = random.Random(self.seed)
+            for kind in self.injected:
+                self.injected[kind] = 0
 
     # ------------------------------------------------------------------
     def draw(self, source: str) -> TransientSourceError | None:
@@ -95,35 +112,39 @@ class FaultInjector:
 
         Advances the seeded RNG exactly once per call, so the fault
         sequence is a pure function of the seed and the call order.
+        Serialized on the injector's lock: concurrent callers consume
+        the same seeded sequence, one draw each, with no draw lost or
+        duplicated.
         """
-        if self.down:
-            self.injected["outage"] += 1
-            return SourceUnavailableError(
-                f"source {source!r} is down", source=source
-            )
-        roll = self._rng.random()
-        if roll < self.transient_rate:
-            self.injected["unavailable"] += 1
-            return SourceUnavailableError(
-                f"source {source!r} dropped the connection", source=source
-            )
-        roll -= self.transient_rate
-        if roll < self.timeout_rate:
-            self.injected["timeout"] += 1
-            return SourceTimeoutError(
-                f"source {source!r} timed out after "
-                f"{self.timeout_latency:g}s", source=source,
-                elapsed=self.timeout_latency,
-            )
-        roll -= self.timeout_rate
-        if roll < self.rate_limit_rate:
-            self.injected["rate_limit"] += 1
-            return SourceRateLimitError(
-                f"source {source!r} rate-limited the caller "
-                f"(retry after {self.retry_after:g}s)", source=source,
-                retry_after=self.retry_after,
-            )
-        return None
+        with self._lock:
+            if self.down:
+                self.injected["outage"] += 1
+                return SourceUnavailableError(
+                    f"source {source!r} is down", source=source
+                )
+            roll = self._rng.random()
+            if roll < self.transient_rate:
+                self.injected["unavailable"] += 1
+                return SourceUnavailableError(
+                    f"source {source!r} dropped the connection", source=source
+                )
+            roll -= self.transient_rate
+            if roll < self.timeout_rate:
+                self.injected["timeout"] += 1
+                return SourceTimeoutError(
+                    f"source {source!r} timed out after "
+                    f"{self.timeout_latency:g}s", source=source,
+                    elapsed=self.timeout_latency,
+                )
+            roll -= self.timeout_rate
+            if roll < self.rate_limit_rate:
+                self.injected["rate_limit"] += 1
+                return SourceRateLimitError(
+                    f"source {source!r} rate-limited the caller "
+                    f"(retry after {self.retry_after:g}s)", source=source,
+                    retry_after=self.retry_after,
+                )
+            return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "DOWN" if self.down else "up"
@@ -131,4 +152,75 @@ class FaultInjector:
             f"FaultInjector(seed={self.seed}, p_fail="
             f"{self.transient_rate + self.timeout_rate + self.rate_limit_rate:g}, "
             f"{state}, injected={self.total_injected})"
+        )
+
+
+class SimulatedLatency:
+    """Seeded, deterministic per-call latency for one simulated site.
+
+    Every call against the source pays ``base`` seconds plus a uniform
+    draw from ``[0, jitter]`` taken from a **seeded** RNG -- the delay
+    *sequence* is a pure function of the seed and the call order, so a
+    benchmark run is reproducible in the same sense a
+    :class:`FaultInjector` run is.
+
+    With ``real_sleep=True`` (the default) the delay is actually slept,
+    which is the whole point: it turns serial-vs-parallel execution
+    into a measurable wall-clock difference.  With ``real_sleep=False``
+    the delay is only accounted (``slept_seconds``), for tests that
+    want the bookkeeping without the waiting.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        base: float = 0.05,
+        jitter: float = 0.0,
+        real_sleep: bool = True,
+    ):
+        if base < 0.0 or jitter < 0.0:
+            raise ValueError("latency base and jitter must be non-negative")
+        self.seed = seed
+        self.base = base
+        self.jitter = jitter
+        self.real_sleep = real_sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: Accounting: calls seen and total (simulated) seconds of delay.
+        self.calls = 0
+        self.slept_seconds = 0.0
+
+    def reset(self) -> None:
+        """Rewind the RNG to the seed and zero the accounting."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self.calls = 0
+            self.slept_seconds = 0.0
+
+    def draw(self) -> float:
+        """The delay for the next call (advances the seeded RNG once)."""
+        with self._lock:
+            delay = self.base
+            if self.jitter > 0.0:
+                delay += self._rng.random() * self.jitter
+            self.calls += 1
+            self.slept_seconds += delay
+            return delay
+
+    def apply(self) -> float:
+        """Draw the next delay and (really) spend it; returns the delay.
+
+        The sleep happens *outside* the lock, so concurrent calls
+        against the same source overlap their waits -- exactly the
+        behaviour a parallel executor exists to exploit.
+        """
+        delay = self.draw()
+        if self.real_sleep and delay > 0.0:
+            time.sleep(delay)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimulatedLatency(seed={self.seed}, base={self.base:g}, "
+            f"jitter={self.jitter:g}, calls={self.calls})"
         )

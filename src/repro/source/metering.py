@@ -11,11 +11,18 @@ retried), ``failures`` (transient faults injected or observed at the
 source) and ``retries`` (re-attempts the executor charged to this
 source).  The ``rejected``-vs-``retries`` split is what lets tests
 assert that capability rejections are never retried.
+
+Meters are **thread-safe**: the parallel executor hits one source's
+meter from many worker threads at once, and the counters are
+read-modify-write, so every mutation and :meth:`~QueryMeter.snapshot`
+happens under an internal lock.  Snapshots are therefore consistent
+cuts (``queries`` and ``tuples`` from the same moment), not torn reads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -44,37 +51,52 @@ class MeterSnapshot:
 
 @dataclass
 class QueryMeter:
-    """Counts queries answered, tuples returned, rejections, faults, retries."""
+    """Counts queries answered, tuples returned, rejections, faults, retries.
+
+    All mutators and :meth:`snapshot` are serialized on a private lock,
+    so concurrent executors never lose increments or observe torn
+    snapshots.
+    """
 
     queries: int = 0
     tuples: int = 0
     rejected: int = 0
     failures: int = 0
     retries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, result_size: int) -> None:
-        self.queries += 1
-        self.tuples += result_size
+        with self._lock:
+            self.queries += 1
+            self.tuples += result_size
 
     def record_rejection(self) -> None:
-        self.rejected += 1
+        with self._lock:
+            self.rejected += 1
 
     def record_failure(self) -> None:
         """A transient fault (outage, timeout, rate limit) hit a call."""
-        self.failures += 1
+        with self._lock:
+            self.failures += 1
 
     def record_retry(self) -> None:
         """The executor is re-attempting a failed call against this source."""
-        self.retries += 1
+        with self._lock:
+            self.retries += 1
 
     def snapshot(self) -> MeterSnapshot:
-        return MeterSnapshot(
-            self.queries, self.tuples, self.rejected, self.failures, self.retries
-        )
+        with self._lock:
+            return MeterSnapshot(
+                self.queries, self.tuples, self.rejected, self.failures,
+                self.retries,
+            )
 
     def reset(self) -> None:
-        self.queries = 0
-        self.tuples = 0
-        self.rejected = 0
-        self.failures = 0
-        self.retries = 0
+        with self._lock:
+            self.queries = 0
+            self.tuples = 0
+            self.rejected = 0
+            self.failures = 0
+            self.retries = 0

@@ -15,17 +15,26 @@ incoming query against the native description and raises
 that simply has no field for the condition you wanted to send.  This
 independent enforcement is what makes the feasibility guarantees of the
 planners testable rather than assumed.
+
+Sources are safe to call from several threads at once (the parallel
+executor does), and they enforce their *own* concurrency ceiling: a
+``max_concurrency`` limit gates :meth:`execute` with a semaphore, the
+stand-in for a site that throttles past N simultaneous connections.
+The ``max_in_flight`` high-water mark makes the guarantee testable --
+no matter how aggressive the caller, it never exceeds the limit.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Iterator
 
 from repro.conditions.tree import Condition
 from repro.data.relation import Relation
 from repro.data.stats import TableStats
 from repro.errors import UnsupportedQueryError
-from repro.source.faults import FaultInjector
+from repro.source.faults import FaultInjector, SimulatedLatency
 from repro.source.metering import QueryMeter
 from repro.ssdl.commute import commutation_closure, fix_condition
 from repro.ssdl.description import CheckResult, SourceDescription
@@ -41,6 +50,8 @@ class CapabilitySource:
         description: SourceDescription,
         order_insensitive: bool = False,
         fault_injector: FaultInjector | None = None,
+        latency: SimulatedLatency | None = None,
+        max_concurrency: int | None = None,
     ):
         """``order_insensitive=True`` records that the native grammar's
         conjunct order is immaterial to the real source; the closed
@@ -49,13 +60,34 @@ class CapabilitySource:
         ``fault_injector`` (also assignable after construction) makes
         calls fail transiently with the injector's seeded probabilities
         -- the offline stand-in for a flaky live site.
+
+        ``latency`` (also assignable after construction) charges every
+        call a seeded round-trip delay -- the offline stand-in for a
+        distant live site, and what makes parallel execution pay off.
+
+        ``max_concurrency`` caps simultaneous in-flight :meth:`execute`
+        calls (``None`` = unlimited): the source's declared capacity,
+        enforced here with a semaphore so no executor -- however
+        parallel -- can hammer the site past it.  Assignable after
+        construction, but only until the first call arrives.
         """
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
         self.name = name
         self.relation = relation
         self.description = description
         self.order_insensitive = order_insensitive
         self.fault_injector = fault_injector
+        self.latency = latency
+        self.max_concurrency = max_concurrency
         self.meter = QueryMeter()
+        #: High-water mark of simultaneous in-flight calls (for tests
+        #: asserting the semaphore is never oversubscribed).
+        self.max_in_flight = 0
+        self._in_flight = 0
+        self._gate: threading.BoundedSemaphore | None = None
+        self._flight_lock = threading.Lock()
+        self._state_lock = threading.Lock()
         self._stats: TableStats | None = None
         self._closed: SourceDescription | None = None
 
@@ -66,16 +98,21 @@ class CapabilitySource:
 
     @property
     def stats(self) -> TableStats:
-        """Table statistics, built on first use."""
+        """Table statistics, built on first use (thread-safe)."""
         if self._stats is None:
-            self._stats = TableStats.from_relation(self.relation)
+            with self._state_lock:
+                if self._stats is None:
+                    self._stats = TableStats.from_relation(self.relation)
         return self._stats
 
     @property
     def closed_description(self) -> SourceDescription:
-        """The commutation-closed description (built on first use)."""
+        """The commutation-closed description (built on first use,
+        thread-safe: concurrent first callers build it once)."""
         if self._closed is None:
-            self._closed = commutation_closure(self.description)
+            with self._state_lock:
+                if self._closed is None:
+                    self._closed = commutation_closure(self.description)
         return self._closed
 
     @property
@@ -101,6 +138,45 @@ class CapabilitySource:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """How many :meth:`execute` calls are running right now."""
+        return self._in_flight
+
+    @contextmanager
+    def concurrency_slot(self) -> Iterator[None]:
+        """Hold one of the source's ``max_concurrency`` slots.
+
+        Blocks while the site is at capacity.  :meth:`execute` takes a
+        slot automatically; the context manager is public so callers
+        batching raw relation access can respect the limit too.
+        """
+        gate = self._concurrency_gate()
+        if gate is not None:
+            gate.acquire()
+        with self._flight_lock:
+            self._in_flight += 1
+            if self._in_flight > self.max_in_flight:
+                self.max_in_flight = self._in_flight
+        try:
+            yield
+        finally:
+            with self._flight_lock:
+                self._in_flight -= 1
+            if gate is not None:
+                gate.release()
+
+    def _concurrency_gate(self) -> threading.BoundedSemaphore | None:
+        if self.max_concurrency is None:
+            return None
+        if self._gate is None:
+            with self._flight_lock:
+                if self._gate is None:
+                    self._gate = threading.BoundedSemaphore(
+                        self.max_concurrency
+                    )
+        return self._gate
+
     def execute(self, condition: Condition, attributes: Iterable[str]) -> Relation:
         """Answer the source query ``SP(condition, attributes, R)``.
 
@@ -114,35 +190,46 @@ class CapabilitySource:
         fails before the form can even reject, so faults are drawn
         *before* capability enforcement and metered as ``failures``
         (distinct from ``rejected``).
+
+        With a :class:`SimulatedLatency` attached, every call -- faulted
+        or not -- first pays its seeded round-trip delay, held inside
+        the concurrency slot so a throttled site really does serialize
+        the waits.
         """
-        if self.fault_injector is not None:
-            fault = self.fault_injector.draw(self.name)
-            if fault is not None:
-                self.meter.record_failure()
-                raise fault
-        attrs = frozenset(attributes)
-        result = self.enforcing_description.check(condition)
-        if not result.supports(attrs):
-            self.meter.record_rejection()
-            if not result:
-                reason = "the condition expression is not accepted by the form"
-            else:
-                exportable = " | ".join(
-                    "{" + ", ".join(sorted(s)) + "}" for s in result.attribute_sets
+        with self.concurrency_slot():
+            if self.latency is not None:
+                self.latency.apply()
+            if self.fault_injector is not None:
+                fault = self.fault_injector.draw(self.name)
+                if fault is not None:
+                    self.meter.record_failure()
+                    raise fault
+            attrs = frozenset(attributes)
+            result = self.enforcing_description.check(condition)
+            if not result.supports(attrs):
+                self.meter.record_rejection()
+                if not result:
+                    reason = (
+                        "the condition expression is not accepted by the form"
+                    )
+                else:
+                    exportable = " | ".join(
+                        "{" + ", ".join(sorted(s)) + "}"
+                        for s in result.attribute_sets
+                    )
+                    reason = (
+                        f"the form cannot export attributes {sorted(attrs)} "
+                        f"for this condition (exportable: {exportable})"
+                    )
+                raise UnsupportedQueryError(
+                    f"source {self.name!r} rejected SP({condition}, "
+                    f"{sorted(attrs)}): {reason}",
+                    condition=condition,
+                    attributes=attrs,
                 )
-                reason = (
-                    f"the form cannot export attributes {sorted(attrs)} for this "
-                    f"condition (exportable: {exportable})"
-                )
-            raise UnsupportedQueryError(
-                f"source {self.name!r} rejected SP({condition}, "
-                f"{sorted(attrs)}): {reason}",
-                condition=condition,
-                attributes=attrs,
-            )
-        answer = self.relation.sp(condition, attrs)
-        self.meter.record(len(answer))
-        return answer
+            answer = self.relation.sp(condition, attrs)
+            self.meter.record(len(answer))
+            return answer
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
