@@ -89,6 +89,17 @@ from repro.source import (
 )
 from repro.joins import BindJoinExecutor, JoinAnswer, JoinSpec, bind_join
 from repro.multisource import MirrorGroup, PartialAnswer, PartitionedSource
+from repro.observability import (
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    render_timeline,
+    set_tracer,
+    use_tracer,
+)
 from repro.ssdl import DescriptionBuilder, SourceDescription, parse_ssdl
 from repro.wrapper import Wrapper, WrapperAnswer
 
@@ -155,6 +166,16 @@ __all__ = [
     "MirrorGroup",
     "PartialAnswer",
     "PartitionedSource",
+    # observability
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "render_timeline",
+    "set_tracer",
+    "use_tracer",
     # errors
     "ReproError",
     "UnsupportedQueryError",

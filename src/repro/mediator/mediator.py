@@ -14,6 +14,7 @@ from repro.conditions.simplify import is_definitely_unsatisfiable
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.errors import InfeasiblePlanError, PlanExecutionError
+from repro.observability.trace import Tracer, get_tracer, use_tracer
 from repro.planners.base import Planner, PlannerStats, PlanningResult
 from repro.planners.gencompact import GenCompact
 from repro.plans.cost import CostModel
@@ -51,13 +52,17 @@ class Mediator:
         short_circuit_unsatisfiable: bool = True,
         result_cache_tuples: int | None = None,
         retry_policy: RetryPolicy | None = None,
+        parallel_workers: int | None = None,
     ):
         """``short_circuit_unsatisfiable`` answers provably empty queries
         (e.g. ``price < 10 and price > 20``) locally, without planning or
         contacting the source.  ``result_cache_tuples`` enables an LRU
         source-query result cache bounded by that many cached tuples.
         ``retry_policy`` makes the mediator's executor retry transient
-        source failures (capability rejections are never retried)."""
+        source failures (capability rejections are never retried).
+        ``parallel_workers`` executes plans on a
+        :class:`~repro.plans.parallel.ParallelExecutor` with that many
+        worker threads (``None`` = the serial executor)."""
         self.planner = planner if planner is not None else GenCompact()
         self.k1 = k1
         self.k2 = k2
@@ -68,9 +73,18 @@ class Mediator:
             from repro.plans.cache import ResultCache
 
             self.result_cache = ResultCache(result_cache_tuples)
-        self._executor = Executor(
-            self.catalog, cache=self.result_cache, retry_policy=retry_policy
-        )
+        if parallel_workers is None:
+            self._executor = Executor(
+                self.catalog, cache=self.result_cache,
+                retry_policy=retry_policy,
+            )
+        else:
+            from repro.plans.parallel import ParallelExecutor
+
+            self._executor = ParallelExecutor(
+                self.catalog, cache=self.result_cache,
+                retry_policy=retry_policy, max_workers=parallel_workers,
+            )
 
     # ------------------------------------------------------------------
     def add_source(self, source: CapabilitySource) -> None:
@@ -96,40 +110,81 @@ class Mediator:
         """Generate (but do not run) the best feasible plan for the query."""
         if isinstance(query, str):
             query = parse_query(query)
-        source = self.source(query.source)
-        source.schema.validate_attributes(query.attributes)
-        source.schema.validate_attributes(query.condition.attributes())
-        scheme = planner if planner is not None else self.planner
-        return scheme.plan(query, source, self.cost_model())
+        with get_tracer().span(
+            "mediator.plan", query=str(query), source=query.source
+        ) as span:
+            source = self.source(query.source)
+            source.schema.validate_attributes(query.attributes)
+            source.schema.validate_attributes(query.condition.attributes())
+            scheme = planner if planner is not None else self.planner
+            result = scheme.plan(query, source, self.cost_model())
+            span.set_attributes(
+                planner=result.planner, feasible=result.feasible,
+                cost=result.cost,
+            )
+            return result
 
-    def explain(self, query: TargetQuery | str, planner: Planner | None = None
-                ) -> str:
-        """Plan (without executing) and render the chosen plan."""
+    def explain(self, query: TargetQuery | str, planner: Planner | None = None,
+                trace: bool = False) -> str:
+        """Plan (without executing) and render the chosen plan.
+
+        With ``trace=True`` the planning run is traced into a private
+        :class:`Tracer` and the rendered plan is followed by the
+        planner-phase span timeline (rewrite/mark/generate/cost with Q
+        and PR1-PR3 fire counts) -- "why was this plan picked" in one
+        call.
+        """
         from repro.plans.printer import explain as render
 
-        result = self.plan(query, planner)
+        if trace:
+            from repro.observability.timeline import render_timeline
+
+            with use_tracer(Tracer()) as tracer:
+                result = self.plan(query, planner)
+            timeline = render_timeline(tracer.finished_spans())
+        else:
+            result = self.plan(query, planner)
         header = result.describe()
-        if result.plan is None:
-            return header
-        return header + "\n" + render(result.plan, self.cost_model())
+        body = header if result.plan is None else (
+            header + "\n" + render(result.plan, self.cost_model())
+        )
+        if trace:
+            body += "\n\n" + timeline
+        return body
 
     def ask(self, query: TargetQuery | str, planner: Planner | None = None
             ) -> MediatorAnswer:
         """Plan and execute; raise :class:`InfeasiblePlanError` if no plan."""
         if isinstance(query, str):
             query = parse_query(query)
-        if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
-            query.condition
-        ):
-            return self._empty_answer(query)
-        planning = self.plan(query, planner)
-        if planning.plan is None:
-            raise InfeasiblePlanError(
-                f"no feasible plan for {query} under the capabilities of "
-                f"source {query.source!r}"
+        with get_tracer().span(
+            "mediator.ask", query=str(query), source=query.source
+        ) as span:
+            if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
+                query.condition
+            ):
+                span.set_attribute("short_circuited", True)
+                return self._empty_answer(query)
+            planning = self.plan(query, planner)
+            if planning.plan is None:
+                raise InfeasiblePlanError(
+                    f"no feasible plan for {query} under the capabilities of "
+                    f"source {query.source!r}"
+                )
+            with get_tracer().span("mediator.execute") as exec_span:
+                report = self._executor.execute_with_report(planning.plan)
+                exec_span.set_attributes(
+                    queries=report.queries,
+                    tuples=report.tuples_transferred,
+                    attempts=report.attempts,
+                    retries=report.retries,
+                    failovers=report.failovers,
+                )
+            span.set_attributes(
+                rows=len(report.result), queries=report.queries,
+                tuples=report.tuples_transferred,
             )
-        report = self._executor.execute_with_report(planning.plan)
-        return MediatorAnswer(query, planning, report)
+            return MediatorAnswer(query, planning, report)
 
     def _empty_answer(self, query: TargetQuery) -> MediatorAnswer:
         """The answer to a provably unsatisfiable query: empty, free."""

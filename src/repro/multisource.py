@@ -49,6 +49,7 @@ from repro.plans.nodes import Plan, SourceQuery, UnionPlan
 from repro.plans.parallel import ParallelExecutor
 from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
+from repro.source.metering import MeterSnapshot
 from repro.source.source import CapabilitySource
 
 
@@ -323,6 +324,12 @@ class PartitionedSource:
                 "no partition could answer the query (missing: "
                 + ", ".join(missing) + ")"
             )
+        per_source: dict[str, MeterSnapshot] = {}
+        for report in reports:
+            for name, delta in report.per_source.items():
+                existing = per_source.get(name)
+                per_source[name] = delta if existing is None \
+                    else existing + delta
         combined = ExecutionReport(
             merged,
             sum(r.queries for r in reports),
@@ -331,6 +338,8 @@ class PartitionedSource:
             retries=sum(r.retries for r in reports),
             failovers=sum(r.failovers for r in reports),
             backoff_seconds=sum(r.backoff_seconds for r in reports),
+            duration_seconds=sum(r.duration_seconds for r in reports),
+            per_source=per_source,
         )
         return PartialAnswer(merged, not missing, missing, combined)
 

@@ -1,0 +1,78 @@
+"""Observability: tracing, metrics and exporters for the whole stack.
+
+The paper's evaluation (Sections 5-7) is framed in terms of quantities
+-- sub-plans kept (Q), pruning rules fired (PR1-PR3), queries issued,
+tuples moved -- and the production north star adds wall-clock ones.
+This package makes all of them visible at runtime without any external
+dependency:
+
+* :mod:`repro.observability.trace` -- :class:`Tracer` / nested
+  :class:`Span` trees with thread-local context propagation (and the
+  near-zero-cost :class:`NullTracer` for the disabled path);
+* :mod:`repro.observability.metrics` -- the :class:`MetricsRegistry`
+  of named counters/gauges/histograms;
+* :mod:`repro.observability.export` -- JSONL round-trip, streaming
+  and in-memory exporters, span-tree utilities;
+* :mod:`repro.observability.timeline` -- the ASCII timeline behind
+  ``Mediator.explain(trace=True)`` and ``python -m repro.trace``.
+"""
+
+from repro.observability.export import (
+    InMemoryCollector,
+    JsonlExporter,
+    orphan_spans,
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
+    tree_shape,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.observability.timeline import render_timeline
+from repro.observability.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_event,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryCollector",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "orphan_spans",
+    "read_jsonl",
+    "render_timeline",
+    "set_metrics",
+    "set_tracer",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_event",
+    "tree_shape",
+    "use_metrics",
+    "use_tracer",
+    "write_jsonl",
+]

@@ -1,0 +1,222 @@
+"""A registry of named counters, gauges and histograms.
+
+Before this module the repository's runtime accounting was scattered:
+:class:`~repro.source.metering.QueryMeter` counted per-source traffic,
+``_ExecutionContext`` counted attempts/retries/failovers inside the
+executor, and ``CapabilitySource.max_in_flight`` tracked the
+concurrency watermark -- three bespoke mechanisms with three snapshot
+conventions.  The :class:`MetricsRegistry` is the one place such
+numbers accumulate: instrumented code publishes into the process-wide
+registry (:func:`get_metrics`), and every instrument supports the same
+``snapshot()`` / ``reset()`` discipline.  The legacy carriers still
+work (tests and reports read them), but they now *feed* the registry
+rather than being the only record.
+
+Three instrument kinds, deliberately minimal and dependency-free:
+
+* :class:`Counter` -- monotonically increasing count (``inc``);
+* :class:`Gauge` -- last-write value plus a high-water mark
+  (``set`` / ``track_max``), e.g. in-flight calls per source;
+* :class:`Histogram` -- count/sum/min/max of observations, e.g.
+  queue-wait seconds under a source's concurrency semaphore.
+
+All instruments are thread-safe (one lock per instrument); creating an
+instrument is get-or-create and idempotent, so call sites just say
+``get_metrics().counter("executor.retries").inc()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Gauge:
+    """A last-write value with a high-water mark."""
+
+    __slots__ = ("name", "value", "max_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.max_value:
+                self.max_value = value
+
+    def track_max(self, value: float) -> None:
+        """Raise the high-water mark without moving the current value."""
+        with self._lock:
+            if value > self.max_value:
+                self.max_value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {"type": "gauge", "value": self.value,
+                    "max": self.max_value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+            self.max_value = 0.0
+
+
+class Histogram:
+    """Count / sum / min / max of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count if self.count else 0.0,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
+class MetricsRegistry:
+    """Named instruments with consistent snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A consistent name -> reading map of every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return {i.name: i.snapshot() for i in sorted(instruments,
+                                                     key=lambda i: i.name)}
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments stay registered)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+    def format(self) -> str:
+        """A small human-readable dump (the trace CLI's --metrics view)."""
+        lines = []
+        for name, reading in self.snapshot().items():
+            kind = reading.pop("type")
+            detail = ", ".join(
+                f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in reading.items() if v is not None
+            )
+            lines.append(f"{name:<44} {kind:<9} {detail}")
+        return "\n".join(lines)
+
+
+_default_metrics = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry instrumented code publishes into."""
+    return _default_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _default_metrics
+    with _default_lock:
+        previous = _default_metrics
+        _default_metrics = registry
+        return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_metrics`: install for the block, then restore."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,100 @@
+"""Human-readable trace rendering: an indented ASCII timeline/flame view.
+
+One screen answers "why is this query slow / why was this plan
+picked": every span on its own line, indented by tree depth, with its
+duration, a proportional bar positioned on the trace's time axis, the
+span's attributes (Q, pruning-rule fires, attempts, retries, backoff,
+worker slot, ...) and an ``!`` marker plus error text for failed
+spans.  Used by ``Mediator.explain(trace=True)`` and the
+``python -m repro.trace`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.observability.trace import STATUS_ERROR, Span
+from repro.observability.export import children_of
+
+#: Attributes too bulky for the one-line view are elided beyond this.
+_MAX_VALUE_CHARS = 40
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    if len(text) > _MAX_VALUE_CHARS:
+        text = text[: _MAX_VALUE_CHARS - 1] + "…"
+    return text
+
+
+def _format_attributes(span: Span) -> str:
+    if not span.attributes:
+        return ""
+    parts = [f"{key}={_format_value(value)}"
+             for key, value in span.attributes.items()]
+    return "  " + " ".join(parts)
+
+
+def _bar(span: Span, t0: float, total: float, width: int) -> str:
+    """The span's extent on the shared time axis, as a character bar."""
+    if total <= 0.0:
+        return "·" * width
+    begin = int((span.start - t0) / total * width)
+    length = max(1, round(span.duration / total * width))
+    begin = min(begin, width - 1)
+    length = min(length, width - begin)
+    return " " * begin + "█" * length + " " * (width - begin - length)
+
+
+def render_timeline(spans: Iterable[Span], width: int = 32) -> str:
+    """Render finished spans as an indented per-trace timeline."""
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    by_parent = children_of(spans)
+    known = {span.span_id for span in spans}
+    # Roots: true roots plus orphans (parent finished elsewhere/never).
+    roots = [
+        span for span in spans
+        if span.parent_id is None or span.parent_id not in known
+    ]
+    roots.sort(key=lambda s: (s.start, s.span_id))
+    lines: list[str] = []
+    for root in roots:
+        t0 = root.start
+        total = max(
+            (s.end or s.start) for s in _subtree(root, by_parent)
+        ) - t0
+        lines.append(
+            f"trace {root.trace_id} — {root.name} "
+            f"({total * 1000:.2f} ms, {len(_subtree(root, by_parent))} spans)"
+        )
+        _render(root, by_parent, depth=0, t0=t0, total=total, width=width,
+                lines=lines)
+    return "\n".join(lines)
+
+
+def _subtree(root: Span, by_parent: dict) -> list[Span]:
+    collected = [root]
+    for child in by_parent.get(root.span_id, []):
+        collected.extend(_subtree(child, by_parent))
+    return collected
+
+
+def _render(span: Span, by_parent: dict, depth: int, t0: float,
+            total: float, width: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    marker = "!" if span.status == STATUS_ERROR else " "
+    label = f"{indent}{span.name}"
+    line = (
+        f"{marker} {label:<38} {span.duration * 1000:>9.3f} ms "
+        f"|{_bar(span, t0, total, width)}|{_format_attributes(span)}"
+    )
+    if span.error is not None:
+        line += f"  error={_format_value(span.error)}"
+    lines.append(line)
+    for child in by_parent.get(span.span_id, []):
+        _render(child, by_parent, depth + 1, t0, total, width, lines)

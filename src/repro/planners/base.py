@@ -25,7 +25,15 @@ from repro.ssdl.description import CheckResult, SourceDescription
 
 @dataclass
 class PlannerStats:
-    """Counters describing the work a planning run performed."""
+    """Counters describing the work a planning run performed.
+
+    ``pr1_fires``/``pr2_fires``/``pr3_fires`` count how often each of
+    the paper's pruning rules actually cut something -- PR1 returning
+    a pure plan early (or skipping a dominated recursion), PR2
+    discarding a non-cheapest sub-plan for a covered subset, PR3
+    dropping a dominated cover candidate.  They are what benchmark E5
+    ablates and what the planner-phase trace spans surface.
+    """
 
     cts_processed: int = 0
     plans_considered: int = 0
@@ -34,6 +42,9 @@ class PlannerStats:
     recursive_calls: int = 0
     mcsc_sets: int = 0
     mcsc_problems: int = 0
+    pr1_fires: int = 0
+    pr2_fires: int = 0
+    pr3_fires: int = 0
     rewrite_truncated: bool = False
     elapsed_sec: float = 0.0
 
@@ -45,6 +56,9 @@ class PlannerStats:
         self.recursive_calls += other.recursive_calls
         self.mcsc_sets += other.mcsc_sets
         self.mcsc_problems += other.mcsc_problems
+        self.pr1_fires += other.pr1_fires
+        self.pr2_fires += other.pr2_fires
+        self.pr3_fires += other.pr3_fires
         self.rewrite_truncated = self.rewrite_truncated or other.rewrite_truncated
         self.elapsed_sec += other.elapsed_sec
 

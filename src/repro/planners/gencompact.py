@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.conditions.canonical import canonicalize
 from repro.conditions.rewrite import GENCOMPACT_RULES, RewriteEngine
+from repro.observability.trace import get_tracer, trace_event
 from repro.planners.base import CheckCounter, Planner, PlannerStats, PlanningResult
 from repro.planners.ipg import IPG
 from repro.plans.cost import CostModel
@@ -69,44 +70,84 @@ class GenCompact(Planner):
     ) -> PlanningResult:
         def run():
             stats = PlannerStats()
-            checker = CheckCounter(source.closed_description)
-            engine = RewriteEngine(
-                rules=GENCOMPACT_RULES,
-                max_trees=self.max_rewrites,
-                max_steps=self.max_rewrite_steps,
-                max_size_factor=self.max_size_factor,
-                canonical=True,
-            )
-            rewriting = engine.explore(query.condition)
-            stats.rewrite_truncated = rewriting.truncated
+            tracer = get_tracer()
+            with tracer.span(
+                "planner.plan", planner=self.name, query=str(query),
+                source=source.name,
+            ) as plan_span:
+                checker = CheckCounter(source.closed_description)
+                engine = RewriteEngine(
+                    rules=GENCOMPACT_RULES,
+                    max_trees=self.max_rewrites,
+                    max_steps=self.max_rewrite_steps,
+                    max_size_factor=self.max_size_factor,
+                    canonical=True,
+                )
+                with tracer.span("planner.rewrite") as rewrite_span:
+                    rewriting = engine.explore(query.condition)
+                    rewrite_span.set_attributes(
+                        trees=len(rewriting.trees),
+                        budget_spent=rewriting.steps,
+                        truncated=rewriting.truncated,
+                    )
+                stats.rewrite_truncated = rewriting.truncated
 
-            ipg = IPG(
-                source.name,
-                checker,
-                cost_model,
-                stats,
-                pr1=self.pr1,
-                pr2=self.pr2,
-                pr3=self.pr3,
-                mcsc_solver=self.mcsc_solver,
-            )
-            best_plan: Plan | None = None
-            best_cost = float("inf")
-            for ct in rewriting.trees:
-                stats.cts_processed += 1
-                candidate = ipg.best_plan(canonicalize(ct), query.attributes)
-                if candidate is None:
-                    continue
-                candidate_cost = cost_model.cost(candidate)
-                if candidate_cost < best_cost:
-                    best_plan = candidate
-                    best_cost = candidate_cost
-            stats.check_calls = checker.calls
-            logger.debug(
-                "GenCompact planned %s: %d CTs, %d Check calls, best cost %s",
-                query, stats.cts_processed, stats.check_calls,
-                f"{best_cost:.1f}" if best_plan is not None else "infeasible",
-            )
+                ipg = IPG(
+                    source.name,
+                    checker,
+                    cost_model,
+                    stats,
+                    pr1=self.pr1,
+                    pr2=self.pr2,
+                    pr3=self.pr3,
+                    mcsc_solver=self.mcsc_solver,
+                )
+                best_plan: Plan | None = None
+                best_cost = float("inf")
+                with tracer.span("planner.generate") as generate_span:
+                    for ct in rewriting.trees:
+                        stats.cts_processed += 1
+                        candidate = ipg.best_plan(
+                            canonicalize(ct), query.attributes
+                        )
+                        if candidate is None:
+                            continue
+                        with tracer.span("planner.cost") as cost_span:
+                            candidate_cost = cost_model.cost(candidate)
+                            cost_span.set_attribute("cost", candidate_cost)
+                        if candidate_cost < best_cost:
+                            best_plan = candidate
+                            best_cost = candidate_cost
+                    generate_span.set_attributes(
+                        cts_processed=stats.cts_processed,
+                        Q=stats.subplans_considered,
+                        pr1_fires=stats.pr1_fires,
+                        pr2_fires=stats.pr2_fires,
+                        pr3_fires=stats.pr3_fires,
+                    )
+                stats.check_calls = checker.calls
+                plan_span.set_attributes(
+                    feasible=best_plan is not None,
+                    Q=stats.subplans_considered,
+                    pr1_fires=stats.pr1_fires,
+                    pr2_fires=stats.pr2_fires,
+                    pr3_fires=stats.pr3_fires,
+                    check_calls=stats.check_calls,
+                    rewrite_budget_spent=rewriting.steps,
+                )
+                trace_event(
+                    logger, logging.DEBUG,
+                    "GenCompact planned %s: %d CTs, %d Check calls, best "
+                    "cost %s",
+                    query, stats.cts_processed, stats.check_calls,
+                    f"{best_cost:.1f}" if best_plan is not None
+                    else "infeasible",
+                    event="planner.planned", planner=self.name,
+                    cts_processed=stats.cts_processed,
+                    check_calls=stats.check_calls,
+                    feasible=best_plan is not None,
+                    cost=best_cost if best_plan is not None else None,
+                )
             return best_plan, stats, cost_model
 
         return self._timed(run, query)

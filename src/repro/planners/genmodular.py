@@ -22,6 +22,7 @@ import logging
 from dataclasses import dataclass, field
 
 from repro.conditions.rewrite import GENMODULAR_RULES, RewriteEngine
+from repro.observability.trace import get_tracer, trace_event
 from repro.planners.base import CheckCounter, Planner, PlannerStats, PlanningResult
 from repro.planners.epg import EPG
 from repro.planners.mark import mark
@@ -68,36 +69,71 @@ class GenModular(Planner):
 
                 rules = tuple(r for r in rules if r is not commutative_rule)
             checker = CheckCounter(description)
+            tracer = get_tracer()
             engine = RewriteEngine(
                 rules=rules,
                 max_trees=self.max_rewrites,
                 max_steps=self.max_rewrite_steps,
                 max_size_factor=self.max_size_factor,
             )
-            rewriting = engine.explore(query.condition)
-            stats.rewrite_truncated = rewriting.truncated
+            with tracer.span(
+                "planner.plan", planner=self.name, query=str(query),
+                source=source.name,
+            ) as plan_span:
+                with tracer.span("planner.rewrite") as rewrite_span:
+                    rewriting = engine.explore(query.condition)
+                    rewrite_span.set_attributes(
+                        trees=len(rewriting.trees),
+                        budget_spent=rewriting.steps,
+                        truncated=rewriting.truncated,
+                    )
+                stats.rewrite_truncated = rewriting.truncated
 
-            best_plan: Plan | None = None
-            best_cost = float("inf")
-            for ct in rewriting.trees:
-                stats.cts_processed += 1
-                marking = mark(ct, checker)
-                epg = EPG(source.name, checker, marking, stats)
-                choice = epg.generate(ct, query.attributes)
-                if choice is None:
-                    continue
-                stats.subplans_considered += count_concrete(choice)
-                candidate = cost_model.resolve(choice)
-                candidate_cost = cost_model.cost(candidate)
-                if candidate_cost < best_cost:
-                    best_plan = candidate
-                    best_cost = candidate_cost
-            stats.check_calls = checker.calls
-            logger.debug(
-                "GenModular planned %s: %d CTs (truncated=%s), best cost %s",
-                query, stats.cts_processed, stats.rewrite_truncated,
-                f"{best_cost:.1f}" if best_plan is not None else "infeasible",
-            )
+                best_plan: Plan | None = None
+                best_cost = float("inf")
+                for ct in rewriting.trees:
+                    stats.cts_processed += 1
+                    with tracer.span("planner.mark"):
+                        marking = mark(ct, checker)
+                    epg = EPG(source.name, checker, marking, stats)
+                    with tracer.span("planner.generate") as generate_span:
+                        choice = epg.generate(ct, query.attributes)
+                        if choice is not None:
+                            q = count_concrete(choice)
+                            stats.subplans_considered += q
+                            generate_span.set_attribute("Q", q)
+                    if choice is None:
+                        continue
+                    with tracer.span("planner.cost") as cost_span:
+                        candidate = cost_model.resolve(choice)
+                        candidate_cost = cost_model.cost(candidate)
+                        cost_span.set_attribute("cost", candidate_cost)
+                    if candidate_cost < best_cost:
+                        best_plan = candidate
+                        best_cost = candidate_cost
+                stats.check_calls = checker.calls
+                plan_span.set_attributes(
+                    feasible=best_plan is not None,
+                    Q=stats.subplans_considered,
+                    pr1_fires=stats.pr1_fires,
+                    pr2_fires=stats.pr2_fires,
+                    pr3_fires=stats.pr3_fires,
+                    check_calls=stats.check_calls,
+                    rewrite_budget_spent=rewriting.steps,
+                )
+                trace_event(
+                    logger, logging.DEBUG,
+                    "GenModular planned %s: %d CTs (truncated=%s), best "
+                    "cost %s",
+                    query, stats.cts_processed, stats.rewrite_truncated,
+                    f"{best_cost:.1f}" if best_plan is not None
+                    else "infeasible",
+                    event="planner.planned", planner=self.name,
+                    cts_processed=stats.cts_processed,
+                    check_calls=stats.check_calls,
+                    feasible=best_plan is not None,
+                    cost=best_cost if best_plan is not None else None,
+                )
             return best_plan, stats, cost_model
 
         return self._timed(run, query)

@@ -123,6 +123,7 @@ class IPG:
         if self.checker.check(node).supports(attributes):
             pure = SourceQuery(node, attributes, self.source_name)
             if self.pr1:
+                self.stats.pr1_fires += 1
                 return pure  # PR1: nothing can beat the pure plan.
 
         # The download option.
@@ -161,7 +162,10 @@ class IPG:
             if not bucket:
                 bucket.append(plan)
             elif self._cost(plan) < self._cost(bucket[0]):
+                self.stats.pr2_fires += 1
                 bucket[0] = plan
+            else:
+                self.stats.pr2_fires += 1
         else:
             if plan not in bucket:
                 bucket.append(plan)
@@ -180,7 +184,9 @@ class IPG:
             for plan in plans
         ]
         if self.pr3:
-            candidates = prune_dominated(candidates)
+            survivors = prune_dominated(candidates)
+            self.stats.pr3_fires += len(candidates) - len(survivors)
+            candidates = survivors
         self.stats.mcsc_sets += len(candidates)
         self.stats.mcsc_problems += 1
         solution: CoverSolution | None = self._solver(n_children, candidates)
@@ -220,6 +226,7 @@ class IPG:
         for i in range(k):
             singleton = frozenset([i])
             if self.pr1 and singleton in table:
+                self.stats.pr1_fires += 1
                 continue
             sub = self.best_plan(children[i], attributes)
             if sub is not None:
@@ -315,8 +322,10 @@ class IPG:
         for pure in pure_subsets:
             if subset == pure:
                 if self.pr1:
+                    self.stats.pr1_fires += 1
                     return True
             elif subset < pure:
                 if self.pr3:
+                    self.stats.pr3_fires += 1
                     return True
         return False

@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Protocol
 
 from repro.data.relation import Relation
 from repro.errors import PlanExecutionError, TransientSourceError
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import get_tracer, trace_event
 from repro.plans.nodes import (
     ChoicePlan,
     IntersectPlan,
@@ -40,6 +43,7 @@ from repro.plans.nodes import (
     UnionPlan,
 )
 from repro.plans.retry import RetryPolicy
+from repro.source.metering import MeterSnapshot
 from repro.source.source import CapabilitySource
 
 logger = logging.getLogger(__name__)
@@ -54,6 +58,11 @@ class ExecutionReport:
     source-call ``attempts`` were made, how many were ``retries``, how
     many ``failovers`` re-routed a dead source query to a mirror, and
     how much (simulated) time was spent in ``backoff_seconds``.
+
+    The report is self-contained: ``duration_seconds`` is the
+    wall-clock time of the execution, and ``per_source`` maps each
+    source that saw traffic to the :class:`MeterSnapshot` *delta* this
+    execution caused -- no manual meter diffing required.
     """
 
     result: Relation
@@ -63,6 +72,8 @@ class ExecutionReport:
     retries: int = 0
     failovers: int = 0
     backoff_seconds: float = 0.0
+    duration_seconds: float = 0.0
+    per_source: dict[str, MeterSnapshot] = field(default_factory=dict)
 
     def measured_cost(self, k1: float, k2: float) -> float:
         return self.queries * k1 + self.tuples_transferred * k2
@@ -101,15 +112,20 @@ class _ExecutionContext:
     def add_attempt(self) -> None:
         with self._lock:
             self.attempts += 1
+        get_metrics().counter("executor.attempts").inc()
 
     def add_retry(self, delay: float) -> None:
         with self._lock:
             self.retries += 1
             self.backoff += delay
+        metrics = get_metrics()
+        metrics.counter("executor.retries").inc()
+        metrics.histogram("executor.backoff_seconds").observe(delay)
 
     def add_failover(self) -> None:
         with self._lock:
             self.failovers += 1
+        get_metrics().counter("executor.failovers").inc()
 
     def mark_failed(self, source: str) -> None:
         with self._lock:
@@ -258,9 +274,12 @@ class Executor:
             try:
                 result = self._execute(alternative, ctx)
             except TransientSourceError as fault:
-                logger.warning(
+                trace_event(
+                    logger, logging.WARNING,
                     "Choice alternative %d failed (%s); trying the next one",
                     index, fault,
+                    event="choice.failover", alternative=index,
+                    fault=str(fault),
                 )
                 last_fault = fault
                 ctx.add_failover()
@@ -274,39 +293,72 @@ class Executor:
 
     def _execute_source_query(self, plan: SourceQuery, ctx: _ExecutionContext
                               ) -> Relation:
+        tracer = get_tracer()
+        with tracer.span(
+            "executor.source_call",
+            source=plan.source,
+            condition=str(plan.condition),
+            worker=threading.current_thread().name,
+        ) as span:
+            return self._source_query_attempts(plan, ctx, span)
+
+    def _source_query_attempts(
+        self, plan: SourceQuery, ctx: _ExecutionContext, span
+    ) -> Relation:
+        """The retry/failover loop for one source query, under its span."""
         source = self._source(plan.source)
         if self.cache is not None:
             cached = self.cache.get(plan.source, plan.condition, plan.attrs)
             if cached is not None:
-                logger.debug(
-                    "cache hit for %s SP(%s)", plan.source, plan.condition
+                trace_event(
+                    logger, logging.DEBUG,
+                    "cache hit for %s SP(%s)", plan.source, plan.condition,
+                    event="cache.hit", source=plan.source,
+                    condition=str(plan.condition),
                 )
+                get_metrics().counter("executor.cache_hits").inc()
+                span.set_attributes(cache_hit=True, attempts=0)
                 return cached
         policy = self.retry_policy if self.retry_policy is not None \
             else RetryPolicy.none()
         attempt = 0
+        retries = 0
+        backoff = 0.0
         while True:
             attempt += 1
             ctx.add_attempt()
             try:
-                return self._submit(source, plan)
+                result = self._submit(source, plan)
+                span.set_attributes(
+                    attempts=attempt, retries=retries,
+                    backoff_seconds=backoff, rows=len(result),
+                )
+                return result
             except TransientSourceError as fault:
                 if policy.should_retry(attempt) and ctx.take_retry_token():
                     delay = policy.backoff_delay(
                         attempt, key=f"{plan.source}|{plan.condition}",
                         fault=fault,
                     )
+                    retries += 1
+                    backoff += delay
                     ctx.add_retry(delay)
                     source.meter.record_retry()
-                    logger.debug(
+                    trace_event(
+                        logger, logging.DEBUG,
                         "transient failure at %s (%s); retry %d/%d after "
                         "%.3fs", plan.source, fault, attempt,
                         policy.max_attempts - 1, delay,
+                        event="retry", source=plan.source, attempt=attempt,
+                        delay_seconds=delay, fault=str(fault),
                     )
                     policy.wait(delay)
                     continue
                 # Retries exhausted: the source is failed for the rest
                 # of this plan execution; try to route around it.
+                span.set_attributes(
+                    attempts=attempt, retries=retries, backoff_seconds=backoff
+                )
                 ctx.mark_failed(plan.source)
                 if self.failover is not None:
                     alternative = self.failover.replan(
@@ -314,9 +366,17 @@ class Executor:
                     )
                     if alternative is not None:
                         ctx.add_failover()
-                        logger.warning(
+                        targets = sorted(
+                            {sq.source for sq in alternative.source_queries()}
+                        )
+                        span.set_attribute("failover_targets", targets)
+                        trace_event(
+                            logger, logging.WARNING,
                             "failing over %s SP(%s) after %d attempts: %s",
                             plan.source, plan.condition, attempt, fault,
+                            event="failover", source=plan.source,
+                            attempts=attempt, targets=targets,
+                            fault=str(fault),
                         )
                         return self._execute(alternative, ctx)
                 raise
@@ -327,14 +387,20 @@ class Executor:
         if self.fix_queries and not condition.is_true:
             condition = source.fix(condition, plan.attrs)
             if condition != plan.condition:
-                logger.debug(
+                trace_event(
+                    logger, logging.DEBUG,
                     "fixed query order for %s: %s -> %s",
                     plan.source, plan.condition, condition,
+                    event="query.fixed", source=plan.source,
+                    planned=str(plan.condition), fixed=str(condition),
                 )
         result = source.execute(condition, plan.attrs)
-        logger.debug(
+        trace_event(
+            logger, logging.DEBUG,
             "source %s answered SP(%s) with %d tuples",
             plan.source, condition, len(result),
+            event="source.answered", source=plan.source,
+            condition=str(condition), rows=len(result),
         )
         if self.cache is not None:
             self.cache.put(plan.source, plan.condition, plan.attrs, result)
@@ -359,13 +425,18 @@ class Executor:
             for name, source in self.catalog.items()
         }
         ctx = self._new_context()
+        started = time.perf_counter()
         result = self._execute(plan, ctx)
+        duration = time.perf_counter() - started
         queries = 0
         tuples = 0
+        per_source: dict[str, MeterSnapshot] = {}
         for name, snap in before.items():
             delta = self._source(name).meter.snapshot() - snap
             queries += delta.queries
             tuples += delta.tuples
+            if delta != MeterSnapshot():
+                per_source[name] = delta
         return ExecutionReport(
             result,
             queries,
@@ -374,6 +445,8 @@ class Executor:
             retries=ctx.retries,
             failovers=ctx.failovers,
             backoff_seconds=ctx.backoff,
+            duration_seconds=duration,
+            per_source=per_source,
         )
 
 

@@ -51,6 +51,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Mapping
 
 from repro.data.relation import Relation
+from repro.observability.trace import Span, get_tracer
 from repro.plans.execute import Executor, _ExecutionContext
 from repro.plans.nodes import IntersectPlan, Plan, UnionPlan
 from repro.source.source import CapabilitySource
@@ -131,6 +132,11 @@ class ParallelExecutor(Executor):
         errors: list[tuple[int, BaseException]] = []
         parts: list[Relation | None] = [None] * len(children)
         pending = deque(enumerate(children))
+        # Capture the submitting thread's span context once: every
+        # offloaded branch re-attaches it on the worker side, so spans
+        # opened there parent under the combination's span -- one
+        # connected trace tree regardless of which thread ran what.
+        trace_context = get_tracer().current_context()
         # Interleave offloading and inline work: before each inline
         # branch, hand as many *pending* branches as there are free
         # worker slots to the pool -- slots released by finished workers
@@ -143,7 +149,7 @@ class ParallelExecutor(Executor):
                 index, child = pending.pop()
                 try:
                     future = self._ensure_pool().submit(
-                        self._run_branch, child, ctx
+                        self._run_branch, child, ctx, trace_context
                     )
                 except BaseException:
                     self._slots.release()
@@ -172,9 +178,19 @@ class ParallelExecutor(Executor):
             raise errors[0][1]
         return self._combine(plan, parts)
 
-    def _run_branch(self, child: Plan, ctx: _ExecutionContext) -> Relation:
-        """Worker-side wrapper: execute one branch, then free the slot."""
+    def _run_branch(
+        self,
+        child: Plan,
+        ctx: _ExecutionContext,
+        trace_context: Span | None = None,
+    ) -> Relation:
+        """Worker-side wrapper: execute one branch, then free the slot.
+
+        Re-attaches the submitting thread's span context so the
+        branch's spans stay parented in the caller's trace tree.
+        """
         try:
-            return self._execute(child, ctx)
+            with get_tracer().attach(trace_context):
+                return self._execute(child, ctx)
         finally:
             self._slots.release()

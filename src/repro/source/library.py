@@ -172,6 +172,35 @@ def classifieds(n: int = 800, seed: int = 7) -> CapabilitySource:
     )
 
 
+def cars_description() -> SourceDescription:
+    """SSDL for Example 4.1's car form: make + price bound, or make +
+    color -- the running example of the paper's Sections 4-6."""
+    return (
+        DescriptionBuilder("cars")
+        .rule(
+            "by_make_price",
+            "make = $str and price < $num",
+            attributes=["make", "model", "year", "color", "price"],
+        )
+        .rule(
+            "by_make_color",
+            "make = $str and color = $str",
+            attributes=["make", "model", "year", "color"],
+        )
+        .build()
+    )
+
+
+def cars(n: int = 2000, seed: int = 1999) -> CapabilitySource:
+    """Example 4.1's ``cars`` source over the generated car relation.
+
+    Not part of :func:`standard_catalog` (whose composition seed
+    experiments depend on); the trace CLI adds it explicitly so the
+    paper's running example queries work verbatim.
+    """
+    return CapabilitySource("cars", generate_cars(n, seed), cars_description())
+
+
 def standard_catalog(seed: int = 1999) -> dict[str, CapabilitySource]:
     """All library sources keyed by name (the examples' default catalog)."""
     return {

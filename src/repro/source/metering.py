@@ -48,6 +48,15 @@ class MeterSnapshot:
             self.retries - other.retries,
         )
 
+    def __add__(self, other: "MeterSnapshot") -> "MeterSnapshot":
+        return MeterSnapshot(
+            self.queries + other.queries,
+            self.tuples + other.tuples,
+            self.rejected + other.rejected,
+            self.failures + other.failures,
+            self.retries + other.retries,
+        )
+
 
 @dataclass
 class QueryMeter:

@@ -27,6 +27,7 @@ no matter how aggressive the caller, it never exceeds the limit.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -34,6 +35,8 @@ from repro.conditions.tree import Condition
 from repro.data.relation import Relation
 from repro.data.stats import TableStats
 from repro.errors import UnsupportedQueryError
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import get_tracer
 from repro.source.faults import FaultInjector, SimulatedLatency
 from repro.source.metering import QueryMeter
 from repro.ssdl.commute import commutation_closure, fix_condition
@@ -90,6 +93,10 @@ class CapabilitySource:
         self._state_lock = threading.Lock()
         self._stats: TableStats | None = None
         self._closed: SourceDescription | None = None
+        #: Cached registry instruments, invalidated when the process
+        #: registry is swapped (kept off the hot path: one identity
+        #: check per call instead of name lookups).
+        self._metrics_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -144,27 +151,67 @@ class CapabilitySource:
         return self._in_flight
 
     @contextmanager
-    def concurrency_slot(self) -> Iterator[None]:
+    def concurrency_slot(self) -> Iterator[float]:
         """Hold one of the source's ``max_concurrency`` slots.
 
         Blocks while the site is at capacity.  :meth:`execute` takes a
         slot automatically; the context manager is public so callers
         batching raw relation access can respect the limit too.
+
+        Yields the **queue wait** in seconds -- how long this call
+        blocked on the semaphore before its slot opened (0.0 for
+        ungated sources).  The wait is also published to the metrics
+        registry, so throttled sites show their queueing next to their
+        service time.
         """
         gate = self._concurrency_gate()
+        instruments = self._instruments()
+        queue_wait = 0.0
         if gate is not None:
+            waited_from = time.perf_counter()
             gate.acquire()
+            queue_wait = time.perf_counter() - waited_from
+            instruments["queue_wait"].observe(queue_wait)
         with self._flight_lock:
             self._in_flight += 1
             if self._in_flight > self.max_in_flight:
                 self.max_in_flight = self._in_flight
+            watermark = self._in_flight
+        instruments["in_flight"].set(watermark)
         try:
-            yield
+            yield queue_wait
         finally:
             with self._flight_lock:
                 self._in_flight -= 1
             if gate is not None:
                 gate.release()
+
+    def _instruments(self) -> dict:
+        """This source's registry instruments (cached per registry).
+
+        The cache is re-keyed by registry identity, so swapping the
+        process registry (``use_metrics`` in tests) transparently
+        redirects the source's publishing.
+        """
+        metrics = get_metrics()
+        cached = self._metrics_cache
+        if cached is None or cached[0] is not metrics:
+            prefix = f"source.{self.name}"
+            cached = (
+                metrics,
+                {
+                    "queries": metrics.counter(f"{prefix}.queries"),
+                    "tuples": metrics.counter(f"{prefix}.tuples"),
+                    "rejected": metrics.counter(f"{prefix}.rejected"),
+                    "failures": metrics.counter(f"{prefix}.failures"),
+                    "in_flight": metrics.gauge(f"{prefix}.in_flight"),
+                    "queue_wait": metrics.histogram(
+                        f"{prefix}.queue_wait_seconds"
+                    ),
+                },
+            )
+            self._metrics_cache = cached
+        return cached[1]
 
     def _concurrency_gate(self) -> threading.BoundedSemaphore | None:
         if self.max_concurrency is None:
@@ -196,18 +243,25 @@ class CapabilitySource:
         the concurrency slot so a throttled site really does serialize
         the waits.
         """
-        with self.concurrency_slot():
+        instruments = self._instruments()
+        with self.concurrency_slot() as queue_wait, get_tracer().span(
+            "source.service", source=self.name
+        ) as span:
+            span.set_attribute("queue_wait_seconds", queue_wait)
             if self.latency is not None:
-                self.latency.apply()
+                delay = self.latency.apply()
+                span.set_attribute("latency_seconds", delay)
             if self.fault_injector is not None:
                 fault = self.fault_injector.draw(self.name)
                 if fault is not None:
                     self.meter.record_failure()
+                    instruments["failures"].inc()
                     raise fault
             attrs = frozenset(attributes)
             result = self.enforcing_description.check(condition)
             if not result.supports(attrs):
                 self.meter.record_rejection()
+                instruments["rejected"].inc()
                 if not result:
                     reason = (
                         "the condition expression is not accepted by the form"
@@ -229,6 +283,9 @@ class CapabilitySource:
                 )
             answer = self.relation.sp(condition, attrs)
             self.meter.record(len(answer))
+            instruments["queries"].inc()
+            instruments["tuples"].inc(len(answer))
+            span.set_attribute("rows", len(answer))
             return answer
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

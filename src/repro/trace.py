@@ -1,0 +1,120 @@
+"""Trace one query end to end: ``python -m repro.trace "<SELECT ...>"``.
+
+The one-command answer to "why is this query slow / why was this plan
+picked": plans and executes the query against the library catalog with
+a recording :class:`~repro.observability.Tracer` installed, then
+prints
+
+* the chosen plan and its estimated cost,
+* the execution report (wall-clock, queries, tuples, retries,
+  per-source traffic breakdown),
+* the full span timeline -- mediator, planner phases (rewrite / mark /
+  generate / cost, with sub-plan count Q and PR1-PR3 pruning-rule
+  fire counts), per-source-call spans (attempts, retries, backoff,
+  worker slot) and per-source service spans (queue wait, latency).
+
+Options: ``--planner`` picks the scheme, ``--workers N`` executes on
+the parallel executor (the timeline then shows worker threads),
+``--metrics`` appends the metrics-registry snapshot, ``--jsonl PATH``
+exports the spans for offline tooling.
+
+The catalog is :func:`~repro.source.library.standard_catalog` plus the
+Example 4.1 ``cars`` source, so the paper's running example works
+verbatim::
+
+    python -m repro.trace "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.mediator import Mediator
+from repro.observability import (
+    Tracer,
+    get_metrics,
+    render_timeline,
+    use_tracer,
+    write_jsonl,
+)
+from repro.source.library import cars, standard_catalog
+
+
+def build_mediator(planner_name: str = "gencompact",
+                   workers: int | None = None) -> Mediator:
+    """The CLI's mediator: library catalog + Example 4.1's cars source."""
+    from repro.__main__ import _make_planner
+
+    mediator = Mediator(
+        planner=_make_planner(planner_name), parallel_workers=workers
+    )
+    for source in standard_catalog().values():
+        mediator.add_source(source)
+    mediator.add_source(cars())
+    return mediator
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Plan + execute one query with tracing on; print the "
+                    "span timeline.",
+    )
+    parser.add_argument("query", help="a SELECT ... FROM ... WHERE ... query")
+    parser.add_argument("--planner", default="gencompact",
+                        help="gencompact|genmodular|cnf|dnf|disco|naive")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="execute on a parallel executor with N workers")
+    parser.add_argument("--limit", type=int, default=5,
+                        help="max answer rows to print (default 5)")
+    parser.add_argument("--width", type=int, default=32,
+                        help="timeline bar width in characters")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also print the metrics-registry snapshot")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="export the spans to PATH as JSON lines")
+    args = parser.parse_args(argv)
+
+    try:
+        mediator = build_mediator(args.planner, args.workers)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            answer = mediator.ask(args.query)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    report = answer.report
+    print(answer.planning.describe())
+    print(
+        f"executed in {report.duration_seconds * 1000:.2f} ms: "
+        f"{report.queries} source queries, "
+        f"{report.tuples_transferred} tuples transferred, "
+        f"{report.attempts} attempts ({report.retries} retries, "
+        f"{report.failovers} failovers, "
+        f"{report.backoff_seconds:.3f}s backoff), "
+        f"{len(answer.rows)} answer rows"
+    )
+    for name, delta in sorted(report.per_source.items()):
+        print(f"  {name}: {delta.queries} queries, {delta.tuples} tuples")
+    for row in answer.rows[: args.limit]:
+        print("  " + ", ".join(f"{k}={v}" for k, v in sorted(row.items())))
+    if len(answer.rows) > args.limit:
+        print(f"  ... {len(answer.rows) - args.limit} more")
+
+    print()
+    print(render_timeline(tracer.finished_spans(), width=args.width))
+
+    if args.metrics:
+        print()
+        print(get_metrics().format())
+    if args.jsonl:
+        count = write_jsonl(tracer.finished_spans(), args.jsonl)
+        print(f"\nwrote {count} spans to {args.jsonl}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

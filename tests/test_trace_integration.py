@@ -1,0 +1,211 @@
+"""Trace-tree integration: cross-thread parenting and JSONL round-trips.
+
+Two guarantees the tracing layer must keep under real executions:
+
+1. **Cross-thread span parenting.**  The ParallelExecutor hands the
+   submitting thread's span context to each worker, so a run at any
+   worker count yields one *connected* span tree -- no orphans -- with
+   exactly the serial run's tree shape (an order-insensitive multiset
+   of root-to-span name paths; siblings may start in any order).
+2. **Lossless JSONL export.**  Export -> reload reproduces the span
+   tree and every attribute -- ids, parent links, status, recorded
+   exceptions -- including the ERROR spans produced by seeded
+   :class:`FaultInjector` runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import ReproError
+from repro.observability import (
+    Tracer,
+    orphan_spans,
+    read_jsonl,
+    tree_shape,
+    use_tracer,
+)
+from repro.observability.trace import STATUS_ERROR
+from repro.plans.cost import CostModel
+from repro.plans.execute import Executor
+from repro.plans.nodes import SourceQuery, UnionPlan
+from repro.plans.parallel import ParallelExecutor
+from repro.plans.retry import RetryPolicy
+from repro.query import TargetQuery
+from repro.source.faults import FaultInjector
+from repro.source.library import bookstore, standard_catalog
+from tests.test_golden_battery import CORPUS, PLANNERS
+
+WORKERS = 8
+
+_ATTRS = frozenset({"id", "title", "author", "price"})
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return standard_catalog(seed=1999)
+
+
+def _traced(executor, plan) -> list:
+    """Execute under a fresh tracer, inside one root span."""
+    with use_tracer(Tracer()) as tracer:
+        with tracer.span("run"):
+            executor.execute(plan)
+    return tracer.finished_spans()
+
+
+def _mirrored_catalog(**injector_kwargs) -> dict:
+    catalog = {}
+    for index, name in enumerate(("b0", "b1", "b2", "b3")):
+        source = bookstore(n=120, seed=1999)
+        source.name = name
+        if injector_kwargs:
+            source.fault_injector = FaultInjector(
+                seed=7 + index, **injector_kwargs
+            )
+        catalog[name] = source
+    return catalog
+
+
+def _fanout_plan() -> UnionPlan:
+    """A nested union over the mirrors: real parallel fan-out."""
+    jung = parse_condition("author = 'Carl Jung'")
+    freud = parse_condition("author = 'Sigmund Freud'")
+    return UnionPlan([
+        UnionPlan([
+            SourceQuery(jung, _ATTRS, "b0"),
+            SourceQuery(freud, _ATTRS, "b1"),
+        ]),
+        UnionPlan([
+            SourceQuery(jung, _ATTRS, "b2"),
+            SourceQuery(freud, _ATTRS, "b3"),
+        ]),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Satellite: cross-thread span parenting.
+
+
+@pytest.mark.parametrize("source_name,attrs,text", CORPUS)
+def test_golden_corpus_parallel_tree_matches_serial(
+    catalog, source_name, attrs, text
+):
+    cost_model = CostModel({name: s.stats for name, s in catalog.items()})
+    source = catalog[source_name]
+    query = TargetQuery(parse_condition(text), frozenset(attrs), source_name)
+    with ParallelExecutor(catalog, max_workers=WORKERS) as parallel:
+        for planner in PLANNERS:
+            result = planner.plan(query, source, cost_model)
+            if not result.feasible:
+                continue
+            serial_spans = _traced(Executor(catalog), result.plan)
+            parallel_spans = _traced(parallel, result.plan)
+            assert not orphan_spans(parallel_spans), (
+                f"{planner.name} produced detached spans on {text!r}"
+            )
+            assert tree_shape(parallel_spans) == tree_shape(serial_spans), (
+                f"{planner.name} tree diverged on {text!r}"
+            )
+
+
+def test_nested_fanout_yields_one_connected_tree():
+    catalog = _mirrored_catalog()
+    plan = _fanout_plan()
+    serial_spans = _traced(Executor(catalog), plan)
+    with ParallelExecutor(catalog, max_workers=WORKERS) as executor:
+        parallel_spans = _traced(executor, plan)
+    assert not orphan_spans(parallel_spans)
+    assert tree_shape(parallel_spans) == tree_shape(serial_spans)
+    # Sanity on the shape itself: one root, four source calls under it,
+    # each wrapping one source-service span.
+    shape = tree_shape(parallel_spans)
+    assert shape[("run",)] == 1
+    assert shape[("run", "executor.source_call")] == 4
+    assert shape[("run", "executor.source_call", "source.service")] == 4
+
+
+def test_fanout_really_crossed_threads():
+    # The shape test above would pass trivially if everything ran on
+    # the main thread; pin down that workers actually recorded spans.
+    catalog = _mirrored_catalog()
+    with ParallelExecutor(catalog, max_workers=WORKERS) as executor:
+        spans = _traced(executor, _fanout_plan())
+    workers = {
+        s.attributes["worker"] for s in spans
+        if s.name == "executor.source_call"
+    }
+    assert workers - {"MainThread"}, "no source call ran on a worker thread"
+    assert not orphan_spans(spans)
+
+
+# ----------------------------------------------------------------------
+# Satellite: JSONL round-trip, including exception spans.
+
+
+def _assert_round_trip(spans, tmp_path):
+    from repro.observability import write_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(spans, path) == len(spans)
+    reloaded = read_jsonl(path)
+    assert reloaded == spans  # ids, parent links, attrs, events, status
+    assert tree_shape(reloaded) == tree_shape(spans)
+    assert orphan_spans(reloaded) == orphan_spans(spans)
+    return reloaded
+
+
+def test_round_trip_of_a_clean_parallel_run(tmp_path):
+    catalog = _mirrored_catalog()
+    with ParallelExecutor(catalog, max_workers=WORKERS) as executor:
+        spans = _traced(executor, _fanout_plan())
+    reloaded = _assert_round_trip(spans, tmp_path)
+    assert all(s.status != STATUS_ERROR for s in reloaded)
+
+
+def test_round_trip_preserves_exception_spans(tmp_path):
+    # Every draw faults and nothing retries: the source call fails,
+    # the error propagates, and both spans record the exception.
+    catalog = _mirrored_catalog(transient_rate=1.0)
+    plan = _fanout_plan()
+    with use_tracer(Tracer()) as tracer:
+        with pytest.raises(ReproError):
+            with tracer.span("run"):
+                Executor(catalog).execute(plan)
+    spans = tracer.finished_spans()
+    errored = [s for s in spans if s.status == STATUS_ERROR]
+    assert errored, "the faulted run recorded no ERROR spans"
+    reloaded = _assert_round_trip(spans, tmp_path)
+    reloaded_errors = [s for s in reloaded if s.status == STATUS_ERROR]
+    for before, after in zip(errored, reloaded_errors):
+        assert after.error == before.error
+        names = [e.name for e in after.events]
+        if after.name == "executor.source_call":
+            assert "exception" in names
+            exception = next(
+                e for e in after.events if e.name == "exception"
+            )
+            assert exception.attributes["exception_type"]
+
+
+def test_round_trip_of_a_recovering_faulted_run(tmp_path):
+    # A recovering retry policy under seeded faults: the run succeeds,
+    # the retries live on as span events/attributes, and all of it
+    # survives the export.
+    recovering = RetryPolicy(max_attempts=40, base_backoff=0.001)
+    catalog = _mirrored_catalog(transient_rate=0.5)
+    executor = Executor(catalog, retry_policy=recovering)
+    with use_tracer(Tracer()) as tracer:
+        with tracer.span("run"):
+            report = executor.execute_with_report(_fanout_plan())
+    spans = tracer.finished_spans()
+    calls = [s for s in spans if s.name == "executor.source_call"]
+    assert sum(s.attributes["attempts"] for s in calls) == report.attempts
+    assert sum(s.attributes["retries"] for s in calls) == report.retries
+    assert report.retries > 0  # seed 7..10 at rate 0.5 always retries
+    retry_events = [
+        e for s in calls for e in s.events if e.name == "retry"
+    ]
+    assert len(retry_events) == report.retries
+    _assert_round_trip(spans, tmp_path)
