@@ -49,6 +49,7 @@ from repro.conditions import (
 )
 from repro.errors import (
     InfeasiblePlanError,
+    OverloadError,
     ReproError,
     SourceRateLimitError,
     SourceTimeoutError,
@@ -99,6 +100,12 @@ from repro.observability import (
     render_timeline,
     set_tracer,
     use_tracer,
+)
+from repro.serving import (
+    AdmissionController,
+    LoadHarness,
+    LoadReport,
+    PlanCache,
 )
 from repro.ssdl import DescriptionBuilder, SourceDescription, parse_ssdl
 from repro.wrapper import Wrapper, WrapperAnswer
@@ -176,10 +183,16 @@ __all__ = [
     "render_timeline",
     "set_tracer",
     "use_tracer",
+    # serving
+    "AdmissionController",
+    "LoadHarness",
+    "LoadReport",
+    "PlanCache",
     # errors
     "ReproError",
     "UnsupportedQueryError",
     "InfeasiblePlanError",
+    "OverloadError",
     "TransientSourceError",
     "SourceUnavailableError",
     "SourceTimeoutError",

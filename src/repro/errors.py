@@ -110,6 +110,20 @@ class SourceRateLimitError(TransientSourceError):
         self.retry_after = retry_after
 
 
+class OverloadError(ReproError):
+    """Admission control shed this request: the serving gate was full and
+    no in-flight request finished within the queue timeout.
+
+    This is a *load* signal, not a query property: the same request may
+    succeed a moment later.  ``waited`` carries the seconds spent
+    queueing before the request was shed.
+    """
+
+    def __init__(self, message: str, waited: float = 0.0):
+        super().__init__(message)
+        self.waited = waited
+
+
 class InfeasiblePlanError(ReproError):
     """No feasible plan exists (or was found) for the target query."""
 

@@ -8,6 +8,7 @@ plan-generation scheme is GenCompact.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.conditions.simplify import is_definitely_unsatisfiable
@@ -53,6 +54,9 @@ class Mediator:
         result_cache_tuples: int | None = None,
         retry_policy: RetryPolicy | None = None,
         parallel_workers: int | None = None,
+        plan_cache_entries: int | None = None,
+        max_in_flight: int | None = None,
+        admission_timeout: float = 1.0,
     ):
         """``short_circuit_unsatisfiable`` answers provably empty queries
         (e.g. ``price < 10 and price > 20``) locally, without planning or
@@ -62,12 +66,37 @@ class Mediator:
         source failures (capability rejections are never retried).
         ``parallel_workers`` executes plans on a
         :class:`~repro.plans.parallel.ParallelExecutor` with that many
-        worker threads (``None`` = the serial executor)."""
+        worker threads (``None`` = the serial executor).
+
+        Serving knobs: ``plan_cache_entries`` enables the canonical
+        :class:`~repro.serving.PlanCache` -- equivalent rewritings of a
+        query share one planned entry, invalidated whenever the catalog
+        changes.  ``max_in_flight`` bounds concurrent :meth:`ask` calls
+        with an :class:`~repro.serving.AdmissionController` that sheds
+        excess load via :class:`~repro.errors.OverloadError` after
+        ``admission_timeout`` seconds of queueing (never deadlocks;
+        parallel-executor fan-out happens *inside* one admitted
+        request and does not consume slots)."""
         self.planner = planner if planner is not None else GenCompact()
         self.k1 = k1
         self.k2 = k2
         self.short_circuit_unsatisfiable = short_circuit_unsatisfiable
         self.catalog: dict[str, CapabilitySource] = {}
+        self._catalog_lock = threading.Lock()
+        #: Bumped by every catalog mutation; versions plan-cache entries.
+        self.catalog_version = 0
+        self.plan_cache = None
+        if plan_cache_entries is not None:
+            from repro.serving.plan_cache import PlanCache
+
+            self.plan_cache = PlanCache(plan_cache_entries)
+        self.admission = None
+        if max_in_flight is not None:
+            from repro.serving.admission import AdmissionController
+
+            self.admission = AdmissionController(
+                max_in_flight, queue_timeout=admission_timeout
+            )
         self.result_cache = None
         if result_cache_tuples is not None:
             from repro.plans.cache import ResultCache
@@ -88,10 +117,26 @@ class Mediator:
 
     # ------------------------------------------------------------------
     def add_source(self, source: CapabilitySource) -> None:
-        """Register a source (its name becomes its FROM-clause name)."""
-        if source.name in self.catalog:
-            raise PlanExecutionError(f"a source named {source.name!r} already exists")
-        self.catalog[source.name] = source
+        """Register a source (its name becomes its FROM-clause name).
+
+        Bumps the catalog version: plans were generated against the old
+        catalog's statistics and capabilities, so every cached plan is
+        (lazily) invalidated."""
+        with self._catalog_lock:
+            if source.name in self.catalog:
+                raise PlanExecutionError(
+                    f"a source named {source.name!r} already exists"
+                )
+            self.catalog[source.name] = source
+        self.bump_catalog()
+
+    def bump_catalog(self) -> int:
+        """Record a catalog mutation (source added / replaced / data
+        swapped): advances the version so stale cached plans can never
+        be served.  Returns the new version."""
+        with self._catalog_lock:
+            self.catalog_version += 1
+            return self.catalog_version
 
     def source(self, name: str) -> CapabilitySource:
         try:
@@ -107,7 +152,15 @@ class Mediator:
     # ------------------------------------------------------------------
     def plan(self, query: TargetQuery | str, planner: Planner | None = None
              ) -> PlanningResult:
-        """Generate (but do not run) the best feasible plan for the query."""
+        """Generate (but do not run) the best feasible plan for the query.
+
+        With a plan cache configured, equivalent rewritings of the same
+        query (commuted / reassociated conditions, same projection)
+        share one cached :class:`PlanningResult` -- planner stats
+        included, so a hit reports the *original* planning work, not a
+        re-run.  Entries are versioned by the catalog: a lookup after
+        :meth:`add_source` / :meth:`bump_catalog` re-plans.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         with get_tracer().span(
@@ -117,7 +170,31 @@ class Mediator:
             source.schema.validate_attributes(query.attributes)
             source.schema.validate_attributes(query.condition.attributes())
             scheme = planner if planner is not None else self.planner
+            cache_key = None
+            if self.plan_cache is not None:
+                from repro.serving.plan_cache import plan_cache_key
+
+                cache_key = (plan_cache_key(query), scheme.name)
+                version = self.catalog_version
+                cached = self.plan_cache.get(cache_key, version)
+                if cached is not None:
+                    span.add_event(
+                        "plan.cache_hit", planner=cached.planner,
+                        catalog_version=version,
+                    )
+                    span.set_attributes(
+                        planner=cached.planner, feasible=cached.feasible,
+                        cost=cached.cost, plan_cache="hit",
+                    )
+                    return cached
+                span.add_event("plan.cache_miss", catalog_version=version)
             result = scheme.plan(query, source, self.cost_model())
+            if cache_key is not None:
+                # Store under the version read *before* planning: a
+                # concurrent catalog change mid-plan leaves a stale
+                # entry that the versioned get() will refuse to serve.
+                self.plan_cache.put(cache_key, result, version)
+                span.set_attribute("plan_cache", "miss")
             span.set_attributes(
                 planner=result.planner, feasible=result.feasible,
                 cost=result.cost,
@@ -154,37 +231,50 @@ class Mediator:
 
     def ask(self, query: TargetQuery | str, planner: Planner | None = None
             ) -> MediatorAnswer:
-        """Plan and execute; raise :class:`InfeasiblePlanError` if no plan."""
+        """Plan and execute; raise :class:`InfeasiblePlanError` if no plan.
+
+        With ``max_in_flight`` configured, the whole plan+execute is one
+        admitted request: past the limit, :meth:`ask` raises
+        :class:`~repro.errors.OverloadError` within the admission
+        timeout instead of queueing without bound."""
         if isinstance(query, str):
             query = parse_query(query)
         with get_tracer().span(
             "mediator.ask", query=str(query), source=query.source
         ) as span:
-            if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
-                query.condition
-            ):
-                span.set_attribute("short_circuited", True)
-                return self._empty_answer(query)
-            planning = self.plan(query, planner)
-            if planning.plan is None:
-                raise InfeasiblePlanError(
-                    f"no feasible plan for {query} under the capabilities of "
-                    f"source {query.source!r}"
-                )
-            with get_tracer().span("mediator.execute") as exec_span:
-                report = self._executor.execute_with_report(planning.plan)
-                exec_span.set_attributes(
-                    queries=report.queries,
-                    tuples=report.tuples_transferred,
-                    attempts=report.attempts,
-                    retries=report.retries,
-                    failovers=report.failovers,
-                )
-            span.set_attributes(
-                rows=len(report.result), queries=report.queries,
-                tuples=report.tuples_transferred,
+            if self.admission is None:
+                return self._ask(query, planner, span)
+            with self.admission.admit():
+                return self._ask(query, planner, span)
+
+    def _ask(self, query: TargetQuery, planner: Planner | None, span
+             ) -> MediatorAnswer:
+        """The admitted body of :meth:`ask` (under its span)."""
+        if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
+            query.condition
+        ):
+            span.set_attribute("short_circuited", True)
+            return self._empty_answer(query)
+        planning = self.plan(query, planner)
+        if planning.plan is None:
+            raise InfeasiblePlanError(
+                f"no feasible plan for {query} under the capabilities of "
+                f"source {query.source!r}"
             )
-            return MediatorAnswer(query, planning, report)
+        with get_tracer().span("mediator.execute") as exec_span:
+            report = self._executor.execute_with_report(planning.plan)
+            exec_span.set_attributes(
+                queries=report.queries,
+                tuples=report.tuples_transferred,
+                attempts=report.attempts,
+                retries=report.retries,
+                failovers=report.failovers,
+            )
+        span.set_attributes(
+            rows=len(report.result), queries=report.queries,
+            tuples=report.tuples_transferred,
+        )
+        return MediatorAnswer(query, planning, report)
 
     def _empty_answer(self, query: TargetQuery) -> MediatorAnswer:
         """The answer to a provably unsatisfiable query: empty, free."""

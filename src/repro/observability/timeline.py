@@ -5,8 +5,10 @@ picked": every span on its own line, indented by tree depth, with its
 duration, a proportional bar positioned on the trace's time axis, the
 span's attributes (Q, pruning-rule fires, attempts, retries, backoff,
 worker slot, ...) and an ``!`` marker plus error text for failed
-spans.  Used by ``Mediator.explain(trace=True)`` and the
-``python -m repro.trace`` CLI.
+spans.  Span *events* (``plan.cache_hit``, ``retry``,
+``admission.shed``, ...) render as ``·`` sub-lines under their span
+with their offset from the trace start.  Used by
+``Mediator.explain(trace=True)`` and the ``python -m repro.trace`` CLI.
 """
 
 from __future__ import annotations
@@ -96,5 +98,27 @@ def _render(span: Span, by_parent: dict, depth: int, t0: float,
     if span.error is not None:
         line += f"  error={_format_value(span.error)}"
     lines.append(line)
+    for event in span.events:
+        lines.append(_render_event(event, span, depth, t0))
     for child in by_parent.get(span.span_id, []):
         _render(child, by_parent, depth + 1, t0, total, width, lines)
+
+
+def _render_event(event, span: Span, depth: int, t0: float) -> str:
+    """One span event as an indented sub-line: ``· +offset name attrs``.
+
+    Events are point-in-time annotations (``plan.cache_hit``,
+    ``retry``, ``admission.shed``, ...) -- they get no bar, just their
+    offset from the trace start and their structured attributes.
+    """
+    indent = "  " * depth
+    attrs = ""
+    if event.attributes:
+        attrs = "  " + " ".join(
+            f"{key}={_format_value(value)}"
+            for key, value in event.attributes.items()
+        )
+    return (
+        f"  {indent}  · +{(event.timestamp - t0) * 1000:.3f} ms "
+        f"{event.name}{attrs}"
+    )

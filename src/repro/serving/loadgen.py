@@ -1,0 +1,205 @@
+"""The load harness: replay a query mix against a mediator and measure.
+
+The ROADMAP's north star is "serves heavy traffic from millions of
+users"; this module is how the repository *measures* progress toward
+it.  A :class:`LoadHarness` replays a list of target queries (typically
+the :mod:`repro.workloads.scenarios` mixes or a synthetic
+:func:`~repro.workloads.synthetic.make_queries` batch) across N client
+threads and reports throughput plus p50/p95/p99 latency, reconciled
+against the serving-layer counters.
+
+Two client models, the standard pair from load-testing practice:
+
+* **closed loop** (the default): each client thread issues its next
+  request the moment the previous one finishes -- measures capacity
+  (how fast can the system go when clients wait politely);
+* **open loop**: requests *arrive* on a fixed schedule (``rate``
+  requests/second overall) regardless of completions -- measures
+  behaviour under offered load, which is what makes admission control
+  visible: when arrivals outpace capacity the gate sheds instead of
+  letting latency diverge.
+
+Every request ends in exactly one bucket -- ``completed``, ``shed``
+(:class:`~repro.errors.OverloadError`) or ``errors`` (any other
+:class:`~repro.errors.ReproError`) -- so ``completed + shed + errors ==
+requests`` always holds and the stress tests can reconcile the report
+against the admission controller and plan cache exactly.  Latencies
+are also published to the ``serving.request_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import OverloadError, ReproError
+from repro.observability.metrics import get_metrics
+from repro.query import TargetQuery
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """What one load-harness run measured."""
+
+    mode: str
+    threads: int
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    duration_seconds: float
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies, 50) * 1000
+
+    @property
+    def p95_ms(self) -> float:
+        return percentile(self.latencies, 95) * 1000
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies, 99) * 1000
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies) * 1000
+
+    def format(self) -> str:
+        """The loadgen one-screen summary (CLI ``--loadgen`` output)."""
+        return (
+            f"loadgen [{self.mode}] {self.threads} threads, "
+            f"{self.requests} requests in {self.duration_seconds:.3f}s: "
+            f"{self.completed} ok, {self.shed} shed, {self.errors} errors, "
+            f"{self.throughput_rps:.1f} req/s | latency ms "
+            f"mean={self.mean_ms:.2f} p50={self.p50_ms:.2f} "
+            f"p95={self.p95_ms:.2f} p99={self.p99_ms:.2f}"
+        )
+
+
+class LoadHarness:
+    """Replays a query mix against one mediator from N client threads.
+
+    The mediator is shared (that is the point: one plan cache, one
+    admission gate, one catalog under concurrent load); queries are
+    assigned round-robin from the mix so every thread exercises every
+    template.
+    """
+
+    def __init__(
+        self,
+        mediator,
+        queries: list[TargetQuery | str],
+        threads: int = 4,
+        mode: str = "closed",
+        rate: float | None = None,
+    ):
+        """``mode="open"`` requires ``rate`` (overall requests/second);
+        arrivals are scheduled at ``i / rate`` from the start of the run
+        and a late thread issues immediately (it never skips)."""
+        if not queries:
+            raise ValueError("the query mix must not be empty")
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        if mode not in ("closed", "open"):
+            raise ValueError(f"unknown mode {mode!r}; use 'closed' or 'open'")
+        if mode == "open" and (rate is None or rate <= 0):
+            raise ValueError("open-loop mode requires a positive rate")
+        self.mediator = mediator
+        self.queries = list(queries)
+        self.threads = threads
+        self.mode = mode
+        self.rate = rate
+
+    # ------------------------------------------------------------------
+    def run(self, total_requests: int) -> LoadReport:
+        """Issue ``total_requests`` and collect the report."""
+        if total_requests < 1:
+            raise ValueError("total_requests must be at least 1")
+        latencies: list[list[float]] = [[] for _ in range(self.threads)]
+        shed = [0] * self.threads
+        errors = [0] * self.threads
+        next_index = {"value": 0}
+        index_lock = threading.Lock()
+        start_barrier = threading.Barrier(self.threads + 1)
+        started_at: list[float] = [0.0]
+        histogram = get_metrics().histogram("serving.request_seconds")
+
+        def take() -> int | None:
+            """Claim the next global request index (None = done)."""
+            with index_lock:
+                index = next_index["value"]
+                if index >= total_requests:
+                    return None
+                next_index["value"] = index + 1
+                return index
+
+        def client(slot: int) -> None:
+            start_barrier.wait()
+            while True:
+                index = take()
+                if index is None:
+                    return
+                if self.mode == "open":
+                    due = started_at[0] + index / self.rate
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                query = self.queries[index % len(self.queries)]
+                issued = time.perf_counter()
+                try:
+                    self.mediator.ask(query)
+                except OverloadError:
+                    shed[slot] += 1
+                    continue
+                except ReproError:
+                    errors[slot] += 1
+                    continue
+                elapsed = time.perf_counter() - issued
+                latencies[slot].append(elapsed)
+                histogram.observe(elapsed)
+
+        workers = [
+            threading.Thread(target=client, args=(slot,),
+                             name=f"loadgen-{slot}", daemon=True)
+            for slot in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        # Stamp the epoch *before* releasing the barrier so every open-loop
+        # client sees a valid schedule origin the moment it wakes.
+        started_at[0] = time.perf_counter()
+        start_barrier.wait()
+        for worker in workers:
+            worker.join()
+        duration = time.perf_counter() - started_at[0]
+        merged = [sample for bucket in latencies for sample in bucket]
+        return LoadReport(
+            mode=self.mode,
+            threads=self.threads,
+            requests=total_requests,
+            completed=len(merged),
+            shed=sum(shed),
+            errors=sum(errors),
+            duration_seconds=duration,
+            latencies=merged,
+        )

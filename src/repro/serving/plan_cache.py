@@ -1,0 +1,187 @@
+"""The canonical plan cache: amortize plan generation across queries.
+
+The paper's expensive, capability-sensitive step is plan *generation*
+(Sections 5-6): GenCompact walks the rewrite space, marks the condition
+tree against the source grammar and searches sub-plan combinations --
+milliseconds of CPU per query, against microseconds to re-execute a
+known plan.  A serving mediator sees the same logical query over and
+over (dashboards, page reloads, API clients), so the highest-leverage
+optimization is to plan once and replay.
+
+Two ideas make the cache *canonical* rather than textual:
+
+* **Canonical keys.**  Condition trees are order-sensitive by design
+  (``a AND b`` != ``b AND a`` structurally), but they are *logically*
+  interchangeable as target queries -- any feasible plan for one
+  answers the other with the identical row set.  :func:`canonical_key`
+  therefore flattens the tree (:func:`~repro.conditions.canonical
+  .canonicalize`), sorts the children of every connector into a
+  deterministic order and drops duplicate siblings, so every commuted /
+  reassociated / sibling-duplicated variant of a condition maps to one
+  cache entry.  The *plan* stored under the key was generated for the
+  first variant seen; executing it is correct for all of them because
+  plans are fixed per source query at execution time and the row
+  semantics of AND/OR are order-free.
+
+* **Versioned entries.**  A plan is only as good as the catalog it was
+  generated against: registering a source (or mutating one) can change
+  feasibility and costs.  Every entry records the catalog version it
+  was planned under; a lookup with a newer version drops the entry and
+  counts an ``invalidation`` -- stale plans can never be served.
+
+The cache is a thread-safe LRU bounded by entry count (plans are tiny;
+counting entries, not tuples, is the right budget).  Hits, misses,
+invalidations and evictions feed both local stats and the process-wide
+:class:`~repro.observability.metrics.MetricsRegistry` under
+``<prefix>.hits`` / ``.misses`` / ``.invalidations`` / ``.evictions``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.conditions.canonical import canonicalize
+from repro.conditions.tree import Condition
+from repro.observability.metrics import get_metrics
+from repro.query import TargetQuery
+
+
+def canonical_key(condition: Condition) -> Hashable:
+    """An order-insensitive structural key for a condition tree.
+
+    Equivalent-by-commutation/reassociation trees (everything
+    :func:`~repro.conditions.rewrite.commutative_rule` and
+    :func:`~repro.conditions.rewrite.associative_rule` can reach) map
+    to the same key: the tree is canonicalized (same-kind connectors
+    flattened), then every connector's child keys are sorted into a
+    deterministic order and deduplicated (AND/OR are idempotent).
+    """
+    condition = canonicalize(condition)
+    return _node_key(condition)
+
+
+def _node_key(node: Condition) -> Hashable:
+    if not node.children:
+        # Leaf or TRUE: the node's own structural identity.
+        return node._key()
+    child_keys = sorted(
+        (_node_key(child) for child in node.children), key=repr
+    )
+    unique: list[Hashable] = []
+    for key in child_keys:
+        if not unique or key != unique[-1]:
+            unique.append(key)
+    if len(unique) == 1:
+        return unique[0]
+    kind = "and" if node.is_and else "or"
+    return (kind, tuple(unique))
+
+
+def plan_cache_key(query: TargetQuery) -> Hashable:
+    """The cache key for a target query: source x canonical condition x
+    projection.  Equivalent rewritings of the same query collide; any
+    difference in source or projected attributes does not."""
+    return (query.source, canonical_key(query.condition), query.attributes)
+
+
+@dataclass
+class PlanCacheStats:
+    """Local hit/miss/invalidation/eviction counters (one cache's view;
+    the registry aggregates across caches sharing a prefix)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A thread-safe LRU of planning results keyed by canonical keys.
+
+    Values are opaque (the mediator stores
+    :class:`~repro.planners.base.PlanningResult`, the wrapper also
+    stores template tuples); the cache owns keys, versions, eviction and
+    accounting.  A ``get`` with a catalog version newer than the
+    entry's drops the entry and reports a miss -- the *invalidation*
+    path that ``Mediator.add_source`` relies on.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 metrics_prefix: str = "serving.plan_cache"):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.metrics_prefix = metrics_prefix
+        self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _count(self, event: str) -> None:
+        get_metrics().counter(f"{self.metrics_prefix}.{event}").inc()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, version: int = 0) -> Any | None:
+        """The cached value for ``key`` at ``version``, or ``None``.
+
+        An entry stored under an older catalog version is removed and
+        counted as an invalidation (plus the miss the caller sees).
+        """
+        invalidated = False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] != version:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                invalidated = True
+                entry = None
+            if entry is None:
+                self.stats.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        if invalidated:
+            self._count("invalidations")
+        if entry is None:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return entry[1]
+
+    def put(self, key: Hashable, value: Any, version: int = 0) -> None:
+        """Store ``value`` under ``key`` at ``version`` (LRU-evicting)."""
+        evictions = 0
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (version, value)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evictions += 1
+        for _ in range(evictions):
+            self._count("evictions")
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Bulk invalidation (catalog reloaded, cache poisoned in a test)
+        counts each dropped entry, same as the lazy per-get path.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+        for _ in range(dropped):
+            self._count("invalidations")
+        return dropped

@@ -18,6 +18,15 @@ the parallel executor (the timeline then shows worker threads),
 ``--metrics`` appends the metrics-registry snapshot, ``--jsonl PATH``
 exports the spans for offline tooling.
 
+Serving options: ``--plan-cache N`` enables the canonical plan cache
+and runs the query **twice** -- the second ``mediator.ask`` tree in
+the timeline carries a ``plan.cache_hit`` event, the one-screen proof
+that planning was amortized.  ``--max-in-flight N`` installs admission
+control (sheds with ``OverloadError`` under overload).  ``--loadgen
+TxR`` replays the query from ``T`` client threads for ``R`` total
+requests through the same mediator and prints the throughput /
+p50/p95/p99 report.
+
 The catalog is :func:`~repro.source.library.standard_catalog` plus the
 Example 4.1 ``cars`` source, so the paper's running example works
 verbatim::
@@ -43,17 +52,35 @@ from repro.source.library import cars, standard_catalog
 
 
 def build_mediator(planner_name: str = "gencompact",
-                   workers: int | None = None) -> Mediator:
+                   workers: int | None = None,
+                   plan_cache: int | None = None,
+                   max_in_flight: int | None = None) -> Mediator:
     """The CLI's mediator: library catalog + Example 4.1's cars source."""
     from repro.__main__ import _make_planner
 
     mediator = Mediator(
-        planner=_make_planner(planner_name), parallel_workers=workers
+        planner=_make_planner(planner_name), parallel_workers=workers,
+        plan_cache_entries=plan_cache, max_in_flight=max_in_flight,
     )
     for source in standard_catalog().values():
         mediator.add_source(source)
     mediator.add_source(cars())
     return mediator
+
+
+def _parse_loadgen(spec: str) -> tuple[int, int]:
+    """``TxR`` -> (threads, total requests); e.g. ``4x40``."""
+    try:
+        threads_text, requests_text = spec.lower().split("x", 1)
+        threads, requests = int(threads_text), int(requests_text)
+    except ValueError:
+        raise SystemExit(
+            f"error: --loadgen expects THREADSxREQUESTS (e.g. 4x40), "
+            f"got {spec!r}"
+        ) from None
+    if threads < 1 or requests < 1:
+        raise SystemExit("error: --loadgen threads and requests must be >= 1")
+    return threads, requests
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,13 +102,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print the metrics-registry snapshot")
     parser.add_argument("--jsonl", metavar="PATH",
                         help="export the spans to PATH as JSON lines")
+    parser.add_argument("--plan-cache", type=int, default=None, metavar="N",
+                        help="enable an N-entry canonical plan cache and "
+                             "run the query twice (the second run's "
+                             "timeline shows plan.cache_hit)")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        metavar="N",
+                        help="bound concurrent asks with admission control "
+                             "(shed via OverloadError past N in flight)")
+    parser.add_argument("--loadgen", metavar="TxR", default=None,
+                        help="after tracing, replay the query from T client "
+                             "threads for R total requests and print the "
+                             "throughput/latency report (e.g. 4x40)")
     args = parser.parse_args(argv)
 
+    loadgen = _parse_loadgen(args.loadgen) if args.loadgen else None
     try:
-        mediator = build_mediator(args.planner, args.workers)
+        mediator = build_mediator(args.planner, args.workers,
+                                  args.plan_cache, args.max_in_flight)
         tracer = Tracer()
         with use_tracer(tracer):
             answer = mediator.ask(args.query)
+            if args.plan_cache is not None:
+                # The warm run: same canonical key, so the second
+                # mediator.ask tree carries the plan.cache_hit event.
+                answer = mediator.ask(args.query)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -106,6 +151,15 @@ def main(argv: list[str] | None = None) -> int:
 
     print()
     print(render_timeline(tracer.finished_spans(), width=args.width))
+
+    if loadgen is not None:
+        from repro.serving.loadgen import LoadHarness
+
+        threads, requests = loadgen
+        harness = LoadHarness(mediator, [args.query], threads=threads)
+        report = harness.run(requests)
+        print()
+        print(report.format())
 
     if args.metrics:
         print()

@@ -34,6 +34,7 @@ from repro.plans.cost import CostModel
 from repro.plans.execute import Executor
 from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
+from repro.serving.plan_cache import PlanCache, canonical_key
 from repro.source.source import CapabilitySource
 
 
@@ -54,9 +55,12 @@ class WrapperAnswer:
 class Wrapper:
     """A relational facade over one capability-limited source.
 
-    Plans are cached per (condition, attributes): a wrapper typically
-    serves many instances of the same query template, and the planning
-    work -- not execution -- dominates for small results.
+    Plans are cached per (canonical condition, attributes) in a bounded
+    LRU :class:`~repro.serving.PlanCache`: a wrapper typically serves
+    many instances of the same query template, and the planning work --
+    not execution -- dominates for small results.  Canonical keying
+    means commuted/reassociated spellings of one condition share a
+    single entry.
 
     With ``reuse_templates`` (the default), a cache miss first tries to
     *instantiate* the plan of a previously planned query with the same
@@ -82,7 +86,13 @@ class Wrapper:
         k2: float = 1.0,
         reuse_templates: bool = True,
         retry_policy: RetryPolicy | None = None,
+        plan_cache_entries: int = 256,
     ):
+        """``plan_cache_entries`` bounds the wrapper's plan cache (and
+        its template store): both are LRU :class:`PlanCache` instances,
+        so a wrapper serving an unbounded stream of distinct query
+        instances holds a bounded number of plans -- the serving
+        layer's one eviction policy, not a private unbounded dict."""
         self.source = source
         self.planner = planner if planner is not None else GenCompact()
         self.reuse_templates = reuse_templates
@@ -90,11 +100,15 @@ class Wrapper:
         self._executor = Executor(
             {source.name: source}, retry_policy=retry_policy
         )
-        self._plan_cache: dict[tuple[Condition, frozenset[str]], PlanningResult] = {}
+        # Canonically keyed: commuted/reassociated variants of a planned
+        # condition hit the same entry (the plan answers them all).
+        self._plan_cache = PlanCache(
+            plan_cache_entries, metrics_prefix="wrapper.plan_cache"
+        )
         # skeleton-template -> a previously planned (condition, result).
-        self._templates: dict[
-            tuple[Condition, frozenset[str]], tuple[Condition, PlanningResult]
-        ] = {}
+        self._templates = PlanCache(
+            plan_cache_entries, metrics_prefix="wrapper.template_cache"
+        )
         #: How many plans were produced by template instantiation.
         self.template_hits = 0
 
@@ -106,7 +120,7 @@ class Wrapper:
             condition = parse_condition(condition)
         attrs = self.source.schema.validate_attributes(attributes)
         self.source.schema.validate_attributes(condition.attributes())
-        key = (condition, attrs)
+        key = (canonical_key(condition), attrs)
         cached = self._plan_cache.get(key)
         if cached is not None:
             return cached
@@ -117,9 +131,9 @@ class Wrapper:
         if result is None:
             query = TargetQuery(condition, attrs, self.source.name)
             result = self.planner.plan(query, self.source, self._cost_model)
-            if result.feasible:
-                self._templates.setdefault(template_key, (condition, result))
-        self._plan_cache[key] = result
+            if result.feasible and self._templates.get(template_key) is None:
+                self._templates.put(template_key, (condition, result))
+        self._plan_cache.put(key, result)
         return result
 
     def _instantiate_template(
@@ -129,7 +143,8 @@ class Wrapper:
         attrs: frozenset[str],
     ) -> PlanningResult | None:
         """Try to rebind a same-skeleton plan to the new constants."""
-        entry = self._templates.get(template_key)
+        entry: tuple[Condition, PlanningResult] | None = \
+            self._templates.get(template_key)
         if entry is None:
             return None
         old_condition, old_result = entry

@@ -1,0 +1,72 @@
+"""CLI smoke tests for the serving flags of ``python -m repro.trace``.
+
+``--plan-cache`` must make the warm run's ``plan.cache_hit`` span event
+visible in the printed timeline -- the one-screen proof the cache
+works; ``--max-in-flight`` must thread admission control through
+without disturbing a single query; ``--loadgen TxR`` must append the
+throughput/latency report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import _parse_loadgen
+from repro.trace import main as trace_main
+
+QUERY = "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+
+
+class TestPlanCacheFlag:
+    def test_second_run_shows_cache_hit_in_the_timeline(self, capsys):
+        assert trace_main([QUERY, "--plan-cache", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "plan.cache_hit" in out
+        assert "· +" in out          # rendered as an event sub-line
+        assert "catalog_version=" in out
+
+    def test_cold_run_alone_shows_only_a_miss(self, capsys):
+        assert trace_main([QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "plan.cache_hit" not in out
+
+
+class TestMaxInFlightFlag:
+    def test_single_query_passes_the_gate(self, capsys):
+        assert trace_main([QUERY, "--max-in-flight", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "executed in" in out
+        assert "model=" in out
+
+
+class TestLoadgenFlag:
+    def test_report_is_appended(self, capsys):
+        code = trace_main([
+            QUERY, "--plan-cache", "64", "--loadgen", "2x6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loadgen [closed] 2 threads, 6 requests" in out
+        assert "p95=" in out and "req/s" in out
+
+    def test_loadgen_composes_with_metrics(self, capsys):
+        code = trace_main([
+            QUERY, "--loadgen", "2x4", "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving.request_seconds" in out
+
+    def test_spec_parser(self):
+        assert _parse_loadgen("4x40") == (4, 40)
+        assert _parse_loadgen("1X1") == (1, 1)
+
+    @pytest.mark.parametrize("spec", ["", "4", "x40", "4x", "0x5", "4x0",
+                                      "axb"])
+    def test_bad_specs_exit_with_a_message(self, spec):
+        with pytest.raises(SystemExit):
+            _parse_loadgen(spec)
+
+    def test_bad_spec_via_argv(self, capsys):
+        with pytest.raises(SystemExit):
+            trace_main([QUERY, "--loadgen", "nope"])

@@ -1,0 +1,144 @@
+"""Load-harness regressions: accounting, both client models, percentiles.
+
+The harness's one invariant -- ``completed + shed + errors ==
+requests`` -- is checked in every scenario below, reconciled against
+the mediator's own serving counters where the scenario makes that
+meaningful (shed vs. admission controller, completed vs. plan cache).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.serving import LoadHarness, percentile
+from repro.source.faults import SimulatedLatency
+from repro.source.library import bookstore, car_guide
+from repro.workloads.scenarios import all_scenarios
+
+MIX = [
+    "SELECT id, title FROM bookstore WHERE author = 'Carl Jung'",
+    "SELECT id, model FROM car_guide WHERE make = 'BMW'",
+]
+
+
+def _mediator(**kwargs) -> Mediator:
+    mediator = Mediator(**kwargs)
+    mediator.add_source(bookstore(n=200, seed=1999))
+    mediator.add_source(car_guide(n=200, seed=1999))
+    return mediator
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_small_sample_and_empty(self):
+        assert percentile([], 95) == 0.0
+        assert percentile([3.0], 50) == 3.0
+        assert percentile([1.0, 9.0], 99) == 9.0
+        assert percentile([5.0, 1.0, 9.0], 50) == 5.0  # sorts first
+
+
+class TestClosedLoop:
+    def test_every_request_lands_in_exactly_one_bucket(self):
+        with use_metrics(MetricsRegistry()) as registry:
+            mediator = _mediator(plan_cache_entries=32)
+            harness = LoadHarness(mediator, MIX, threads=4)
+            report = harness.run(24)
+            assert report.completed + report.shed + report.errors == 24
+            assert report.completed == 24 and report.shed == 0
+            assert report.mode == "closed" and report.threads == 4
+            assert len(report.latencies) == 24
+            assert report.duration_seconds > 0
+            assert report.throughput_rps > 0
+            stats = mediator.plan_cache.stats
+            assert stats.hits + stats.misses == 24
+            snapshot = registry.snapshot()
+            assert snapshot["serving.request_seconds"]["count"] == 24
+
+    def test_shed_requests_reconcile_with_the_admission_gate(self):
+        with use_metrics(MetricsRegistry()):
+            mediator = _mediator(max_in_flight=1, admission_timeout=0.01)
+            slow = mediator.source("bookstore")
+            slow.latency = SimulatedLatency(seed=3, base=0.05, jitter=0.0)
+            harness = LoadHarness(mediator, [MIX[0]], threads=6)
+            report = harness.run(12)
+            assert report.completed + report.shed + report.errors == 12
+            assert report.shed >= 1
+            assert report.shed == mediator.admission.shed
+            assert report.completed == mediator.admission.admitted
+
+    def test_infeasible_queries_land_in_the_errors_bucket(self):
+        with use_metrics(MetricsRegistry()):
+            mediator = _mediator()
+            # car_guide has no 'author' attribute -> UnsupportedQueryError.
+            bad = "SELECT id FROM car_guide WHERE author = 'Carl Jung'"
+            harness = LoadHarness(mediator, [MIX[0], bad], threads=2)
+            report = harness.run(8)
+            assert report.completed + report.shed + report.errors == 8
+            assert report.errors == 4 and report.completed == 4
+
+    def test_scenario_mix_replays(self):
+        """The workload scenarios are valid harness input end to end."""
+        with use_metrics(MetricsRegistry()):
+            scenarios = all_scenarios(seed=1999)
+            mediator = Mediator(plan_cache_entries=64)
+            for scenario in scenarios:
+                mediator.add_source(scenario.source)
+            queries = [scenario.query for scenario in scenarios]
+            report = LoadHarness(mediator, queries, threads=2).run(6)
+            assert report.completed == 6
+            # Two passes over a three-query mix: pass two hits except
+            # where a second occurrence raced its still-in-flight first.
+            assert mediator.plan_cache.stats.hits >= 2
+
+
+class TestOpenLoop:
+    def test_arrivals_are_paced_by_the_rate(self):
+        with use_metrics(MetricsRegistry()):
+            mediator = _mediator(plan_cache_entries=32)
+            harness = LoadHarness(mediator, MIX, threads=2,
+                                  mode="open", rate=100.0)
+            started = time.perf_counter()
+            report = harness.run(10)
+            elapsed = time.perf_counter() - started
+            assert report.completed == 10
+            assert report.mode == "open"
+            # The last arrival is scheduled at 9/100 = 90ms from the
+            # epoch: an open-loop run cannot finish before it.
+            assert elapsed >= 0.09
+
+    def test_open_loop_requires_a_rate(self):
+        with pytest.raises(ValueError):
+            LoadHarness(_mediator(), MIX, mode="open")
+        with pytest.raises(ValueError):
+            LoadHarness(_mediator(), MIX, mode="open", rate=0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        mediator = _mediator()
+        with pytest.raises(ValueError):
+            LoadHarness(mediator, [])
+        with pytest.raises(ValueError):
+            LoadHarness(mediator, MIX, threads=0)
+        with pytest.raises(ValueError):
+            LoadHarness(mediator, MIX, mode="sideways")
+        with pytest.raises(ValueError):
+            LoadHarness(mediator, MIX).run(0)
+
+    def test_report_format_is_one_line(self):
+        with use_metrics(MetricsRegistry()):
+            report = LoadHarness(_mediator(), MIX, threads=2).run(4)
+            text = report.format()
+            assert text.startswith("loadgen [closed] 2 threads, 4 requests")
+            assert "p95=" in text and "req/s" in text
+            assert "\n" not in text
