@@ -9,12 +9,18 @@ plan-generation scheme is GenCompact.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.conditions.simplify import is_definitely_unsatisfiable
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.errors import InfeasiblePlanError, PlanExecutionError
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    get_metrics,
+)
 from repro.observability.trace import Tracer, get_tracer, use_tracer
 from repro.planners.base import Planner, PlannerStats, PlanningResult
 from repro.planners.gencompact import GenCompact
@@ -57,6 +63,9 @@ class Mediator:
         plan_cache_entries: int | None = None,
         max_in_flight: int | None = None,
         admission_timeout: float = 1.0,
+        latency_objective: float | None = None,
+        slo_target: float = 0.99,
+        slow_query_log_entries: int = 128,
     ):
         """``short_circuit_unsatisfiable`` answers provably empty queries
         (e.g. ``price < 10 and price > 20``) locally, without planning or
@@ -76,7 +85,18 @@ class Mediator:
         excess load via :class:`~repro.errors.OverloadError` after
         ``admission_timeout`` seconds of queueing (never deadlocks;
         parallel-executor fan-out happens *inside* one admitted
-        request and does not consume slots)."""
+        request and does not consume slots).
+
+        Telemetry knobs: ``latency_objective`` (seconds) arms the SLO
+        machinery -- every :meth:`ask` is timed into a bucketed
+        latency histogram with the objective as an exact boundary, an
+        :class:`~repro.observability.slo.SLOTracker` computes
+        error-budget burn against ``slo_target`` (the intended
+        attainment fraction), and any ask past the objective lands in
+        the bounded :class:`~repro.observability.slo.SlowQueryLog`
+        (``slow_query_log_entries`` deep) with its canonical plan
+        fingerprint, per-source meter deltas and -- when a recording
+        tracer is installed -- the rendered span timeline."""
         self.planner = planner if planner is not None else GenCompact()
         self.k1 = k1
         self.k2 = k2
@@ -97,6 +117,23 @@ class Mediator:
             self.admission = AdmissionController(
                 max_in_flight, queue_timeout=admission_timeout
             )
+        self.slo = None
+        self.slow_queries = None
+        self.ask_latency: Histogram | None = None
+        self.latency_objective = latency_objective
+        if latency_objective is not None:
+            from repro.observability.slo import SLOTracker, SlowQueryLog
+
+            # A mediator-local histogram so the objective is always one
+            # of the boundaries (exact SLO accounting), whatever the
+            # process-wide "mediator.ask_seconds" was created with.
+            self.ask_latency = Histogram(
+                "mediator.ask_seconds",
+                buckets=sorted(set(DEFAULT_BUCKETS) | {latency_objective}),
+            )
+            self.slo = SLOTracker(self.ask_latency, latency_objective,
+                                  target=slo_target)
+            self.slow_queries = SlowQueryLog(slow_query_log_entries)
         self.result_cache = None
         if result_cache_tuples is not None:
             from repro.plans.cache import ResultCache
@@ -146,7 +183,9 @@ class Mediator:
 
     def cost_model(self, source_name: str | None = None) -> CostModel:
         """The Eq. 1 cost model over the registered sources' statistics."""
-        stats = {name: src.stats for name, src in self.catalog.items()}
+        # dict() of the live catalog is a C-level copy (atomic under the
+        # GIL); iterating the live dict here raced concurrent add_source.
+        stats = {name: src.stats for name, src in dict(self.catalog).items()}
         return CostModel(stats, self.k1, self.k2)
 
     # ------------------------------------------------------------------
@@ -242,10 +281,68 @@ class Mediator:
         with get_tracer().span(
             "mediator.ask", query=str(query), source=query.source
         ) as span:
-            if self.admission is None:
-                return self._ask(query, planner, span)
-            with self.admission.admit():
-                return self._ask(query, planner, span)
+            if self.slo is None:
+                return self._admitted_ask(query, planner, span)
+            started = time.perf_counter()
+            try:
+                answer = self._admitted_ask(query, planner, span)
+            except BaseException as exc:
+                self._observe_ask(query, time.perf_counter() - started,
+                                  None, exc, span)
+                raise
+            self._observe_ask(query, time.perf_counter() - started,
+                              answer, None, span)
+            return answer
+
+    def _admitted_ask(self, query: TargetQuery, planner: Planner | None,
+                      span) -> MediatorAnswer:
+        if self.admission is None:
+            return self._ask(query, planner, span)
+        with self.admission.admit():
+            return self._ask(query, planner, span)
+
+    def _observe_ask(self, query: TargetQuery, duration: float,
+                     answer: MediatorAnswer | None,
+                     error: BaseException | None, span) -> None:
+        """SLO accounting for one finished ask (success *or* failure):
+        feed the latency histograms, and append any objective breach to
+        the slow-query log with its plan fingerprint, per-source meter
+        deltas and (when a tracer records) the rendered timeline."""
+        self.ask_latency.observe(duration)
+        get_metrics().histogram("mediator.ask_seconds").observe(duration)
+        if duration <= self.latency_objective:
+            return
+        get_metrics().counter("mediator.slo_breaches").inc()
+        span.set_attribute("slo_breach", True)
+        from repro.observability.slo import SlowQuery, plan_fingerprint
+        from repro.serving.plan_cache import plan_cache_key
+
+        per_source: dict[str, tuple[int, int]] = {}
+        planner_name = None
+        if answer is not None:
+            planner_name = answer.planning.planner
+            per_source = {
+                name: (delta.queries, delta.tuples)
+                for name, delta in answer.report.per_source.items()
+            }
+        timeline = None
+        spans = get_tracer().trace_spans(span.trace_id) \
+            if span.trace_id else []
+        if spans:
+            from repro.observability.timeline import render_timeline
+
+            timeline = render_timeline(spans)
+        self.slow_queries.append(SlowQuery(
+            query=str(query),
+            source=query.source,
+            duration_seconds=duration,
+            objective_seconds=self.latency_objective,
+            fingerprint=plan_fingerprint(plan_cache_key(query)),
+            planner=planner_name,
+            error=f"{type(error).__name__}: {error}" if error else None,
+            per_source=per_source,
+            timeline=timeline,
+        ))
 
     def _ask(self, query: TargetQuery, planner: Planner | None, span
              ) -> MediatorAnswer:

@@ -14,9 +14,23 @@ dependency:
 * :mod:`repro.observability.export` -- JSONL round-trip, streaming
   and in-memory exporters, span-tree utilities;
 * :mod:`repro.observability.timeline` -- the ASCII timeline behind
-  ``Mediator.explain(trace=True)`` and ``python -m repro.trace``.
+  ``Mediator.explain(trace=True)`` and ``python -m repro.trace``;
+* :mod:`repro.observability.sampling` -- the production
+  :class:`SamplingTracer`: head-sampling ratio, tail keep rules
+  (errors and slow traces always kept), bounded ring buffer;
+* :mod:`repro.observability.exposition` -- the OpenMetrics text
+  renderer behind ``/metrics``;
+* :mod:`repro.observability.server` -- the opt-in, stdlib-only
+  :class:`TelemetryServer` (``/metrics`` / ``/health`` /
+  ``/snapshot``);
+* :mod:`repro.observability.slo` -- :class:`SLOTracker` error-budget
+  accounting and the bounded :class:`SlowQueryLog`.
 """
 
+from repro.observability.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+)
 from repro.observability.export import (
     InMemoryCollector,
     JsonlExporter,
@@ -28,13 +42,23 @@ from repro.observability.export import (
     write_jsonl,
 )
 from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
+    quantile_from_snapshot,
     set_metrics,
     use_metrics,
+)
+from repro.observability.sampling import SamplingTracer
+from repro.observability.server import TelemetryServer
+from repro.observability.slo import (
+    SLOTracker,
+    SlowQuery,
+    SlowQueryLog,
+    plan_fingerprint,
 )
 from repro.observability.timeline import render_timeline
 from repro.observability.trace import (
@@ -51,6 +75,7 @@ from repro.observability.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "InMemoryCollector",
@@ -58,13 +83,22 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "SLOTracker",
+    "SamplingTracer",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
     "SpanEvent",
+    "TelemetryServer",
     "Tracer",
     "get_metrics",
     "get_tracer",
     "orphan_spans",
+    "plan_fingerprint",
+    "quantile_from_snapshot",
     "read_jsonl",
+    "render_openmetrics",
     "render_timeline",
     "set_metrics",
     "set_tracer",

@@ -17,19 +17,38 @@ Three instrument kinds, deliberately minimal and dependency-free:
 * :class:`Counter` -- monotonically increasing count (``inc``);
 * :class:`Gauge` -- last-write value plus a high-water mark
   (``set`` / ``track_max``), e.g. in-flight calls per source;
-* :class:`Histogram` -- count/sum/min/max of observations, e.g.
-  queue-wait seconds under a source's concurrency semaphore.
+* :class:`Histogram` -- count/sum/min/max **plus fixed-boundary
+  cumulative buckets**, e.g. queue-wait seconds under a source's
+  concurrency semaphore.  Buckets make the histogram a streaming
+  quantile estimator: :meth:`Histogram.quantile` (and
+  :func:`quantile_from_snapshot` on an exported reading) interpolate
+  p50/p95/p99 without retaining samples, which is what the load
+  harness, the execution report and the ``/metrics`` exposition all
+  share -- one estimator, so they can never disagree.
 
 All instruments are thread-safe (one lock per instrument); creating an
 instrument is get-or-create and idempotent, so call sites just say
 ``get_metrics().counter("executor.retries").inc()``.
+:meth:`MetricsRegistry.snapshot` additionally acquires every
+instrument's lock in one registry-wide pass, so the counters and
+histograms inside one snapshot are mutually consistent even while 16
+threads keep publishing.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
+
+#: Default histogram boundaries (seconds): exponential from 0.5 ms to
+#: 60 s, the useful range for source calls and end-to-end asks.  The
+#: final implicit bucket is +Inf (the ``count`` itself).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class Counter:
@@ -50,7 +69,10 @@ class Counter:
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
-            return {"type": "counter", "value": self.value}
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
 
     def reset(self) -> None:
         with self._lock:
@@ -82,8 +104,11 @@ class Gauge:
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
-            return {"type": "gauge", "value": self.value,
-                    "max": self.max_value}
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value,
+                "max": self.max_value}
 
     def reset(self) -> None:
         with self._lock:
@@ -92,22 +117,42 @@ class Gauge:
 
 
 class Histogram:
-    """Count / sum / min / max of observed values."""
+    """Count / sum / min / max plus fixed cumulative buckets.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    ``boundaries`` are the finite upper bounds (``le`` semantics: an
+    observation equal to a boundary lands in that bucket); one implicit
+    ``+Inf`` bucket catches the overflow, so ``count`` is always the
+    last cumulative value.  From the buckets, :meth:`quantile` returns
+    a streaming estimate -- linear interpolation inside the target
+    bucket, clamped to the observed min/max -- without the histogram
+    ever retaining a sample.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "count", "total", "min", "max", "boundaries",
+                 "bucket_counts", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] | None = None):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        boundaries = tuple(sorted(set(
+            DEFAULT_BUCKETS if buckets is None else buckets
+        )))
+        if not boundaries:
+            raise ValueError("a histogram needs at least one boundary")
+        self.boundaries = boundaries
+        #: Non-cumulative per-bucket counts; index len(boundaries) is +Inf.
+        self.bucket_counts = [0] * (len(boundaries) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        index = bisect_left(self.boundaries, value)
         with self._lock:
             self.count += 1
             self.total += value
+            self.bucket_counts[index] += 1
             if self.min is None or value < self.min:
                 self.min = value
             if self.max is None or value > self.max:
@@ -118,16 +163,29 @@ class Histogram:
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """A streaming estimate of the ``q`` quantile (``q`` in [0, 1])."""
+        return quantile_from_snapshot(self.snapshot(), q)
+
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
-            return {
-                "type": "histogram",
-                "count": self.count,
-                "sum": self.total,
-                "min": self.min,
-                "max": self.max,
-                "mean": self.total / self.count if self.count else 0.0,
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        cumulative = []
+        running = 0
+        for boundary, bucket in zip(self.boundaries, self.bucket_counts):
+            running += bucket
+            cumulative.append([boundary, running])
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else 0.0,
+            "buckets": cumulative,
+        }
 
     def reset(self) -> None:
         with self._lock:
@@ -135,6 +193,46 @@ class Histogram:
             self.total = 0.0
             self.min = None
             self.max = None
+            self.bucket_counts = [0] * len(self.bucket_counts)
+
+
+def quantile_from_snapshot(reading: dict[str, Any], q: float) -> float:
+    """The ``q`` quantile estimated from a histogram ``snapshot()``.
+
+    Works on any exported reading (a ``/snapshot`` JSON object, a
+    :class:`LoadReport`'s latency snapshot, ...), so every consumer of
+    the same snapshot computes the *same* p50/p95/p99.  Nearest-rank
+    bucket selection with linear interpolation inside the bucket,
+    clamped to the observed min/max.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = reading.get("count", 0)
+    if not count:
+        return 0.0
+    observed_min = reading.get("min") or 0.0
+    observed_max = reading.get("max")
+    if observed_max is None:
+        observed_max = observed_min
+    rank = q * count
+    previous_bound = observed_min
+    previous_cumulative = 0
+    for boundary, cumulative in reading.get("buckets", []):
+        if cumulative >= rank:
+            if cumulative == previous_cumulative:
+                estimate = previous_bound
+            else:
+                share = (rank - previous_cumulative) / (
+                    cumulative - previous_cumulative
+                )
+                estimate = previous_bound + share * max(
+                    boundary - previous_bound, 0.0
+                )
+            return min(max(estimate, observed_min), observed_max)
+        previous_bound = boundary
+        previous_cumulative = cumulative
+    # The rank lives in the +Inf bucket: all we know is (last bound, max].
+    return observed_max
 
 
 class MetricsRegistry:
@@ -164,15 +262,45 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get_or_create(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str,
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        """Get-or-create; ``buckets`` only applies on first creation
+        (an existing histogram keeps the boundaries it was born with)."""
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets=buckets)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, Histogram):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not Histogram"
+            )
+        return instrument
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """A consistent name -> reading map of every instrument."""
+        """A mutually consistent name -> reading map of every instrument.
+
+        One registry-wide lock pass: every instrument's lock is
+        acquired *before* the first reading is taken, so a publisher
+        that bumps two instruments back-to-back (say a counter and a
+        histogram per request) can never appear half-applied inside one
+        snapshot.  Publishers only ever hold their own instrument's
+        lock, so gathering them all here cannot deadlock.
+        """
         with self._lock:
-            instruments = list(self._instruments.values())
-        return {i.name: i.snapshot() for i in sorted(instruments,
-                                                     key=lambda i: i.name)}
+            instruments = sorted(self._instruments.values(),
+                                 key=lambda i: i.name)
+            held = [instrument._lock for instrument in instruments]
+            for lock in held:
+                lock.acquire()
+            try:
+                return {instrument.name: instrument._snapshot_locked()
+                        for instrument in instruments}
+            finally:
+                for lock in reversed(held):
+                    lock.release()
 
     def reset(self) -> None:
         """Zero every instrument (the instruments stay registered)."""
@@ -186,6 +314,10 @@ class MetricsRegistry:
         lines = []
         for name, reading in self.snapshot().items():
             kind = reading.pop("type")
+            if kind == "histogram":
+                for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    reading[label] = quantile_from_snapshot(reading, q)
+                reading.pop("buckets")
             detail = ", ".join(
                 f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
                 for k, v in reading.items() if v is not None

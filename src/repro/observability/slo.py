@@ -1,0 +1,208 @@
+"""Latency objectives: error-budget tracking and the slow-query log.
+
+A production mediator needs two answers the metrics alone do not give:
+*are we meeting the objective* (and how much failure budget is left),
+and *which queries blew it* (with enough context to debug them without
+re-running anything).
+
+:class:`SLOTracker` answers the first from a bucketed
+:class:`~repro.observability.metrics.Histogram` of ask latencies: the
+objective is inserted as a bucket boundary, so "how many asks finished
+within the objective" is an exact cumulative read, not an estimate.
+The target (say 0.99) defines the error budget -- the fraction of
+requests *allowed* to breach -- and ``status()`` reports attainment,
+budget burn, and ``ok`` / ``degraded``; the telemetry server's
+``/health`` endpoint turns ``degraded`` into a 503.
+
+:class:`SlowQueryLog` answers the second: every ask past the objective
+is appended (thread-safe, bounded ring -- oldest evicted, counted) as a
+:class:`SlowQuery` carrying the query text, measured duration, the
+canonical plan fingerprint (equivalent spellings of a query share one
+fingerprint, so the log groups by *plan*, not by text), the per-source
+meter deltas of exactly that execution, and the rendered span timeline
+when a recording tracer was installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.observability.metrics import Histogram, quantile_from_snapshot
+
+
+def plan_fingerprint(key: object) -> str:
+    """A short stable fingerprint of a canonical plan-cache key.
+
+    Equivalent rewritings of a query canonicalize to the same key
+    (see :func:`repro.serving.plan_cache.plan_cache_key`), so they
+    share a fingerprint -- the slow-query log groups by what was
+    *planned*, not by how the query happened to be spelled.
+    """
+    digest = hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+@dataclass
+class SlowQuery:
+    """One ask that finished past its latency objective."""
+
+    query: str
+    source: str
+    duration_seconds: float
+    objective_seconds: float
+    fingerprint: str
+    planner: str | None = None
+    error: str | None = None
+    #: Source name -> (queries, tuples) meter delta of this execution.
+    per_source: dict[str, tuple[int, int]] = field(default_factory=dict)
+    timeline: str | None = None
+    wall_time: float = field(default_factory=time.time)
+
+    def format(self) -> str:
+        """The log entry as an indented, greppable block."""
+        status = "ERROR" if self.error else "ok"
+        lines = [
+            f"[{self.fingerprint}] {self.duration_seconds * 1000:.2f} ms "
+            f"(objective {self.objective_seconds * 1000:.2f} ms, {status}) "
+            f"{self.query}"
+        ]
+        if self.planner:
+            lines.append(f"    planner={self.planner} source={self.source}")
+        if self.error:
+            lines.append(f"    error={self.error}")
+        for name in sorted(self.per_source):
+            queries, tuples = self.per_source[name]
+            lines.append(f"    {name}: {queries} queries, {tuples} tuples")
+        if self.timeline:
+            lines.extend("    " + line for line in self.timeline.splitlines())
+        return "\n".join(lines)
+
+
+class SlowQueryLog:
+    """A bounded, thread-safe log of objective-breaching asks."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+        #: Exact accounting: every append lands in the log; past
+        #: capacity the oldest entry is evicted and counted here.
+        self.recorded = 0
+        self.evicted = 0
+
+    def append(self, entry: SlowQuery) -> None:
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self.evicted += 1
+            self._entries.append(entry)
+            self.recorded += 1
+
+    def entries(self) -> list[SlowQuery]:
+        """Oldest-first snapshot of the retained entries."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.recorded = 0
+            self.evicted = 0
+
+    def format(self) -> str:
+        """The whole log, newest last (the CLI's ``--slowlog`` view)."""
+        entries = self.entries()
+        with self._lock:
+            header = (
+                f"slow-query log: {len(entries)} retained of "
+                f"{self.recorded} recorded ({self.evicted} evicted)"
+            )
+        if not entries:
+            return header
+        return "\n".join([header] + [entry.format() for entry in entries])
+
+
+class SLOTracker:
+    """Error-budget accounting over a bucketed latency histogram.
+
+    ``histogram`` must carry ``objective_seconds`` as one of its bucket
+    boundaries (the mediator constructs it that way); the cumulative
+    count at that boundary is then exactly the number of asks that met
+    the objective.  ``target`` is the intended attainment (0.99 = at
+    most 1% of asks may breach); the **error budget** at any instant is
+    ``(1 - target) * total`` breaches, and ``burn`` is the fraction of
+    that budget already spent (>= 1.0 means exhausted -> degraded).
+    """
+
+    def __init__(self, histogram: Histogram, objective_seconds: float,
+                 target: float = 0.99):
+        if objective_seconds <= 0:
+            raise ValueError("objective_seconds must be positive")
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        if objective_seconds not in histogram.boundaries:
+            raise ValueError(
+                f"the latency histogram must have {objective_seconds!r} as "
+                f"a bucket boundary for exact SLO accounting"
+            )
+        self.histogram = histogram
+        self.objective_seconds = objective_seconds
+        self.target = target
+
+    def status(self) -> dict[str, Any]:
+        """The current SLO reading (consumed by ``/health``)."""
+        snapshot = self.histogram.snapshot()
+        total = snapshot["count"]
+        good = 0
+        for boundary, cumulative in snapshot["buckets"]:
+            if boundary <= self.objective_seconds:
+                good = cumulative
+            else:
+                break
+        breached = total - good
+        budget = (1.0 - self.target) * total
+        if breached == 0:
+            burn = 0.0
+        elif budget > 0:
+            burn = breached / budget
+        else:  # total == 0 cannot reach here; guard anyway
+            burn = float("inf")
+        attainment = good / total if total else 1.0
+        return {
+            "objective_seconds": self.objective_seconds,
+            "target": self.target,
+            "total": total,
+            "breached": breached,
+            "attainment": attainment,
+            "budget_burn": burn,
+            "p99_seconds": quantile_from_snapshot(snapshot, 0.99),
+            "status": "ok" if burn < 1.0 else "degraded",
+        }
+
+    @property
+    def degraded(self) -> bool:
+        """True once the error budget is exhausted."""
+        return self.status()["status"] == "degraded"
+
+    def format(self) -> str:
+        """One line for dashboards and the CLI."""
+        status = self.status()
+        return (
+            f"slo {status['status']}: "
+            f"{status['attainment'] * 100:.2f}% within "
+            f"{status['objective_seconds'] * 1000:.1f} ms "
+            f"(target {status['target'] * 100:g}%), "
+            f"{status['breached']}/{status['total']} breached, "
+            f"budget burn {status['budget_burn']:.2f}x, "
+            f"p99 {status['p99_seconds'] * 1000:.2f} ms"
+        )

@@ -41,12 +41,17 @@ def _format_attributes(span: Span) -> str:
 
 
 def _bar(span: Span, t0: float, total: float, width: int) -> str:
-    """The span's extent on the shared time axis, as a character bar."""
+    """The span's extent on the shared time axis, as a character bar.
+
+    A zero-duration span (instantaneous, or never closed) still gets a
+    visible ``▏`` marker at its position instead of an empty bar."""
     if total <= 0.0:
         return "·" * width
     begin = int((span.start - t0) / total * width)
-    length = max(1, round(span.duration / total * width))
     begin = min(begin, width - 1)
+    if span.duration <= 0.0:
+        return " " * begin + "▏" + " " * (width - begin - 1)
+    length = max(1, round(span.duration / total * width))
     length = min(length, width - begin)
     return " " * begin + "█" * length + " " * (width - begin - length)
 
@@ -98,7 +103,9 @@ def _render(span: Span, by_parent: dict, depth: int, t0: float,
     if span.error is not None:
         line += f"  error={_format_value(span.error)}"
     lines.append(line)
-    for event in span.events:
+    # Events may be appended out of order under cross-thread handoff;
+    # the rendered sub-lines follow the time axis, not append order.
+    for event in sorted(span.events, key=lambda e: e.timestamp):
         lines.append(_render_event(event, span, depth, t0))
     for child in by_parent.get(span.span_id, []):
         _render(child, by_parent, depth + 1, t0, total, width, lines)

@@ -198,11 +198,17 @@ class Tracer:
         finally:
             opened.end = time.perf_counter()
             self._local.span = parent
-            with self._lock:
-                self._finished.append(opened)
-                exporters = list(self._exporters)
-            for exporter in exporters:
-                exporter(opened)
+            self._record(opened)
+
+    def _record(self, span: Span) -> None:
+        """Admit one finished span (subclasses decide differently --
+        :class:`~repro.observability.sampling.SamplingTracer` buffers
+        per trace and applies its keep rules here)."""
+        with self._lock:
+            self._finished.append(span)
+            exporters = list(self._exporters)
+        for exporter in exporters:
+            exporter(span)
 
     def event(self, name: str, **attributes: Any) -> None:
         """Attach a structured event to the current span (if any)."""
@@ -219,6 +225,16 @@ class Tracer:
         """A snapshot of every span finished so far (ended order)."""
         with self._lock:
             return list(self._finished)
+
+    def trace_spans(self, trace_id: int) -> list[Span]:
+        """The finished spans of one trace (e.g. the ask being timed).
+
+        The slow-query log uses this to render a timeline of the query
+        that just blew its latency objective: by then every child span
+        has finished even though the root is still open.
+        """
+        return [span for span in self.finished_spans()
+                if span.trace_id == trace_id]
 
     def reset(self) -> None:
         """Drop collected spans (exporters and open spans are kept)."""

@@ -32,7 +32,11 @@ from typing import Iterable, Mapping, Protocol
 
 from repro.data.relation import Relation
 from repro.errors import PlanExecutionError, TransientSourceError
-from repro.observability.metrics import get_metrics
+from repro.observability.metrics import (
+    Histogram,
+    get_metrics,
+    quantile_from_snapshot,
+)
 from repro.observability.trace import get_tracer, trace_event
 from repro.plans.nodes import (
     ChoicePlan,
@@ -63,6 +67,10 @@ class ExecutionReport:
     wall-clock time of the execution, and ``per_source`` maps each
     source that saw traffic to the :class:`MeterSnapshot` *delta* this
     execution caused -- no manual meter diffing required.
+    ``call_latency`` is the bucketed histogram snapshot of this
+    execution's per-source-call wall-clock times; :meth:`call_p50_ms`
+    etc. read it with the same quantile estimator the load harness and
+    ``/metrics`` use.
     """
 
     result: Relation
@@ -74,9 +82,28 @@ class ExecutionReport:
     backoff_seconds: float = 0.0
     duration_seconds: float = 0.0
     per_source: dict[str, MeterSnapshot] = field(default_factory=dict)
+    call_latency: dict | None = None
 
     def measured_cost(self, k1: float, k2: float) -> float:
         return self.queries * k1 + self.tuples_transferred * k2
+
+    def call_quantile_ms(self, q: float) -> float:
+        """The ``q`` quantile of per-source-call latency, in ms."""
+        if self.call_latency is None:
+            return 0.0
+        return quantile_from_snapshot(self.call_latency, q) * 1000
+
+    @property
+    def call_p50_ms(self) -> float:
+        return self.call_quantile_ms(0.50)
+
+    @property
+    def call_p95_ms(self) -> float:
+        return self.call_quantile_ms(0.95)
+
+    @property
+    def call_p99_ms(self) -> float:
+        return self.call_quantile_ms(0.99)
 
 
 class FailoverTarget(Protocol):
@@ -105,6 +132,12 @@ class _ExecutionContext:
     backoff: float = 0.0
     failed_sources: set[str] = field(default_factory=set)
     budget_left: int | None = None
+    #: Per-source-call wall-clock of *this* execution (thread-safe; the
+    #: histogram has its own lock) -- snapshotted into the report.
+    call_latency: Histogram = field(
+        default_factory=lambda: Histogram("executor.call_seconds"),
+        repr=False, compare=False,
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -113,6 +146,10 @@ class _ExecutionContext:
         with self._lock:
             self.attempts += 1
         get_metrics().counter("executor.attempts").inc()
+
+    def observe_call(self, seconds: float) -> None:
+        self.call_latency.observe(seconds)
+        get_metrics().histogram("executor.call_seconds").observe(seconds)
 
     def add_retry(self, delay: float) -> None:
         with self._lock:
@@ -300,7 +337,11 @@ class Executor:
             condition=str(plan.condition),
             worker=threading.current_thread().name,
         ) as span:
-            return self._source_query_attempts(plan, ctx, span)
+            started = time.perf_counter()
+            try:
+                return self._source_query_attempts(plan, ctx, span)
+            finally:
+                ctx.observe_call(time.perf_counter() - started)
 
     def _source_query_attempts(
         self, plan: SourceQuery, ctx: _ExecutionContext, span
@@ -420,9 +461,13 @@ class Executor:
         measured cost diverge under caching; the meters tell you what
         the Internet actually saw.
         """
+        # dict(...) of the live catalog is a C-level copy (atomic under
+        # the GIL): a concurrent add_source must not blow up the
+        # Python-level iteration below with "dict changed size".
+        catalog = dict(self.catalog)
         before = {
             name: source.meter.snapshot()
-            for name, source in self.catalog.items()
+            for name, source in catalog.items()
         }
         ctx = self._new_context()
         started = time.perf_counter()
@@ -431,8 +476,8 @@ class Executor:
         queries = 0
         tuples = 0
         per_source: dict[str, MeterSnapshot] = {}
-        for name, snap in before.items():
-            delta = self._source(name).meter.snapshot() - snap
+        for name, source in catalog.items():
+            delta = source.meter.snapshot() - before[name]
             queries += delta.queries
             tuples += delta.tuples
             if delta != MeterSnapshot():
@@ -447,6 +492,7 @@ class Executor:
             backoff_seconds=ctx.backoff,
             duration_seconds=duration,
             per_source=per_source,
+            call_latency=ctx.call_latency.snapshot(),
         )
 
 

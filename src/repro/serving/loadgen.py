@@ -24,7 +24,11 @@ Every request ends in exactly one bucket -- ``completed``, ``shed``
 :class:`~repro.errors.ReproError`) -- so ``completed + shed + errors ==
 requests`` always holds and the stress tests can reconcile the report
 against the admission controller and plan cache exactly.  Latencies
-are also published to the ``serving.request_seconds`` histogram.
+are published to the ``serving.request_seconds`` registry histogram,
+and the report's p50/p95/p99 come from the **same bucketed estimator**
+(:func:`~repro.observability.metrics.quantile_from_snapshot` over the
+run's own histogram snapshot), so a LoadReport and a ``/metrics``
+scrape of the same run can never disagree about the tail.
 """
 
 from __future__ import annotations
@@ -34,12 +38,20 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import OverloadError, ReproError
-from repro.observability.metrics import get_metrics
+from repro.observability.metrics import (
+    Histogram,
+    get_metrics,
+    quantile_from_snapshot,
+)
 from repro.query import TargetQuery
 
 
 def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``."""
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
+
+    Kept for exact-sample use in tests; the :class:`LoadReport`
+    itself reports quantiles from its histogram snapshot (one
+    estimator shared with ``/metrics``)."""
     if not samples:
         return 0.0
     ordered = sorted(samples)
@@ -59,6 +71,15 @@ class LoadReport:
     errors: int
     duration_seconds: float
     latencies: list[float] = field(default_factory=list, repr=False)
+    #: Histogram snapshot of the same latencies (the quantile source).
+    latency_snapshot: dict | None = field(default=None, repr=False)
+
+    def _quantile_ms(self, q: float) -> float:
+        if self.latency_snapshot is None:
+            # Reports built by hand (tests, ad-hoc) fall back to the
+            # exact nearest-rank percentile over the raw samples.
+            return percentile(self.latencies, q * 100) * 1000
+        return quantile_from_snapshot(self.latency_snapshot, q) * 1000
 
     @property
     def throughput_rps(self) -> float:
@@ -68,15 +89,15 @@ class LoadReport:
 
     @property
     def p50_ms(self) -> float:
-        return percentile(self.latencies, 50) * 1000
+        return self._quantile_ms(0.50)
 
     @property
     def p95_ms(self) -> float:
-        return percentile(self.latencies, 95) * 1000
+        return self._quantile_ms(0.95)
 
     @property
     def p99_ms(self) -> float:
-        return percentile(self.latencies, 99) * 1000
+        return self._quantile_ms(0.99)
 
     @property
     def mean_ms(self) -> float:
@@ -143,6 +164,10 @@ class LoadHarness:
         start_barrier = threading.Barrier(self.threads + 1)
         started_at: list[float] = [0.0]
         histogram = get_metrics().histogram("serving.request_seconds")
+        # The run's own histogram: same boundaries as the registry one,
+        # so the report's quantiles and a /metrics scrape agree.
+        run_histogram = Histogram("loadgen.request_seconds",
+                                  buckets=histogram.boundaries)
 
         def take() -> int | None:
             """Claim the next global request index (None = done)."""
@@ -177,6 +202,7 @@ class LoadHarness:
                 elapsed = time.perf_counter() - issued
                 latencies[slot].append(elapsed)
                 histogram.observe(elapsed)
+                run_histogram.observe(elapsed)
 
         workers = [
             threading.Thread(target=client, args=(slot,),
@@ -202,4 +228,5 @@ class LoadHarness:
             errors=sum(errors),
             duration_seconds=duration,
             latencies=merged,
+            latency_snapshot=run_histogram.snapshot(),
         )

@@ -27,6 +27,16 @@ TxR`` replays the query from ``T`` client threads for ``R`` total
 requests through the same mediator and prints the throughput /
 p50/p95/p99 report.
 
+Telemetry options: ``--sample RATIO`` traces with a
+:class:`~repro.observability.SamplingTracer` (head ratio + tail keep
+rules) instead of the full recorder and prints its keep/drop stats;
+``--slo MS`` arms the latency objective (SLO tracker + slow-query
+log); ``--slowlog`` prints the slow-query log after the run (with an
+objective of 0 ms when ``--slo`` was not given, so every ask logs);
+``--serve PORT`` starts the stdlib :class:`TelemetryServer` (0 =
+ephemeral port), scrapes its ``/metrics`` and ``/health`` over real
+HTTP and prints both -- the one-command proof the exposition works.
+
 The catalog is :func:`~repro.source.library.standard_catalog` plus the
 Example 4.1 ``cars`` source, so the paper's running example works
 verbatim::
@@ -42,6 +52,8 @@ import sys
 from repro.errors import ReproError
 from repro.mediator import Mediator
 from repro.observability import (
+    SamplingTracer,
+    TelemetryServer,
     Tracer,
     get_metrics,
     render_timeline,
@@ -54,13 +66,15 @@ from repro.source.library import cars, standard_catalog
 def build_mediator(planner_name: str = "gencompact",
                    workers: int | None = None,
                    plan_cache: int | None = None,
-                   max_in_flight: int | None = None) -> Mediator:
+                   max_in_flight: int | None = None,
+                   latency_objective: float | None = None) -> Mediator:
     """The CLI's mediator: library catalog + Example 4.1's cars source."""
     from repro.__main__ import _make_planner
 
     mediator = Mediator(
         planner=_make_planner(planner_name), parallel_workers=workers,
         plan_cache_entries=plan_cache, max_in_flight=max_in_flight,
+        latency_objective=latency_objective,
     )
     for source in standard_catalog().values():
         mediator.add_source(source)
@@ -114,13 +128,41 @@ def main(argv: list[str] | None = None) -> int:
                         help="after tracing, replay the query from T client "
                              "threads for R total requests and print the "
                              "throughput/latency report (e.g. 4x40)")
+    parser.add_argument("--sample", type=float, default=None,
+                        metavar="RATIO",
+                        help="trace with a SamplingTracer at this head "
+                             "ratio (tail rules keep errors and, with "
+                             "--slo, slow traces) and print its stats")
+    parser.add_argument("--slo", type=float, default=None, metavar="MS",
+                        help="latency objective in ms: arms the SLO "
+                             "tracker and the slow-query log")
+    parser.add_argument("--slowlog", action="store_true",
+                        help="print the slow-query log after the run "
+                             "(without --slo the objective is ~0, so "
+                             "every ask is logged)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="start the telemetry server (0 = ephemeral "
+                             "port), scrape /metrics and /health over "
+                             "HTTP and print both")
     args = parser.parse_args(argv)
 
     loadgen = _parse_loadgen(args.loadgen) if args.loadgen else None
+    objective = None
+    if args.slo is not None:
+        if args.slo <= 0:
+            raise SystemExit("error: --slo must be a positive number of ms")
+        objective = args.slo / 1000.0
+    elif args.slowlog:
+        objective = 1e-9  # effectively zero: every ask breaches and logs
     try:
         mediator = build_mediator(args.planner, args.workers,
-                                  args.plan_cache, args.max_in_flight)
-        tracer = Tracer()
+                                  args.plan_cache, args.max_in_flight,
+                                  latency_objective=objective)
+        if args.sample is not None:
+            tracer = SamplingTracer(ratio=args.sample,
+                                    slow_threshold=objective)
+        else:
+            tracer = Tracer()
         with use_tracer(tracer):
             answer = mediator.ask(args.query)
             if args.plan_cache is not None:
@@ -151,15 +193,44 @@ def main(argv: list[str] | None = None) -> int:
 
     print()
     print(render_timeline(tracer.finished_spans(), width=args.width))
+    if args.sample is not None:
+        print()
+        print(tracer.format_stats())
 
     if loadgen is not None:
         from repro.serving.loadgen import LoadHarness
 
         threads, requests = loadgen
         harness = LoadHarness(mediator, [args.query], threads=threads)
-        report = harness.run(requests)
+        with use_tracer(tracer):
+            report = harness.run(requests)
         print()
         print(report.format())
+
+    if mediator.slo is not None:
+        print()
+        print(mediator.slo.format())
+    if args.slowlog:
+        print()
+        print(mediator.slow_queries.format())
+
+    if args.serve is not None:
+        import urllib.error
+        import urllib.request
+
+        with TelemetryServer(mediator=mediator,
+                             port=args.serve) as server:
+            print(f"\ntelemetry server on {server.url}")
+            for path in ("/metrics", "/health"):
+                try:
+                    with urllib.request.urlopen(server.url + path) as reply:
+                        body = reply.read().decode("utf-8")
+                        status = reply.status
+                except urllib.error.HTTPError as reply:  # degraded = 503
+                    body = reply.read().decode("utf-8")
+                    status = reply.code
+                print(f"\nGET {path} -> {status}")
+                print(body.rstrip("\n"))
 
     if args.metrics:
         print()

@@ -1,0 +1,136 @@
+"""Golden tests for the OpenMetrics text exposition.
+
+The name mapping is deliberately mechanical (see
+``repro.observability.exposition``), so the rendered text for a known
+registry is pinned byte-for-byte: counter ``_total`` suffixes, the
+``source.<name>.*`` label folding, cumulative ``le`` buckets ending in
+``+Inf``, label escaping and the trailing ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsRegistry,
+    render_openmetrics,
+)
+from repro.observability.exposition import (
+    escape_label_value,
+    format_value,
+    metric_family,
+    sanitize_metric_name,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("executor.retries").inc(3)
+    gauge = registry.gauge("executor.in_flight")
+    gauge.set(2)
+    gauge.set(1)
+    histogram = registry.histogram(
+        "mediator.ask_seconds", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    registry.counter("source.cars.queries").inc(7)
+    registry.counter("source.reviews.queries").inc(2)
+    return registry
+
+
+GOLDEN = """\
+# TYPE repro_executor_in_flight gauge
+# HELP repro_executor_in_flight registry metric executor.in_flight
+repro_executor_in_flight 1
+repro_executor_in_flight_max 2
+# TYPE repro_executor_retries counter
+# HELP repro_executor_retries registry metric executor.retries
+repro_executor_retries_total 3
+# TYPE repro_mediator_ask_seconds histogram
+# HELP repro_mediator_ask_seconds registry metric mediator.ask_seconds
+repro_mediator_ask_seconds_bucket{le="0.01"} 1
+repro_mediator_ask_seconds_bucket{le="0.1"} 3
+repro_mediator_ask_seconds_bucket{le="1"} 4
+repro_mediator_ask_seconds_bucket{le="+Inf"} 5
+repro_mediator_ask_seconds_sum 5.605
+repro_mediator_ask_seconds_count 5
+# TYPE repro_source_queries counter
+# HELP repro_source_queries registry metric source.cars.queries source.reviews.queries
+repro_source_queries_total{source="cars"} 7
+repro_source_queries_total{source="reviews"} 2
+# EOF
+"""
+
+
+class TestGoldenRendering:
+    def test_known_registry_renders_byte_for_byte(self):
+        assert render_openmetrics(_registry().snapshot()) == GOLDEN
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert render_openmetrics({}) == "# EOF\n"
+
+    def test_content_type_pins_the_openmetrics_dialect(self):
+        assert "application/openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+        assert "charset=utf-8" in OPENMETRICS_CONTENT_TYPE
+
+
+class TestNameMapping:
+    def test_source_namespace_folds_into_a_label(self):
+        family, labels = metric_family("source.cars.queue_wait_seconds")
+        assert family == "repro_source_queue_wait_seconds"
+        assert labels == {"source": "cars"}
+
+    def test_plain_dotted_names_map_one_to_one(self):
+        assert metric_family("planner.subplans") == ("repro_planner_subplans",
+                                                     {})
+
+    def test_invalid_characters_become_underscores(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+        assert sanitize_metric_name("9lives").startswith("_")
+        assert sanitize_metric_name("") == "_"
+
+    def test_label_values_are_escaped(self):
+        assert escape_label_value('back\\slash "quote"\nline') == (
+            'back\\\\slash \\"quote\\"\\nline'
+        )
+
+    def test_escaped_source_label_survives_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter('source.we"ird.queries').inc(1)
+        text = render_openmetrics(registry.snapshot())
+        assert 'source="we\\"ird"' in text
+
+    def test_format_value_integers_bare_floats_compact(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(True) == "1"
+
+
+class TestKindCollisions:
+    def test_mixed_kinds_on_one_family_stay_observable(self):
+        registry = MetricsRegistry()
+        registry.counter("source.cars.load").inc(1)
+        registry.gauge("source.reviews.load").set(4)
+        text = render_openmetrics(registry.snapshot())
+        # First-seen kind keeps the family; the other gets a suffix.
+        assert 'repro_source_load_total{source="cars"} 1' in text
+        assert 'repro_source_load_gauge{source="reviews"} 4' in text
+
+    def test_every_line_before_eof_is_comment_or_sample(self):
+        text = render_openmetrics(_registry().snapshot())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        for line in lines[:-1]:
+            assert line.startswith("# ") or " " in line
+
+
+@pytest.mark.parametrize("name", [
+    "executor.call_seconds", "serving.request_seconds",
+    "source.a.b.c.d",
+])
+def test_families_are_valid_metric_identifiers(name):
+    family, _ = metric_family(name)
+    assert sanitize_metric_name(family) == family

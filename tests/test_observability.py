@@ -15,6 +15,8 @@ import pytest
 
 from repro.mediator import Mediator
 from repro.observability import (
+    DEFAULT_BUCKETS,
+    Histogram,
     InMemoryCollector,
     MetricsRegistry,
     NULL_TRACER,
@@ -23,6 +25,7 @@ from repro.observability import (
     get_metrics,
     get_tracer,
     orphan_spans,
+    quantile_from_snapshot,
     read_jsonl,
     render_timeline,
     set_tracer,
@@ -239,6 +242,106 @@ class TestMetricsRegistry:
         assert snap["source.cars.queries"]["value"] == 1
         assert snap["source.cars.tuples"]["value"] == 2
         assert get_metrics() is not registry
+
+
+class TestHistogramQuantiles:
+    def test_buckets_are_cumulative_with_le_semantics(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 9.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        # A value landing exactly on a boundary counts in that bucket.
+        assert snap["buckets"] == [[1.0, 2], [2.0, 4], [5.0, 4]]
+        assert snap["count"] == 5  # the 9.0 lives in the +Inf bucket
+
+    def test_quantiles_interpolate_within_buckets(self):
+        histogram = Histogram("h", buckets=(0.0, 10.0, 20.0))
+        for value in range(1, 21):  # uniform on (0, 20]
+            histogram.observe(float(value))
+        assert histogram.quantile(0.5) == pytest.approx(10.0, abs=1.0)
+        assert histogram.quantile(0.25) == pytest.approx(5.0, abs=1.0)
+        assert histogram.quantile(1.0) == 20.0
+        assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+
+    def test_quantile_clamps_to_observed_range(self):
+        histogram = Histogram("h", buckets=(100.0,))
+        histogram.observe(3.0)
+        histogram.observe(4.0)
+        # The bucket spans [0, 100] but nothing below 3 was observed.
+        assert 3.0 <= histogram.quantile(0.5) <= 4.0
+        assert histogram.quantile(0.99) <= 4.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == 50.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            quantile_from_snapshot(histogram.snapshot(), -0.1)
+
+    def test_quantile_from_snapshot_matches_live_instrument(self):
+        histogram = Histogram("h", buckets=DEFAULT_BUCKETS)
+        for value in (0.002, 0.004, 0.03, 0.07, 0.4):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert quantile_from_snapshot(snap, q) == histogram.quantile(q)
+
+    def test_registry_histogram_buckets_apply_on_first_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=(1.0, 2.0))
+        again = registry.histogram("h", buckets=(9.0,))
+        assert again is first
+        assert first.boundaries == (1.0, 2.0)
+
+    def test_format_includes_percentiles(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.4):
+            registry.histogram("h").observe(value)
+        text = registry.format()
+        assert "p50=" in text and "p99=" in text
+
+
+class TestRegistrySnapshotConsistency:
+    def test_snapshot_is_mutually_consistent_under_load(self):
+        """One registry-wide lock pass: a snapshot taken mid-storm must
+        show the paired counter and histogram at the *same* step."""
+        registry = MetricsRegistry()
+        counter = registry.counter("asks")
+        histogram = registry.histogram("ask_seconds")
+        stop = threading.Event()
+
+        def publish():
+            while not stop.is_set():
+                # Paired writes: the counter and histogram move together
+                # under the instruments' own locks...
+                counter.inc()
+                histogram.observe(0.001)
+
+        workers = [threading.Thread(target=publish) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        try:
+            drifts = []
+            for _ in range(50):
+                snap = registry.snapshot()
+                drifts.append(snap["asks"]["value"]
+                              - snap["ask_seconds"]["count"])
+            # ...so a consistent snapshot can drift by at most one
+            # in-between-the-two-writes step per publisher thread.
+            assert all(abs(drift) <= len(workers) for drift in drifts)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
 
 
 class TestSpanSerialization:
