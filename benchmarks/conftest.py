@@ -12,6 +12,7 @@ the default is the quick configuration.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -33,5 +34,19 @@ def record_table():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print()
         print(text)
+
+    return _record
+
+
+@pytest.fixture
+def record_json():
+    """Write machine-readable results to benchmarks/results/BENCH_<name>.json
+    (what CI smoke steps parse to enforce acceptance bars)."""
+
+    def _record(name: str, payload: dict) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
 
     return _record

@@ -42,8 +42,16 @@ _CONFIG = WorldConfig(n_attributes=8, n_rows=400 if QUICK else 2000,
 
 
 def _world(**mediator_kwargs):
-    """The synthetic world behind a serving-enabled mediator."""
+    """The synthetic world behind a serving-enabled mediator.
+
+    Capability compilation and plan templates are pinned *off*: X11
+    measures the exact-canonical-cache story (warm hit vs. full cold
+    planning run), and both features shrink or bypass the cold side of
+    that ratio.  X13 measures them.
+    """
     source = make_source(_CONFIG)
+    mediator_kwargs.setdefault("compile_capabilities", False)
+    mediator_kwargs.setdefault("plan_templates", False)
     mediator = Mediator(plan_cache_entries=256, result_cache_tuples=200_000,
                         **mediator_kwargs)
     mediator.add_source(source)

@@ -61,6 +61,8 @@ class Mediator:
         retry_policy: RetryPolicy | None = None,
         parallel_workers: int | None = None,
         plan_cache_entries: int | None = None,
+        plan_templates: bool = True,
+        compile_capabilities: bool = True,
         max_in_flight: int | None = None,
         admission_timeout: float = 1.0,
         latency_objective: float | None = None,
@@ -80,7 +82,19 @@ class Mediator:
         Serving knobs: ``plan_cache_entries`` enables the canonical
         :class:`~repro.serving.PlanCache` -- equivalent rewritings of a
         query share one planned entry, invalidated whenever the catalog
-        changes.  ``max_in_flight`` bounds concurrent :meth:`ask` calls
+        changes -- and (with ``plan_templates``, the default) the
+        :class:`~repro.serving.PlanTemplates` store behind it: an exact
+        miss first tries to *rebind* the plan of a previously planned
+        query with the same constant-stripped skeleton, so
+        constant-varying respellings of one query shape cost a
+        validated substitution instead of a planning run.
+        ``compile_capabilities`` (default on) compiles every registered
+        source's SSDL grammars into token-trie recognizers at
+        :meth:`add_source` time -- the offline knowledge-compilation
+        step that turns each planner ``Check`` into a token walk --
+        and recompiles them (lazily, exactly like plan-cache entries)
+        whenever the catalog version moves.  ``max_in_flight`` bounds
+        concurrent :meth:`ask` calls
         with an :class:`~repro.serving.AdmissionController` that sheds
         excess load via :class:`~repro.errors.OverloadError` after
         ``admission_timeout`` seconds of queueing (never deadlocks;
@@ -106,10 +120,18 @@ class Mediator:
         #: Bumped by every catalog mutation; versions plan-cache entries.
         self.catalog_version = 0
         self.plan_cache = None
+        self.plan_templates = None
         if plan_cache_entries is not None:
-            from repro.serving.plan_cache import PlanCache
+            from repro.serving.plan_cache import PlanCache, PlanTemplates
 
             self.plan_cache = PlanCache(plan_cache_entries)
+            if plan_templates:
+                self.plan_templates = PlanTemplates(plan_cache_entries)
+        self.compile_capabilities = compile_capabilities
+        #: Catalog version each source's compiled grammars are current
+        #: at; a version bump lazily triggers recompilation, exactly
+        #: like the plan cache's versioned entries.
+        self._compiled_versions: dict[str, int] = {}
         self.admission = None
         if max_in_flight is not None:
             from repro.serving.admission import AdmissionController
@@ -158,7 +180,10 @@ class Mediator:
 
         Bumps the catalog version: plans were generated against the old
         catalog's statistics and capabilities, so every cached plan is
-        (lazily) invalidated."""
+        (lazily) invalidated.  With ``compile_capabilities`` the
+        source's grammars are compiled here, at registration time --
+        the paper's build-the-parser-at-integration-time step taken to
+        its knowledge-compilation conclusion."""
         with self._catalog_lock:
             if source.name in self.catalog:
                 raise PlanExecutionError(
@@ -166,6 +191,21 @@ class Mediator:
                 )
             self.catalog[source.name] = source
         self.bump_catalog()
+        if self.compile_capabilities:
+            self._ensure_compiled(source)
+
+    def _ensure_compiled(self, source: CapabilitySource) -> None:
+        """(Re)compile a source's grammars if the catalog moved since
+        they were last compiled -- the compiled-form analogue of the
+        plan cache's versioned invalidation."""
+        version = self.catalog_version
+        if self._compiled_versions.get(source.name) == version:
+            return
+        with self._catalog_lock:
+            if self._compiled_versions.get(source.name) == version:
+                return
+            source.compile_capabilities()
+            self._compiled_versions[source.name] = version
 
     def bump_catalog(self) -> int:
         """Record a catalog mutation (source added / replaced / data
@@ -209,7 +249,10 @@ class Mediator:
             source.schema.validate_attributes(query.attributes)
             source.schema.validate_attributes(query.condition.attributes())
             scheme = planner if planner is not None else self.planner
+            if self.compile_capabilities:
+                self._ensure_compiled(source)
             cache_key = None
+            template_key = None
             if self.plan_cache is not None:
                 from repro.serving.plan_cache import plan_cache_key
 
@@ -227,12 +270,36 @@ class Mediator:
                     )
                     return cached
                 span.add_event("plan.cache_miss", catalog_version=version)
+                if self.plan_templates is not None:
+                    template_key = self.plan_templates.key(query, scheme.name)
+                    rebound = self.plan_templates.instantiate(
+                        template_key, query, source, self.cost_model(),
+                        version,
+                    )
+                    if rebound is not None:
+                        # A validated constant rebinding of an earlier
+                        # plan: promote it to an exact entry so repeats
+                        # of *these* constants hit the canonical cache.
+                        self.plan_cache.put(cache_key, rebound, version)
+                        span.add_event(
+                            "plan.template_hit", planner=rebound.planner,
+                            catalog_version=version,
+                        )
+                        span.set_attributes(
+                            planner=rebound.planner, feasible=rebound.feasible,
+                            cost=rebound.cost, plan_cache="template_hit",
+                        )
+                        return rebound
             result = scheme.plan(query, source, self.cost_model())
             if cache_key is not None:
                 # Store under the version read *before* planning: a
                 # concurrent catalog change mid-plan leaves a stale
                 # entry that the versioned get() will refuse to serve.
                 self.plan_cache.put(cache_key, result, version)
+                if template_key is not None:
+                    self.plan_templates.store(
+                        template_key, query.condition, result, version
+                    )
                 span.set_attribute("plan_cache", "miss")
             span.set_attributes(
                 planner=result.planner, feasible=result.feasible,

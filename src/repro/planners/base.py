@@ -39,6 +39,11 @@ class PlannerStats:
     plans_considered: int = 0
     subplans_considered: int = 0
     check_calls: int = 0
+    #: Cache-missing Checks this run answered with the compiled
+    #: (token-trie) recognizer vs. ones that fell back to Earley
+    #: although a compiled form exists (condition beyond the horizon).
+    check_compiled: int = 0
+    check_fallbacks: int = 0
     recursive_calls: int = 0
     mcsc_sets: int = 0
     mcsc_problems: int = 0
@@ -53,6 +58,8 @@ class PlannerStats:
         self.plans_considered += other.plans_considered
         self.subplans_considered += other.subplans_considered
         self.check_calls += other.check_calls
+        self.check_compiled += other.check_compiled
+        self.check_fallbacks += other.check_fallbacks
         self.recursive_calls += other.recursive_calls
         self.mcsc_sets += other.mcsc_sets
         self.mcsc_problems += other.mcsc_problems
@@ -95,6 +102,8 @@ class CheckCounter:
     def __init__(self, description: SourceDescription):
         self.description = description
         self.calls = 0
+        self._compiled_before = description.check_compiled
+        self._fallbacks_before = description.check_fallbacks
 
     def check(self, condition: Condition) -> CheckResult:
         self.calls += 1
@@ -102,6 +111,18 @@ class CheckCounter:
 
     def supports(self, condition: Condition, attributes) -> bool:
         return self.check(condition).supports(attributes)
+
+    @property
+    def compiled_answers(self) -> int:
+        """Description-side compiled-recognizer answers since this
+        counter was created (approximate under concurrent planners)."""
+        return self.description.check_compiled - self._compiled_before
+
+    @property
+    def fallbacks(self) -> int:
+        """Description-side Earley fallbacks since this counter was
+        created (approximate under concurrent planners)."""
+        return self.description.check_fallbacks - self._fallbacks_before
 
 
 class Planner(ABC):

@@ -126,6 +126,8 @@ class GenCompact(Planner):
                         pr3_fires=stats.pr3_fires,
                     )
                 stats.check_calls = checker.calls
+                stats.check_compiled = checker.compiled_answers
+                stats.check_fallbacks = checker.fallbacks
                 plan_span.set_attributes(
                     feasible=best_plan is not None,
                     Q=stats.subplans_considered,

@@ -112,6 +112,8 @@ class GenModular(Planner):
                         best_plan = candidate
                         best_cost = candidate_cost
                 stats.check_calls = checker.calls
+                stats.check_compiled = checker.compiled_answers
+                stats.check_fallbacks = checker.fallbacks
                 plan_span.set_attributes(
                     feasible=best_plan is not None,
                     Q=stats.subplans_considered,

@@ -4,7 +4,10 @@ Everything a mediator needs to stand in front of repeated traffic:
 
 * :mod:`repro.serving.plan_cache` -- the canonical, versioned,
   thread-safe LRU :class:`PlanCache` that amortizes plan generation
-  across equivalent queries;
+  across equivalent queries, and the skeleton-keyed
+  :class:`PlanTemplates` store behind it that rebinds a planned
+  query's constants (validated substitution) so constant-varying
+  respellings of one query shape skip planning too;
 * :mod:`repro.serving.admission` -- the bounded
   :class:`AdmissionController` gate that sheds overload with a typed
   :class:`~repro.errors.OverloadError` instead of queueing without
@@ -23,8 +26,10 @@ from repro.serving.loadgen import LoadHarness, LoadReport, percentile
 from repro.serving.plan_cache import (
     PlanCache,
     PlanCacheStats,
+    PlanTemplates,
     canonical_key,
     plan_cache_key,
+    template_cache_key,
 )
 
 __all__ = [
@@ -33,7 +38,9 @@ __all__ = [
     "LoadReport",
     "PlanCache",
     "PlanCacheStats",
+    "PlanTemplates",
     "canonical_key",
     "percentile",
     "plan_cache_key",
+    "template_cache_key",
 ]

@@ -41,12 +41,22 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import TYPE_CHECKING, Any, Hashable
 
 from repro.conditions.canonical import canonicalize
+from repro.conditions.skeleton import (
+    Skeleton,
+    atom_substitution,
+    substitute_plan,
+)
 from repro.conditions.tree import Condition
 from repro.observability.metrics import get_metrics
 from repro.query import TargetQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.planners.base import PlanningResult
+    from repro.plans.cost import CostModel
+    from repro.source.source import CapabilitySource
 
 
 def canonical_key(condition: Condition) -> Hashable:
@@ -185,3 +195,127 @@ class PlanCache:
         for _ in range(dropped):
             self._count("invalidations")
         return dropped
+
+
+# ----------------------------------------------------------------------
+# Parameterized plan templates: constant-stripped skeleton keys
+# ----------------------------------------------------------------------
+
+def template_cache_key(
+    condition: Condition,
+    attributes: frozenset[str],
+    source: str,
+    scheme: str = "",
+) -> Hashable:
+    """The template key: the *constant-stripped* skeleton of a query.
+
+    Exact canonical keys collide only when conditions are structurally
+    equivalent, constants included; real traffic respells one query
+    shape with thousands of different constants (``make = 'BMW'`` now,
+    ``make = 'Audi'`` next).  SSDL templates usually admit constant
+    *classes*, so all those instances share one feasible plan shape --
+    the view-template idea.  Keying on
+    :class:`~repro.conditions.skeleton.Skeleton` (values replaced by
+    class markers) lets every constant-varying respelling of a planned
+    query hit the same template entry.
+    """
+    return (source, Skeleton.of(condition).template, attributes, scheme)
+
+
+class PlanTemplates:
+    """Plans with constant slots: rebind constants on every hit.
+
+    A thin layer over :class:`PlanCache` (same LRU, versioning, metrics
+    and thread-safety) storing ``(condition, PlanningResult)`` pairs
+    keyed by :func:`template_cache_key`.  :meth:`instantiate` rebinds a
+    stored plan to a new constant vector and **re-validates every source
+    query** against the source description before serving it -- literal
+    templates (``style = 'sedan'``) make support value-dependent, so an
+    unvalidated substitution could hand the source a query it rejects.
+    With compiled capabilities the validation is a token walk, which is
+    what makes a template hit land near an exact canonical hit.
+
+    ``hits`` counts served instantiations, ``rejected`` counts lookups
+    whose substitution failed validation (the caller replans); both are
+    mirrored to ``<prefix>.template_hits`` / ``.template_rejected``.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 metrics_prefix: str = "serving.template_cache"):
+        self._cache = PlanCache(max_entries, metrics_prefix=metrics_prefix)
+        self.metrics_prefix = metrics_prefix
+        self._lock = threading.Lock()
+        #: Plans served by rebinding a template's constants.
+        self.hits = 0
+        #: Template entries found but unusable for the new constants.
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        """The underlying LRU's hit/miss/invalidation/eviction view."""
+        return self._cache.stats
+
+    def key(self, query: TargetQuery, scheme: str = "") -> Hashable:
+        return template_cache_key(
+            query.condition, query.attributes, query.source, scheme
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, key: Hashable, condition: Condition,
+              result: "PlanningResult", version: int = 0) -> None:
+        """Remember a freshly planned result as the template for its
+        skeleton (first feasible plan wins; later instances rebind it)."""
+        if result.plan is None:
+            return
+        if self._cache.get(key, version) is None:
+            self._cache.put(key, (condition, result), version)
+
+    def instantiate(
+        self,
+        key: Hashable,
+        query: TargetQuery,
+        source: "CapabilitySource",
+        cost_model: "CostModel",
+        version: int = 0,
+    ) -> "PlanningResult | None":
+        """A plan for ``query`` rebound from a same-skeleton template.
+
+        Returns None (after counting the miss or rejection) when no
+        usable template exists -- the caller runs the planner.
+        """
+        entry = self._cache.get(key, version)
+        if entry is None:
+            return None
+        old_condition, old_result = entry
+        mapping = atom_substitution(old_condition, query.condition)
+        if mapping is None or old_result.plan is None:
+            self._reject()
+            return None
+        candidate = substitute_plan(old_result.plan, mapping)
+        # Re-validate: literal templates make support value-dependent.
+        for source_query in candidate.source_queries():
+            if not source.supports(source_query.condition, source_query.attrs):
+                self._reject()
+                return None
+        from repro.planners.base import PlanningResult
+
+        with self._lock:
+            self.hits += 1
+        get_metrics().counter(f"{self.metrics_prefix}.template_hits").inc()
+        return PlanningResult(
+            planner=f"{old_result.planner}+template",
+            query=query,
+            plan=candidate,
+            cost=cost_model.cost(candidate),
+        )
+
+    def _reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+        get_metrics().counter(f"{self.metrics_prefix}.template_rejected").inc()
+
+    def invalidate(self) -> int:
+        return self._cache.invalidate()

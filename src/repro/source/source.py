@@ -128,6 +128,50 @@ class CapabilitySource:
         return self.closed_description if self.order_insensitive else self.description
 
     # ------------------------------------------------------------------
+    def compile_capabilities(
+        self,
+        max_tokens: int | None = None,
+        max_sequences: int | None = None,
+    ) -> dict[str, "CompilationReport"]:
+        """Compile this source's grammars into token-trie recognizers.
+
+        The registration-time step of the capability-compilation story:
+        both the planning (commutation-closed) description and the
+        native (enforcing) description are compiled, so planner Checks
+        *and* execution-time enforcement become token walks.  Grammars
+        exceeding the budget keep their Earley recognizer (the reports
+        say which).  Idempotent and cheap to repeat; call again after
+        mutating a description.
+        """
+        from repro.ssdl.compiled import (
+            DEFAULT_MAX_SEQUENCES,
+            DEFAULT_MAX_TOKENS,
+        )
+
+        kwargs = {
+            "max_tokens": DEFAULT_MAX_TOKENS if max_tokens is None else max_tokens,
+            "max_sequences": (
+                DEFAULT_MAX_SEQUENCES if max_sequences is None else max_sequences
+            ),
+        }
+        reports = {"native": self.description.compile(**kwargs)}
+        closed = self.closed_description
+        if closed is not self.description:
+            reports["closed"] = closed.compile(**kwargs)
+        return reports
+
+    def invalidate_compiled(self) -> None:
+        """Drop compiled capability forms (capability drift): Checks
+        fall back to Earley until :meth:`compile_capabilities` reruns."""
+        self.description.invalidate_compiled()
+        if self._closed is not None:
+            self._closed.invalidate_compiled()
+
+    @property
+    def compiled(self) -> bool:
+        """Is the planning description's compiled recognizer active?"""
+        return self.closed_description.compiled
+
     def check(self, condition: Condition) -> CheckResult:
         """``Check(C, R)`` against the planning (closed) description."""
         return self.closed_description.check(condition)

@@ -22,6 +22,11 @@ from repro.ssdl.capabilities import (
     with_download,
 )
 from repro.ssdl.commute import commutation_closure, fix_condition
+from repro.ssdl.compiled import (
+    CompilationReport,
+    CompiledChecker,
+    compile_productions,
+)
 from repro.ssdl.description import EMPTY_CHECK, CheckResult, SourceDescription
 from repro.ssdl.discovery import DiscoveryReport, discover_description
 from repro.ssdl.earley import EarleyRecognizer
@@ -68,6 +73,9 @@ __all__ = [
     "with_download",
     "commutation_closure",
     "fix_condition",
+    "CompilationReport",
+    "CompiledChecker",
+    "compile_productions",
     "EarleyRecognizer",
     "discover_description",
     "DiscoveryReport",

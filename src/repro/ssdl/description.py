@@ -18,13 +18,23 @@ matching nonterminal this is exactly the paper's definition.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.conditions.tree import TRUE, Condition
 from repro.errors import GrammarError
+from repro.observability.metrics import get_metrics
+from repro.ssdl.compiled import (
+    DEFAULT_MAX_SEQUENCES,
+    DEFAULT_MAX_TOKENS,
+    CompilationReport,
+    CompiledChecker,
+    compile_productions,
+)
 from repro.ssdl.earley import EarleyRecognizer
-from repro.ssdl.symbols import Symbol, Template, tokenize_condition
+from repro.ssdl.symbols import Keyword, Symbol, Template, tokenize_condition
 
 
 @dataclass(frozen=True)
@@ -94,9 +104,14 @@ class SourceDescription:
         attributes: Mapping[str, Iterable[str]],
         name: str = "",
         cache_checks: bool = True,
+        check_cache_entries: int = 8192,
     ):
         """``cache_checks=False`` reparses on every Check call -- only
-        useful for the cache-ablation benchmark."""
+        useful for the cache-ablation benchmark.  ``check_cache_entries``
+        bounds the Check cache (LRU): a description fielding an unbounded
+        stream of distinct conditions holds a bounded number of results."""
+        if check_cache_entries <= 0:
+            raise GrammarError("check_cache_entries must be positive")
         self.name = name
         self.condition_nonterminals = tuple(condition_nonterminals)
         self.productions: dict[str, tuple[tuple[Symbol, ...], ...]] = {
@@ -109,11 +124,27 @@ class SourceDescription:
         self._validate()
         self._recognizer = EarleyRecognizer(self.productions)
         self.cache_checks = cache_checks
-        self._cache: dict[Condition, CheckResult] = {}
+        self.check_cache_entries = check_cache_entries
+        self._cache: OrderedDict[Condition, CheckResult] = OrderedDict()
+        #: Guards the cache and the counters: Check is called from the
+        #: parallel executor's worker threads and the serving layer at
+        #: once, and an unguarded dict store / ``+= 1`` under free
+        #: threading would lose updates (or corrupt the LRU order).
+        self._cache_lock = threading.Lock()
+        #: The compiled token-trie checker (None until :meth:`compile`,
+        #: or when compilation exceeded its budget).
+        self._compiled: CompiledChecker | None = None
+        #: The report of the last :meth:`compile` attempt.
+        self.compilation: CompilationReport | None = None
         #: Number of Check invocations that missed the cache (stats hook).
         self.check_calls = 0
         #: Number of Check invocations answered from the cache.
         self.check_cache_hits = 0
+        #: Cache-missing Checks answered by the compiled recognizer.
+        self.check_compiled = 0
+        #: Cache-missing Checks that fell back to Earley although a
+        #: compiled form exists (condition longer than the horizon).
+        self.check_fallbacks = 0
 
     def _validate(self) -> None:
         if not self.condition_nonterminals:
@@ -134,30 +165,118 @@ class SourceDescription:
                 )
 
     # ------------------------------------------------------------------
+    def compile(
+        self,
+        max_tokens: int = DEFAULT_MAX_TOKENS,
+        max_sequences: int = DEFAULT_MAX_SEQUENCES,
+    ) -> CompilationReport:
+        """Compile the grammar into a token-trie recognizer (offline).
+
+        The registration-time analogue of the paper's build-the-parser
+        step, pushed further per the knowledge-compilation tradeoff:
+        after a successful compile, :meth:`check` walks the token
+        stream instead of running an Earley parse.  Grammars exceeding
+        the budget (and conditions longer than the horizon) keep using
+        the Earley recognizer; the report says which happened.
+        """
+        checker, report = compile_productions(
+            self.productions,
+            self.condition_nonterminals,
+            max_tokens=max_tokens,
+            max_sequences=max_sequences,
+        )
+        if not report.compiled:
+            get_metrics().counter("ssdl.compile.budget_exceeded").inc()
+        self._compiled = checker
+        self.compilation = report
+        return report
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled form (capabilities changed): Check falls
+        back to the Earley recognizer until :meth:`compile` runs again."""
+        self._compiled = None
+        self.compilation = None
+
+    @property
+    def compiled(self) -> bool:
+        """Is a compiled recognizer active?"""
+        return self._compiled is not None
+
     def check(self, condition: Condition) -> CheckResult:
         """The paper's ``Check(C, R)``: exportable attributes for ``C``.
 
-        Results are cached per condition tree; the recognizer itself was
-        built when the description was constructed (the paper's
-        build-parser-at-integration-time story).
+        Results are cached (bounded LRU) per condition tree; the
+        recognizer itself was built when the description was
+        constructed (the paper's build-parser-at-integration-time
+        story), and :meth:`compile` upgrades it to a token-trie walk.
         """
-        cached = self._cache.get(condition) if self.cache_checks else None
-        if cached is not None:
-            self.check_cache_hits += 1
-            return cached
-        self.check_calls += 1
+        if self.cache_checks:
+            with self._cache_lock:
+                cached = self._cache.get(condition)
+                if cached is not None:
+                    self._cache.move_to_end(condition)
+                    self.check_cache_hits += 1
+                    return cached
         tokens = tokenize_condition(condition)
         # Outer parentheses are semantically transparent: a grammar rule
         # written as a parenthesized group (e.g. ``( size_list )``, usable
         # inside conjunctions) must also accept the same expression when
         # it *is* the whole condition, where the serializer emits no
         # surrounding parens.  So connector conditions are matched both
-        # bare and wrapped.
+        # bare and wrapped -- on the compiled path and the Earley path
+        # alike (nested connectors are always parenthesized by the
+        # serializer, so only the outermost node needs the dual form).
         wrapped: tuple | None = None
         if condition.is_and or condition.is_or:
-            from repro.ssdl.symbols import Keyword
-
             wrapped = (Keyword.LPAREN,) + tokens + (Keyword.RPAREN,)
+        result = None
+        compiled = self._compiled
+        if compiled is not None:
+            result = self._check_compiled(compiled, tokens, wrapped)
+        if result is None:
+            if compiled is not None:
+                # A compiled form exists but could not answer (condition
+                # longer than the horizon): observable fallback.
+                get_metrics().counter("ssdl.check.fallback").inc()
+                with self._cache_lock:
+                    self.check_fallbacks += 1
+            result = self._check_earley(tokens, wrapped)
+        with self._cache_lock:
+            self.check_calls += 1
+            if self.cache_checks:
+                self._cache[condition] = result
+                self._cache.move_to_end(condition)
+                while len(self._cache) > self.check_cache_entries:
+                    self._cache.popitem(last=False)
+        return result
+
+    def _check_compiled(
+        self,
+        compiled: CompiledChecker,
+        tokens: tuple,
+        wrapped: tuple | None,
+    ) -> CheckResult | None:
+        """Answer a Check with the compiled recognizer (None = too long)."""
+        accepted = compiled.match(tokens)
+        if accepted is None:
+            return None
+        if wrapped is not None:
+            wrapped_accepted = compiled.match(wrapped)
+            if wrapped_accepted is None:
+                return None
+            accepted |= wrapped_accepted
+        with self._cache_lock:
+            self.check_compiled += 1
+        if not accepted:
+            return EMPTY_CHECK
+        matched = tuple(
+            nt for nt in self.condition_nonterminals if nt in accepted
+        )
+        sets = frozenset(self.attributes[nt] for nt in matched)
+        return CheckResult(sets, matched)
+
+    def _check_earley(self, tokens: tuple, wrapped: tuple | None) -> CheckResult:
+        """Answer a Check with the Earley recognizer (always possible)."""
         matched: list[str] = []
         sets: set[frozenset[str]] = set()
         for nt in self.condition_nonterminals:
@@ -166,9 +285,7 @@ class SourceDescription:
             ):
                 matched.append(nt)
                 sets.add(self.attributes[nt])
-        result = CheckResult(frozenset(sets), tuple(matched)) if matched else EMPTY_CHECK
-        self._cache[condition] = result
-        return result
+        return CheckResult(frozenset(sets), tuple(matched)) if matched else EMPTY_CHECK
 
     def supports(self, condition: Condition, attributes: Iterable[str]) -> bool:
         """Is the source query ``SP(condition, attributes, R)`` supported?"""
@@ -177,6 +294,12 @@ class SourceDescription:
     def downloadable(self) -> CheckResult:
         """``Check(true, R)``: what a full download could export (if allowed)."""
         return self.check(TRUE)
+
+    def check_cache_size(self) -> int:
+        """How many Check results are currently cached (0 when caching
+        is off -- the ablation path must hold memory flat)."""
+        with self._cache_lock:
+            return len(self._cache)
 
     # ------------------------------------------------------------------
     def all_attributes(self) -> frozenset[str]:

@@ -20,11 +20,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.conditions.parser import parse_condition
-from repro.conditions.skeleton import (
-    Skeleton,
-    atom_substitution,
-    substitute_plan,
-)
 from repro.conditions.tree import Condition
 from repro.data.relation import Relation
 from repro.errors import InfeasiblePlanError
@@ -34,7 +29,7 @@ from repro.plans.cost import CostModel
 from repro.plans.execute import Executor
 from repro.plans.retry import RetryPolicy
 from repro.query import TargetQuery
-from repro.serving.plan_cache import PlanCache, canonical_key
+from repro.serving.plan_cache import PlanCache, PlanTemplates, canonical_key
 from repro.source.source import CapabilitySource
 
 
@@ -87,12 +82,17 @@ class Wrapper:
         reuse_templates: bool = True,
         retry_policy: RetryPolicy | None = None,
         plan_cache_entries: int = 256,
+        compile_capabilities: bool = True,
     ):
         """``plan_cache_entries`` bounds the wrapper's plan cache (and
         its template store): both are LRU :class:`PlanCache` instances,
         so a wrapper serving an unbounded stream of distinct query
         instances holds a bounded number of plans -- the serving
-        layer's one eviction policy, not a private unbounded dict."""
+        layer's one eviction policy, not a private unbounded dict.
+        ``compile_capabilities`` (default on) compiles the source's
+        grammars into token-trie recognizers when the wrapper is built
+        -- wrapper construction *is* integration time -- so both
+        planning Checks and template re-validation are token walks."""
         self.source = source
         self.planner = planner if planner is not None else GenCompact()
         self.reuse_templates = reuse_templates
@@ -100,17 +100,17 @@ class Wrapper:
         self._executor = Executor(
             {source.name: source}, retry_policy=retry_policy
         )
+        if compile_capabilities:
+            source.compile_capabilities()
         # Canonically keyed: commuted/reassociated variants of a planned
         # condition hit the same entry (the plan answers them all).
         self._plan_cache = PlanCache(
             plan_cache_entries, metrics_prefix="wrapper.plan_cache"
         )
-        # skeleton-template -> a previously planned (condition, result).
-        self._templates = PlanCache(
+        # constant-stripped skeleton -> a rebindable (condition, result).
+        self._templates = PlanTemplates(
             plan_cache_entries, metrics_prefix="wrapper.template_cache"
         )
-        #: How many plans were produced by template instantiation.
-        self.template_hits = 0
 
     # ------------------------------------------------------------------
     def plan(self, condition: Condition | str, attributes: Iterable[str]
@@ -124,46 +124,23 @@ class Wrapper:
         cached = self._plan_cache.get(key)
         if cached is not None:
             return cached
+        query = TargetQuery(condition, attrs, self.source.name)
         result = None
-        template_key = (Skeleton.of(condition).template, attrs)
+        template_key = self._templates.key(query, self.planner.name)
         if self.reuse_templates:
-            result = self._instantiate_template(template_key, condition, attrs)
+            result = self._templates.instantiate(
+                template_key, query, self.source, self._cost_model
+            )
         if result is None:
-            query = TargetQuery(condition, attrs, self.source.name)
             result = self.planner.plan(query, self.source, self._cost_model)
-            if result.feasible and self._templates.get(template_key) is None:
-                self._templates.put(template_key, (condition, result))
+            self._templates.store(template_key, condition, result)
         self._plan_cache.put(key, result)
         return result
 
-    def _instantiate_template(
-        self,
-        template_key: tuple[Condition, frozenset[str]],
-        condition: Condition,
-        attrs: frozenset[str],
-    ) -> PlanningResult | None:
-        """Try to rebind a same-skeleton plan to the new constants."""
-        entry: tuple[Condition, PlanningResult] | None = \
-            self._templates.get(template_key)
-        if entry is None:
-            return None
-        old_condition, old_result = entry
-        mapping = atom_substitution(old_condition, condition)
-        if mapping is None or old_result.plan is None:
-            return None
-        candidate = substitute_plan(old_result.plan, mapping)
-        # Re-validate: literal templates make support value-dependent.
-        for source_query in candidate.source_queries():
-            if not self.source.supports(source_query.condition, source_query.attrs):
-                return None
-        self.template_hits += 1
-        query = TargetQuery(condition, attrs, self.source.name)
-        return PlanningResult(
-            planner=f"{old_result.planner}+template",
-            query=query,
-            plan=candidate,
-            cost=self._cost_model.cost(candidate),
-        )
+    @property
+    def template_hits(self) -> int:
+        """How many plans were produced by template instantiation."""
+        return self._templates.hits
 
     def supports(self, condition: Condition | str, attributes: Iterable[str]
                  ) -> bool:

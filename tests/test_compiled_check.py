@@ -1,0 +1,352 @@
+"""The compiled Check path: token-trie recognizer vs. the Earley parse.
+
+Covers the offline compiler (:mod:`repro.ssdl.compiled`), the
+description-level integration (compile / fallback / invalidation), the
+Check-cache fixes (``cache_checks=False`` must not store; the cache and
+its counters must reconcile under threads; the LRU bound must hold), and
+compiled-vs-Earley parity over the golden grammar corpus -- including
+the parenthesized-connector spellings that historically needed a
+workaround.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.observability.metrics import get_metrics
+from repro.planners.gencompact import GenCompact
+from repro.plans.cost import CostModel
+from repro.query import TargetQuery
+from repro.source.library import standard_catalog
+from repro.ssdl.description import SourceDescription
+from repro.ssdl.text import parse_ssdl
+from repro.workloads.synthetic import WorldConfig, make_source, random_condition
+
+from tests.conftest import EXAMPLE_41_SSDL
+
+
+def earley_twin(description: SourceDescription) -> SourceDescription:
+    """A fresh, never-compiled copy of a description (the reference)."""
+    return SourceDescription(
+        description.condition_nonterminals,
+        description.productions,
+        description.attributes,
+        name=f"{description.name}-earley",
+    )
+
+
+@pytest.fixture
+def example41_description() -> SourceDescription:
+    return parse_ssdl(EXAMPLE_41_SSDL, name="example41")
+
+
+# ----------------------------------------------------------------------
+# The compiler itself
+# ----------------------------------------------------------------------
+
+class TestCompilation:
+    def test_compiles_example41(self, example41_description):
+        report = example41_description.compile()
+        assert report.compiled
+        assert example41_description.compiled
+        assert report.sequences > 0
+        assert report.states > 0
+        assert report.horizon > 0
+        assert "compiled" in str(report)
+
+    def test_budget_exceeded_stays_earley(self, example41_description):
+        before = get_metrics().counter("ssdl.compile.budget_exceeded").value
+        report = example41_description.compile(max_sequences=1)
+        assert not report.compiled
+        assert "1" in report.reason
+        assert not example41_description.compiled
+        after = get_metrics().counter("ssdl.compile.budget_exceeded").value
+        assert after == before + 1
+        # Check still works (Earley), and reports no fallback: there is
+        # no compiled form to fall back *from*.
+        result = example41_description.check(
+            parse_condition("make = 'BMW' and price < 20000")
+        )
+        assert result.matched == ("s1",)
+        assert example41_description.check_fallbacks == 0
+        assert str(report).startswith("not compiled")
+
+    def test_invalidate_compiled_drops_the_form(self, example41_description):
+        example41_description.compile()
+        assert example41_description.compiled
+        example41_description.invalidate_compiled()
+        assert not example41_description.compiled
+        assert example41_description.compilation is None
+        result = example41_description.check(
+            parse_condition("make = 'BMW' and color = 'red'")
+        )
+        assert result.matched == ("s2",)
+
+    def test_every_library_grammar_compiles_within_budget(self):
+        for source in standard_catalog(seed=7).values():
+            for description in (source.description, source.closed_description):
+                report = earley_twin(description).compile()
+                assert report.compiled, (
+                    f"{description.name} blew the default budget: "
+                    f"{report.reason}"
+                )
+
+    def test_compiled_answers_are_counted(self, example41_description):
+        example41_description.compile()
+        example41_description.check(parse_condition("make = 'BMW' and price < 1"))
+        assert example41_description.check_compiled == 1
+        assert example41_description.check_fallbacks == 0
+
+
+# ----------------------------------------------------------------------
+# Fallback: conditions beyond the horizon
+# ----------------------------------------------------------------------
+
+class TestFallback:
+    def test_long_condition_falls_back_to_earley(self, example41_description):
+        # A horizon of 3 tokens cannot hold "make = $m and price < $p"
+        # (5 tokens), so every conjunctive Check must fall back.
+        report = example41_description.compile(max_tokens=3)
+        assert report.compiled  # compiled, just with a tiny horizon
+        before = get_metrics().counter("ssdl.check.fallback").value
+        result = example41_description.check(
+            parse_condition("make = 'BMW' and price < 20000")
+        )
+        assert result.matched == ("s1",)
+        assert example41_description.check_fallbacks == 1
+        assert get_metrics().counter("ssdl.check.fallback").value == before + 1
+
+    def test_fallback_result_equals_reference(self, example41_description):
+        example41_description.compile(max_tokens=3)
+        twin = earley_twin(example41_description)
+        for text in (
+            "make = 'BMW' and price < 20000",
+            "make = 'BMW' and color = 'red'",
+            "price < 20000",
+        ):
+            condition = parse_condition(text)
+            assert example41_description.check(condition) == twin.check(condition)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: cache_checks=False must not populate the cache
+# ----------------------------------------------------------------------
+
+class TestCacheDisabled:
+    def test_no_store_when_caching_off(self, example41_description):
+        off = SourceDescription(
+            example41_description.condition_nonterminals,
+            example41_description.productions,
+            example41_description.attributes,
+            cache_checks=False,
+        )
+        conditions = [
+            parse_condition(f"make = 'M{i}' and price < {1000 + i}")
+            for i in range(50)
+        ]
+        for condition in conditions:
+            off.check(condition)
+            off.check(condition)  # the repeat must also miss
+        assert off.check_cache_size() == 0  # memory stays flat
+        assert off.check_calls == 100
+        assert off.check_cache_hits == 0
+
+    def test_lru_bound_holds(self, example41_description):
+        bounded = SourceDescription(
+            example41_description.condition_nonterminals,
+            example41_description.productions,
+            example41_description.attributes,
+            check_cache_entries=4,
+        )
+        for i in range(40):
+            bounded.check(parse_condition(f"make = 'M{i}' and price < 10"))
+        assert bounded.check_cache_size() == 4
+        # The most recent condition is retained, the oldest evicted.
+        bounded.check(parse_condition("make = 'M39' and price < 10"))
+        assert bounded.check_cache_hits == 1
+        bounded.check(parse_condition("make = 'M0' and price < 10"))
+        assert bounded.check_cache_hits == 1
+
+    def test_rejects_nonpositive_cache_bound(self, example41_description):
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError):
+            SourceDescription(
+                example41_description.condition_nonterminals,
+                example41_description.productions,
+                example41_description.attributes,
+                check_cache_entries=0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: counters and cache reconcile under threads
+# ----------------------------------------------------------------------
+
+class TestThreadedCheck:
+    @pytest.mark.parametrize("compile_first", [False, True])
+    def test_sixteen_threads_reconcile(self, example41_description,
+                                       compile_first):
+        if compile_first:
+            assert example41_description.compile().compiled
+        conditions = [
+            parse_condition(f"make = 'M{i % 7}' and price < {100 + i % 5}")
+            for i in range(35)
+        ]
+        per_thread = 200
+        n_threads = 16
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                barrier.wait()
+                for _ in range(per_thread):
+                    condition = rng.choice(conditions)
+                    result = example41_description.check(condition)
+                    assert result.matched == ("s1",)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        invocations = n_threads * per_thread
+        # The leak-free invariant: every invocation is either a parse or
+        # a cache hit -- lost updates under contention would break this.
+        assert (example41_description.check_calls
+                + example41_description.check_cache_hits) == invocations
+        assert example41_description.check_cache_size() <= len(conditions)
+        if compile_first:
+            assert (example41_description.check_compiled
+                    == example41_description.check_calls)
+
+
+# ----------------------------------------------------------------------
+# Satellite 3 + parity: compiled == Earley over the golden corpus
+# ----------------------------------------------------------------------
+
+#: Condition spellings exercising every grammar quirk: bare and nested
+#: connectors, parenthesized-group rules, reversed slot orders.
+PARITY_CORPUS = {
+    "bookstore": [
+        "author = 'Carl Jung'",
+        "author = 'Carl Jung' and title contains 'memory'",
+        "(author = 'Sigmund Freud' or author = 'Anna Freud') "
+        "and title contains 'childhood'",
+        "subject = 'philosophy' and title contains 'will'",
+        "author = 'Carl Jung' or author = 'Anna Freud'",
+    ],
+    "car_guide": [
+        "make = 'BMW'",
+        "price <= 12000 and make = 'Ford'",
+        "style = 'wagon' and (size = 'compact' or size = 'fullsize')",
+        "(make = 'Honda' and price <= 16000) or "
+        "(make = 'Toyota' and price <= 14000)",
+        # The parenthesized-group rule "( size_list )" as the *whole*
+        # condition (serialized bare) and nested (serialized wrapped).
+        "size = 'compact' or size = 'fullsize'",
+        "size = 'compact' or size = 'midsize' or size = 'fullsize'",
+        "make = 'BMW' and (size = 'compact' or size = 'fullsize')",
+        "id = 17",
+        "true",
+    ],
+    "bank": [
+        "branch = 'airport' and type = 'savings'",
+        "account_no = 12345",
+        "owner = 'somebody'",
+    ],
+    "flights": [
+        "origin = 'SEA' and destination = 'MIA' and price <= 700",
+        "origin = 'SEA' and destination = 'MIA'",
+    ],
+    "classifieds": [
+        "make = 'Toyota'",
+        "price <= 15000 and color = 'red'",
+        "true",
+    ],
+}
+
+
+@pytest.mark.parametrize("source_name", sorted(PARITY_CORPUS))
+def test_compiled_matches_earley_on_golden_corpus(source_name):
+    source = standard_catalog(seed=1999)[source_name]
+    for description in (source.description, source.closed_description):
+        compiled = earley_twin(description)
+        assert compiled.compile().compiled
+        reference = earley_twin(description)
+        for text in PARITY_CORPUS[source_name]:
+            condition = parse_condition(text)
+            got = compiled.check(condition)
+            want = reference.check(condition)
+            assert got == want, (
+                f"{description.name}: compiled and Earley disagree on "
+                f"{text!r}: {got} vs {want}"
+            )
+        # Everything short was answered by the trie, not by fallback.
+        assert compiled.check_compiled > 0
+
+
+def test_compiled_matches_earley_on_random_worlds():
+    config = WorldConfig(n_attributes=6, n_rows=50, richness=0.8,
+                         download_prob=0.5, seed=131)
+    source = make_source(config)
+    for description in (source.description, source.closed_description):
+        compiled = earley_twin(description)
+        assert compiled.compile().compiled
+        reference = earley_twin(description)
+        rng = random.Random(313)
+        for _ in range(120):
+            condition = random_condition(config, rng.randint(1, 4), rng)
+            assert compiled.check(condition) == reference.check(condition), (
+                f"{description.name} disagrees on {condition}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Planner threading: compiled counters surface in PlannerStats
+# ----------------------------------------------------------------------
+
+def test_gencompact_reports_compiled_checks(example41):
+    example41.compile_capabilities()
+    cost_model = CostModel({example41.name: example41.stats})
+    query = TargetQuery(
+        parse_condition("make = 'BMW' and price < 40000"),
+        frozenset({"make", "model"}),
+        example41.name,
+    )
+    result = GenCompact().plan(query, example41, cost_model)
+    assert result.feasible
+    assert result.stats.check_calls > 0
+    assert result.stats.check_compiled > 0
+    assert result.stats.check_fallbacks == 0
+
+
+def test_source_compile_capabilities_reports(example41):
+    reports = example41.compile_capabilities()
+    assert reports["native"].compiled
+    assert "closed" not in reports or reports["closed"].compiled
+    assert example41.compiled
+    example41.invalidate_compiled()
+    assert not example41.compiled
+
+
+def test_planner_stats_merge_includes_compiled_counters():
+    from repro.planners.base import PlannerStats
+
+    a = PlannerStats(check_calls=3, check_compiled=2, check_fallbacks=1)
+    b = PlannerStats(check_calls=5, check_compiled=4, check_fallbacks=0)
+    a.merge(b)
+    assert a.check_calls == 8
+    assert a.check_compiled == 6
+    assert a.check_fallbacks == 1
