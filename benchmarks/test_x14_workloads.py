@@ -1,0 +1,183 @@
+"""X14 (extension): the named workload scenarios and their batteries.
+
+One run of each named scenario (``repro.workloads.named``) plus its
+correctness battery, summarized into ``benchmarks/results/x14.txt`` and
+``BENCH_x14.json`` (what the CI smoke step parses).  The bars:
+
+* **dynamic_federation** -- zero stale plan serves, in the seeded run
+  *and* under the 16-thread concurrent-drift battery; the plan-cache
+  hit rate under drift stays above a floor while the no-drift baseline
+  of the same traffic stays high (drift costs hit rate, bounded, not
+  everything);
+* **adversarial_ssdl** -- zero compiled/Earley parity mismatches, with
+  the budget and horizon hatches both actually exercised and the
+  registry counters reconciling exactly with per-description counters;
+* **zipf_traffic** -- exact completed+shed+errors accounting through
+  the load harness, gated and ungated;
+* **minimal_answers** -- pruned == unpruned answer sets on every query,
+  with at least one branch actually pruned and every prune saving
+  source queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import QUICK
+from repro.experiments.report import Table
+from repro.mediator import Mediator
+from repro.workloads.adversarial import AdversarialSSDLWorkload
+from repro.workloads.federation import (
+    DriftingCatalog,
+    DynamicFederationWorkload,
+    oracle_ask,
+)
+from repro.workloads.minimal_answers import MinimalAnswerWorkload
+from repro.workloads.replay import ZipfTrafficWorkload
+
+_SEED = 1404
+
+_FED_ROUNDS = 240 if QUICK else 960
+_FED_DRIFTS = 8 if QUICK else 24
+_ADV_GRAMMARS = 4 if QUICK else 8
+_ADV_CONDITIONS = 32 if QUICK else 64
+_ZIPF_REQUESTS = 240 if QUICK else 1200
+_MIN_QUERIES = 48 if QUICK else 150
+
+_BARS = {
+    "stale_serves_max": 0,
+    "parity_mismatches_max": 0,
+    "drift_hit_rate_min": 0.05,
+    "baseline_hit_rate_min": 0.5,
+    "branches_pruned_min": 1,
+}
+
+
+def _federation() -> dict:
+    drifting = DynamicFederationWorkload(
+        seed=_SEED, rounds=_FED_ROUNDS, drift_every=8, n_rows=120)
+    summary = drifting.run().summary
+    # Same traffic, catalog frozen: the hit-rate baseline drift is
+    # measured against.
+    frozen = DynamicFederationWorkload(
+        seed=_SEED, rounds=_FED_ROUNDS, drift_every=0, n_rows=120)
+    baseline = frozen.run().summary
+    battery = DynamicFederationWorkload(seed=_SEED, n_rows=80).battery(
+        threads=16, drifts_per_driver=_FED_DRIFTS)
+    return {
+        "rounds": summary["rounds"],
+        "drift_events": summary["drift_events"],
+        "stale_serves": summary["stale_serves"]
+        + battery["stale_serves"],
+        "hit_rate": summary["hit_rate"],
+        "baseline_hit_rate": baseline["hit_rate"],
+        "battery_asks": battery["asks"],
+        "battery_threads": battery["threads"],
+    }
+
+
+def test_x14_workloads(record_table, record_json):
+    federation = _federation()
+    adversarial = AdversarialSSDLWorkload(
+        seed=_SEED, n_grammars=_ADV_GRAMMARS,
+        conditions_per_grammar=_ADV_CONDITIONS).battery()
+    zipf = ZipfTrafficWorkload(
+        seed=_SEED, n_requests=_ZIPF_REQUESTS, duration=0.8).battery()
+    minimal = MinimalAnswerWorkload(
+        seed=_SEED, n_queries=_MIN_QUERIES).battery()
+
+    table = Table(
+        "X14: named workload scenarios -- batteries and bars",
+        ["workload", "volume", "violations", "headline"],
+        notes=(
+            "Each named workload's seeded run + correctness battery. "
+            "volume = asks/checks/requests/queries the battery drove; "
+            "violations sums every property the battery checks (stale "
+            "serves, parity mismatches, accounting gaps, answer "
+            "mismatches) -- the bar for all of them is zero."
+        ),
+    )
+    table.add(
+        "dynamic_federation",
+        federation["rounds"] + federation["battery_asks"],
+        federation["stale_serves"],
+        f"hit rate {federation['hit_rate']:.2f} under drift vs "
+        f"{federation['baseline_hit_rate']:.2f} frozen; "
+        f"{federation['battery_threads']} threads",
+    )
+    table.add(
+        "adversarial_ssdl",
+        adversarial["parity_checks"],
+        adversarial["parity_mismatches"],
+        f"{adversarial['closure_rules']} closure rules from "
+        f"{adversarial['native_rules']}; "
+        f"{adversarial['budget_exceeded']} budget hits, "
+        f"{adversarial['fallbacks']} fallbacks",
+    )
+    table.add(
+        "zipf_traffic",
+        zipf["requests"],
+        0 if zipf["accounting_exact"] else 1,
+        f"{zipf['gated_completed']} completed / {zipf['gated_shed']} "
+        f"shed / {zipf['gated_errors']} errors, reconciled",
+    )
+    table.add(
+        "minimal_answers",
+        minimal["queries"],
+        minimal["mismatched_answers"] + minimal["regressions"],
+        f"{minimal['branches_pruned']} branches pruned, "
+        f"{minimal['source_queries_saved']} source queries saved",
+    )
+    record_table("x14", table)
+    record_json("x14", {
+        "federation": federation,
+        "adversarial": {
+            key: adversarial[key]
+            for key in ("parity_checks", "parity_mismatches",
+                        "budget_exceeded", "fallbacks",
+                        "accounting_exact", "closure_rules",
+                        "native_rules")
+        },
+        "zipf": zipf,
+        "minimal": minimal,
+        "bars": _BARS,
+    })
+
+    # Bar 1: no stale plan is ever served -- seeded run or 16 threads.
+    assert federation["stale_serves"] <= _BARS["stale_serves_max"], \
+        federation
+    # Bar 2: drift costs hit rate, boundedly; frozen traffic stays hot.
+    assert federation["hit_rate"] >= _BARS["drift_hit_rate_min"], federation
+    assert federation["baseline_hit_rate"] \
+        >= _BARS["baseline_hit_rate_min"], federation
+    assert federation["baseline_hit_rate"] > federation["hit_rate"], \
+        federation
+    # Bar 3: the compiled recognizer is invisible under hostility.
+    assert adversarial["parity_mismatches"] \
+        <= _BARS["parity_mismatches_max"], adversarial
+    assert adversarial["accounting_exact"], adversarial
+    # Bar 4: load accounting is exact (asserted in the battery too).
+    assert zipf["accounting_exact"], zipf
+    # Bar 5: pruning fires and never changes an answer.
+    assert minimal["branches_pruned"] >= _BARS["branches_pruned_min"], \
+        minimal
+    assert minimal["mismatched_answers"] == 0, minimal
+
+
+def test_x14_bench_drift_ask(benchmark):
+    """The hot path the federation oracle exercises: one ask against a
+    freshly drifted catalog (replan + recompile amortized in)."""
+    mediator = Mediator(plan_cache_entries=128)
+    catalog = DriftingCatalog(mediator, seed=_SEED, n_rows=80)
+    rng = random.Random(_SEED)
+    ticks = {"count": 0}
+
+    def run():
+        ticks["count"] += 1
+        if ticks["count"] % 8 == 0:
+            catalog.drift()
+        query = catalog.pick_query(rng)
+        assert query is not None
+        oracle_ask(mediator, query)
+
+    benchmark(run)

@@ -63,6 +63,7 @@ class Mediator:
         plan_cache_entries: int | None = None,
         plan_templates: bool = True,
         compile_capabilities: bool = True,
+        minimal_answers: bool = False,
         max_in_flight: int | None = None,
         admission_timeout: float = 1.0,
         latency_objective: float | None = None,
@@ -93,7 +94,15 @@ class Mediator:
         :meth:`add_source` time -- the offline knowledge-compilation
         step that turns each planner ``Check`` into a token walk --
         and recompiles them (lazily, exactly like plan-cache entries)
-        whenever the catalog version moves.  ``max_in_flight`` bounds
+        whenever the catalog version moves.  ``minimal_answers``
+        (default off) prunes provably subsumed Union branches from
+        every plan right before execution
+        (:func:`~repro.plans.minimal.prune_subsumed`, per Johnson's
+        minimal-answers observation): the answer row set is identical,
+        but redundant branches stop costing source round-trips.
+        Pruning is per-ask because the subsumption proof depends on the
+        bound constants -- cached plans and templates stay unpruned.
+        ``max_in_flight`` bounds
         concurrent :meth:`ask` calls
         with an :class:`~repro.serving.AdmissionController` that sheds
         excess load via :class:`~repro.errors.OverloadError` after
@@ -128,6 +137,7 @@ class Mediator:
             if plan_templates:
                 self.plan_templates = PlanTemplates(plan_cache_entries)
         self.compile_capabilities = compile_capabilities
+        self.minimal_answers = minimal_answers
         #: Catalog version each source's compiled grammars are current
         #: at; a version bump lazily triggers recompilation, exactly
         #: like the plan cache's versioned entries.
@@ -194,6 +204,61 @@ class Mediator:
         if self.compile_capabilities:
             self._ensure_compiled(source)
 
+    def remove_source(self, name: str) -> CapabilitySource:
+        """Deregister a source (it left the federation).  Eager.
+
+        The catalog version bump already guarantees no *versioned*
+        cache can serve a plan touching the departed source, but lazy
+        invalidation leaves its entries (and its compiled grammars)
+        resident until each key happens to be looked up again.
+        Removal drops all of it now: the plan cache and the template
+        store are emptied, the source's compiled recognizers are
+        discarded, and its compiled-version bookkeeping is forgotten --
+        a removed source can never be queried from a cached or
+        template-rebound plan, and holds no derived state either.
+
+        Returns the removed source (callers re-registering it later
+        must go through :meth:`add_source` again).
+        """
+        with self._catalog_lock:
+            source = self.catalog.pop(name, None)
+            if source is None:
+                raise PlanExecutionError(f"unknown source {name!r}")
+            self._compiled_versions.pop(name, None)
+        self.bump_catalog()
+        source.invalidate_compiled()
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
+        if self.plan_templates is not None:
+            self.plan_templates.invalidate()
+        get_metrics().counter("mediator.sources_removed").inc()
+        return source
+
+    def mutate_source(
+        self,
+        name: str,
+        description,
+        order_insensitive: bool | None = None,
+    ) -> CapabilitySource:
+        """Capability drift: a registered source changed its form.
+
+        Swaps the source's SSDL description
+        (:meth:`~repro.source.source.CapabilitySource
+        .replace_description`), bumps the catalog version -- so every
+        cached plan and template built against the old grammar is
+        invalidated -- and, with ``compile_capabilities``, recompiles
+        the new grammars eagerly so the next ask pays a token walk,
+        not a compilation.
+        """
+        source = self.source(name)
+        source.replace_description(description,
+                                   order_insensitive=order_insensitive)
+        self.bump_catalog()
+        if self.compile_capabilities:
+            self._ensure_compiled(source)
+        get_metrics().counter("mediator.sources_mutated").inc()
+        return source
+
     def _ensure_compiled(self, source: CapabilitySource) -> None:
         """(Re)compile a source's grammars if the catalog moved since
         they were last compiled -- the compiled-form analogue of the
@@ -253,11 +318,15 @@ class Mediator:
                 self._ensure_compiled(source)
             cache_key = None
             template_key = None
+            # The version every outcome of this call is stamped with:
+            # read *before* planning, so a concurrent catalog change
+            # mid-plan leaves the result conservatively older, never
+            # newer, than the catalog it was actually planned against.
+            version = self.catalog_version
             if self.plan_cache is not None:
                 from repro.serving.plan_cache import plan_cache_key
 
                 cache_key = (plan_cache_key(query), scheme.name)
-                version = self.catalog_version
                 cached = self.plan_cache.get(cache_key, version)
                 if cached is not None:
                     span.add_event(
@@ -280,6 +349,7 @@ class Mediator:
                         # A validated constant rebinding of an earlier
                         # plan: promote it to an exact entry so repeats
                         # of *these* constants hit the canonical cache.
+                        rebound.catalog_version = version
                         self.plan_cache.put(cache_key, rebound, version)
                         span.add_event(
                             "plan.template_hit", planner=rebound.planner,
@@ -291,6 +361,7 @@ class Mediator:
                         )
                         return rebound
             result = scheme.plan(query, source, self.cost_model())
+            result.catalog_version = version
             if cache_key is not None:
                 # Store under the version read *before* planning: a
                 # concurrent catalog change mid-plan leaves a stale
@@ -425,8 +496,17 @@ class Mediator:
                 f"no feasible plan for {query} under the capabilities of "
                 f"source {query.source!r}"
             )
+        plan = planning.plan
+        if self.minimal_answers:
+            from repro.plans.minimal import prune_subsumed
+
+            plan, pruned = prune_subsumed(plan)
+            if pruned:
+                get_metrics().counter(
+                    "mediator.union_branches_pruned").inc(pruned)
+                span.set_attribute("union_branches_pruned", pruned)
         with get_tracer().span("mediator.execute") as exec_span:
-            report = self._executor.execute_with_report(planning.plan)
+            report = self._executor.execute_with_report(plan)
             exec_span.set_attributes(
                 queries=report.queries,
                 tuples=report.tuples_transferred,
@@ -458,6 +538,7 @@ class Mediator:
             plan=None,
             cost=0.0,
             stats=PlannerStats(),
+            catalog_version=self.catalog_version,
         )
         report = ExecutionReport(Relation(schema, []), queries=0,
                                  tuples_transferred=0)

@@ -79,6 +79,10 @@ class PlanningResult:
     plan: Plan | None
     cost: float
     stats: PlannerStats = field(default_factory=PlannerStats)
+    #: Catalog version this result was planned (or rebound) under; set
+    #: by the mediator so drift oracles can prove no stale plan is ever
+    #: served (``None`` for results planned outside a mediator).
+    catalog_version: int | None = None
 
     @property
     def feasible(self) -> bool:

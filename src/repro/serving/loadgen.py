@@ -133,29 +133,60 @@ class LoadHarness:
         threads: int = 4,
         mode: str = "closed",
         rate: float | None = None,
+        arrivals: "list[float] | tuple[float, ...] | None" = None,
     ):
-        """``mode="open"`` requires ``rate`` (overall requests/second);
-        arrivals are scheduled at ``i / rate`` from the start of the run
-        and a late thread issues immediately (it never skips)."""
+        """``mode="open"`` requires ``rate`` (overall requests/second)
+        or an explicit ``arrivals`` schedule; a late thread issues
+        immediately (it never skips).
+
+        ``rate`` schedules arrival ``i`` at ``i / rate`` from the start
+        of the run -- a flat curve.  ``arrivals`` instead gives each
+        request index its own offset in seconds from the start
+        (non-negative, non-decreasing): the hook for non-uniform load
+        shapes such as the diurnal curves of
+        :func:`~repro.workloads.replay.diurnal_arrivals`.  ``run``
+        refuses to issue more requests than the schedule covers.
+        """
         if not queries:
             raise ValueError("the query mix must not be empty")
         if threads < 1:
             raise ValueError("threads must be at least 1")
         if mode not in ("closed", "open"):
             raise ValueError(f"unknown mode {mode!r}; use 'closed' or 'open'")
-        if mode == "open" and (rate is None or rate <= 0):
+        if arrivals is not None:
+            if mode != "open":
+                raise ValueError("an arrivals schedule requires open-loop mode")
+            if rate is not None:
+                raise ValueError("give either rate or arrivals, not both")
+            if len(arrivals) == 0:
+                raise ValueError("the arrivals schedule must not be empty")
+            previous = 0.0
+            for offset in arrivals:
+                if offset < previous:
+                    raise ValueError(
+                        "arrival offsets must be non-negative and "
+                        "non-decreasing"
+                    )
+                previous = offset
+        elif mode == "open" and (rate is None or rate <= 0):
             raise ValueError("open-loop mode requires a positive rate")
         self.mediator = mediator
         self.queries = list(queries)
         self.threads = threads
         self.mode = mode
         self.rate = rate
+        self.arrivals = None if arrivals is None else tuple(arrivals)
 
     # ------------------------------------------------------------------
     def run(self, total_requests: int) -> LoadReport:
         """Issue ``total_requests`` and collect the report."""
         if total_requests < 1:
             raise ValueError("total_requests must be at least 1")
+        if self.arrivals is not None and total_requests > len(self.arrivals):
+            raise ValueError(
+                f"the arrivals schedule covers {len(self.arrivals)} "
+                f"requests, not {total_requests}"
+            )
         latencies: list[list[float]] = [[] for _ in range(self.threads)]
         shed = [0] * self.threads
         errors = [0] * self.threads
@@ -185,7 +216,9 @@ class LoadHarness:
                 if index is None:
                     return
                 if self.mode == "open":
-                    due = started_at[0] + index / self.rate
+                    offset = (self.arrivals[index] if self.arrivals is not None
+                              else index / self.rate)
+                    due = started_at[0] + offset
                     delay = due - time.perf_counter()
                     if delay > 0:
                         time.sleep(delay)

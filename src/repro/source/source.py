@@ -167,6 +167,27 @@ class CapabilitySource:
         if self._closed is not None:
             self._closed.invalidate_compiled()
 
+    def replace_description(
+        self,
+        description: SourceDescription,
+        order_insensitive: bool | None = None,
+    ) -> None:
+        """Capability drift: the autonomous site changed its form.
+
+        Swaps the native description and drops every piece of state
+        derived from the old one -- the commutation closure and (with
+        it) the compiled recognizers and Check caches, which all live
+        on the discarded description objects.  The caller (normally
+        :meth:`~repro.mediator.Mediator.mutate_source`) must bump the
+        catalog version so cached plans built against the old grammar
+        are invalidated too.
+        """
+        with self._state_lock:
+            self.description = description
+            self._closed = None
+            if order_insensitive is not None:
+                self.order_insensitive = order_insensitive
+
     @property
     def compiled(self) -> bool:
         """Is the planning description's compiled recognizer active?"""

@@ -1,5 +1,13 @@
-"""Workloads: random synthetic worlds and the paper's fixed scenarios."""
+"""Workloads: synthetic worlds, the paper's fixed scenarios, and the
+named seeded scenario subsystem (``repro.workloads.named``)."""
 
+from repro.workloads.named import (
+    Workload,
+    WorkloadReport,
+    available_workloads,
+    derive_seed,
+    get_workload,
+)
 from repro.workloads.scenarios import (
     Scenario,
     all_scenarios,
@@ -20,6 +28,11 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "Workload",
+    "WorkloadReport",
+    "available_workloads",
+    "derive_seed",
+    "get_workload",
     "Scenario",
     "all_scenarios",
     "bookstore_scenario",

@@ -1,0 +1,75 @@
+"""Run a named workload from the shell.
+
+::
+
+    python -m repro.workloads --list
+    python -m repro.workloads dynamic_federation --seed 7
+    python -m repro.workloads adversarial_ssdl --battery
+    python -m repro.workloads zipf_traffic --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.workloads.named import (
+    WORKLOADS,
+    available_workloads,
+    get_workload,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Run a named, seeded, replayable workload scenario.",
+    )
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (see --list)")
+    parser.add_argument("--seed", type=int, default=1999,
+                        help="run-level seed (default 1999); every random "
+                        "choice in the scenario derives from it")
+    parser.add_argument("--battery", action="store_true",
+                        help="run the correctness battery instead of the "
+                        "scenario (exits non-zero on violation)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    parser.add_argument("--list", action="store_true", dest="list_workloads",
+                        help="list available workloads and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_workloads:
+        for name in available_workloads():
+            print(f"{name:20s} {WORKLOADS[name].description}")
+        return 0
+    if not args.workload:
+        parser.print_usage()
+        return 2
+    try:
+        workload = get_workload(args.workload, seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.battery:
+        try:
+            accounting = workload.battery()
+        except AssertionError as exc:
+            print(f"BATTERY FAILED: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(accounting, indent=2, sort_keys=True,
+                             default=str))
+        else:
+            print(f"battery {workload.name} (seed={workload.seed}): PASS")
+            for key in sorted(accounting):
+                print(f"  {key} = {accounting[key]}")
+        return 0
+    report = workload.run()
+    print(report.to_json() if args.json else report.format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

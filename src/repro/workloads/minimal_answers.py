@@ -1,0 +1,241 @@
+"""Minimal-answer mode: prove pruning subsumed union branches is free.
+
+Johnson's minimal-answers observation (see ``repro.plans.minimal``):
+when a disjunctive plan unions branch ``SP(C1, A, R)`` with branch
+``SP(C2, A, R)`` and ``C2`` provably implies ``C1``, the second branch
+contributes no row the first does not already fetch -- executing it
+buys nothing but source round-trips.  The mediator's
+``minimal_answers`` mode prunes such branches per ask; this workload
+is the evidence that the mode is *safe* (identical answer sets) and
+*worthwhile* (it actually saves source queries on overlap-heavy
+traffic).
+
+The scenario runs the same seeded overlap-heavy query stream through
+two mediators over twin sources -- one with ``minimal_answers`` off,
+one with it on -- and reconciles, per query, the answer rows (must be
+set-identical) and the executed source-query counts (the pruned side
+must never execute more).  The battery asserts the property over every
+query and that the stream actually exercised pruning (a vacuous pass
+is a failure).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.conditions.atoms import Atom, Op
+from repro.conditions.tree import And, Condition, Leaf, Or
+from repro.data.relation import Relation
+from repro.data.schema import AttrType, Schema
+from repro.mediator import Mediator
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.query import TargetQuery
+from repro.source.source import CapabilitySource
+from repro.ssdl.builder import DescriptionBuilder
+from repro.workloads.named import (
+    Workload,
+    WorkloadReport,
+    derive_seed,
+    register,
+)
+
+_CATS = ("books", "cars", "tools", "games", "music")
+_TAGS = ("new", "used", "rare", "bulk")
+_ATTRS = ["cat", "price", "tag", "item"]
+
+
+def overlap_source(seed: int, n_rows: int, name: str = "shop"
+                   ) -> CapabilitySource:
+    """A seeded source whose grammar invites overlapping union branches.
+
+    Every condition nonterminal exports all attributes, so disjunctive
+    queries plan as unions of per-branch source queries -- and the
+    grammar supports both each conjunction and its weaker prefixes,
+    which is exactly what makes subsumed branches plannable at all.
+    """
+    rng = random.Random(seed)
+    schema = Schema.of(
+        name,
+        [("cat", AttrType.STRING), ("price", AttrType.INT),
+         ("tag", AttrType.STRING), ("item", AttrType.STRING)],
+        key="item",
+    )
+    rows = [
+        {
+            "cat": rng.choice(_CATS),
+            "price": rng.randrange(0, 100),
+            "tag": rng.choice(_TAGS),
+            "item": f"i{index}",
+        }
+        for index in range(n_rows)
+    ]
+    description = (
+        DescriptionBuilder(name)
+        .rule("bycat", "cat = $str", attributes=_ATTRS)
+        .rule("byprice", "price < $num | price > $num", attributes=_ATTRS)
+        .rule("bytag", "tag = $str", attributes=_ATTRS)
+        .rule("bycatprice", "cat = $str and price < $num",
+              attributes=_ATTRS)
+        .rule("bytagprice", "tag = $str and price > $num",
+              attributes=_ATTRS)
+        .build()
+    )
+    return CapabilitySource(name, Relation(schema, rows), description)
+
+
+def overlap_queries(seed: int, count: int, source: str = "shop"
+                    ) -> list[TargetQuery]:
+    """A seeded overlap-heavy disjunctive stream.
+
+    Mixes shapes whose union branches are provably subsumed (a
+    conjunction or'd with its own weaker conjunct; two thresholds on
+    one attribute) with genuinely disjoint disjunctions, so pruning
+    must fire on some queries and must *not* fire on others.
+    """
+    rng = random.Random(seed)
+    out: list[TargetQuery] = []
+
+    def cat_atom() -> Atom:
+        return Atom("cat", Op.EQ, rng.choice(_CATS))
+
+    while len(out) < count:
+        shape = rng.randrange(5)
+        if shape == 0:
+            # C or (C and D): the conjunction is subsumed.
+            cat = cat_atom()
+            condition: Condition = Or([
+                Leaf(cat),
+                And([Leaf(cat),
+                     Leaf(Atom("price", Op.LT, rng.randrange(20, 90)))]),
+            ])
+        elif shape == 1:
+            # price < a or price < b (a != b): the tighter bound is
+            # subsumed by the looser one.
+            low = rng.randrange(10, 50)
+            condition = Or([
+                Leaf(Atom("price", Op.LT, low)),
+                Leaf(Atom("price", Op.LT, low + rng.randrange(5, 40))),
+            ])
+        elif shape == 2:
+            # Disjoint branches: nothing to prune.
+            condition = Or([
+                Leaf(cat_atom()),
+                Leaf(Atom("tag", Op.EQ, rng.choice(_TAGS))),
+            ])
+        elif shape == 3:
+            # Two subsumed branches under one keeper.
+            tag = Atom("tag", Op.EQ, rng.choice(_TAGS))
+            pivot = rng.randrange(10, 40)
+            condition = Or([
+                Leaf(tag),
+                And([Leaf(tag), Leaf(Atom("price", Op.GT, pivot))]),
+                And([Leaf(tag),
+                     Leaf(Atom("price", Op.GT, pivot + 10))]),
+            ])
+        else:
+            # Plain conjunction: no union at all.
+            condition = And([
+                Leaf(cat_atom()),
+                Leaf(Atom("price", Op.LT, rng.randrange(30, 90))),
+            ])
+        out.append(TargetQuery(
+            source=source,
+            attributes=frozenset(("item", "cat", "price")),
+            condition=condition,
+        ))
+    return out
+
+
+def _row_key(row: dict) -> tuple:
+    return tuple(sorted(row.items()))
+
+
+@register
+class MinimalAnswerWorkload(Workload):
+    """Pruned vs unpruned mediators over twin sources, reconciled."""
+
+    name = "minimal_answers"
+    description = (
+        "overlap-heavy disjunctions through minimal-answer pruning; "
+        "property battery proves pruned == unpruned answer sets"
+    )
+
+    def __init__(
+        self,
+        seed: int = 1999,
+        n_queries: int = 60,
+        n_rows: int = 160,
+    ):
+        super().__init__(seed)
+        self.n_queries = n_queries
+        self.n_rows = n_rows
+
+    def _execute(self) -> dict:
+        world_seed = derive_seed(self.seed, "world")
+        baseline = Mediator()
+        baseline.add_source(overlap_source(world_seed, self.n_rows))
+        minimal = Mediator(minimal_answers=True)
+        minimal.add_source(overlap_source(world_seed, self.n_rows))
+        queries = overlap_queries(
+            derive_seed(self.seed, "queries"), self.n_queries)
+        registry = MetricsRegistry()
+        totals = {
+            "queries": len(queries),
+            "mismatched_answers": 0,
+            "rows": 0,
+            "baseline_source_queries": 0,
+            "minimal_source_queries": 0,
+            "queries_with_pruning": 0,
+            "regressions": 0,
+        }
+        with use_metrics(registry):
+            for query in queries:
+                before = registry.counter(
+                    "mediator.union_branches_pruned").value
+                base_answer = baseline.ask(query)
+                min_answer = minimal.ask(query)
+                pruned = registry.counter(
+                    "mediator.union_branches_pruned").value - before
+                base_rows = {_row_key(r) for r in base_answer.rows}
+                min_rows = {_row_key(r) for r in min_answer.rows}
+                if base_rows != min_rows:
+                    totals["mismatched_answers"] += 1
+                totals["rows"] += len(base_rows)
+                totals["baseline_source_queries"] += \
+                    base_answer.report.queries
+                totals["minimal_source_queries"] += \
+                    min_answer.report.queries
+                if pruned:
+                    totals["queries_with_pruning"] += 1
+                if min_answer.report.queries > base_answer.report.queries:
+                    totals["regressions"] += 1
+        totals["branches_pruned"] = int(registry.counter(
+            "mediator.union_branches_pruned").value)
+        totals["source_queries_saved"] = (
+            totals["baseline_source_queries"]
+            - totals["minimal_source_queries"]
+        )
+        return totals
+
+    def run(self) -> WorkloadReport:
+        return self._report(self._execute())
+
+    def battery(self) -> dict:
+        totals = self._execute()
+        assert totals["mismatched_answers"] == 0, (
+            f"pruning changed {totals['mismatched_answers']} answer sets"
+        )
+        assert totals["regressions"] == 0, (
+            "a pruned plan executed more source queries than its baseline"
+        )
+        assert totals["branches_pruned"] >= 1, (
+            "the overlap-heavy stream never triggered pruning"
+        )
+        assert totals["queries_with_pruning"] < totals["queries"], (
+            "every query pruned -- the no-pruning shapes went missing"
+        )
+        assert totals["source_queries_saved"] >= \
+            totals["branches_pruned"], (
+            "each pruned branch should save at least one source query"
+        )
+        return totals

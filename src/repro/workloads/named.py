@@ -1,0 +1,142 @@
+"""Named, seeded, replayable workloads: the scenario subsystem.
+
+The ROADMAP's scenario-diversity item asks for workloads beyond the
+friendly static-catalog mixes: sources that join/leave/change mid-run,
+adversarial grammars, skewed traffic with load curves, and a
+minimal-answer mode.  Each ships here as a **named workload** -- a
+registered class with
+
+* one **run-level seed** from which *every* random choice in the
+  scenario is derived (:func:`derive_seed` gives each component --
+  source data, fault injectors, latency models, traffic streams -- its
+  own stable sub-seed), so a replay with the same seed is bit-for-bit
+  identical;
+* :meth:`Workload.run` producing a :class:`WorkloadReport` whose
+  ``summary`` is **deterministic** (replay twice, diff nothing) while
+  wall-clock measurements live in ``details`` (explicitly excluded
+  from the replay contract);
+* :meth:`Workload.battery` -- the workload's correctness battery
+  (parity, oracle, accounting), which raises ``AssertionError`` on any
+  violation and returns its accounting for reports.
+
+``python -m repro.workloads <name> --seed N`` runs one from the shell;
+:func:`get_workload` is the library entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A stable sub-seed for one component of a seeded run.
+
+    CRC32 of the label, chained from the run seed: deterministic across
+    processes and platforms (unlike ``hash``), cheap, and distinct
+    labels give independent-looking streams.  This is how one run-level
+    seed fans out to every source table, fault injector, latency model
+    and traffic stream a scenario builds -- the property the replay
+    batteries rely on.
+    """
+    return zlib.crc32(label.encode("utf-8"), seed & 0xFFFFFFFF) & 0x7FFFFFFF
+
+
+@dataclass
+class WorkloadReport:
+    """What one workload run produced.
+
+    ``summary`` is the deterministic part: a replay with the same seed
+    and knobs must reproduce it exactly (the registry test diffs two
+    runs).  ``details`` holds everything timing-dependent -- latencies,
+    shed counts under real concurrency, compile wall-times.
+    """
+
+    workload: str
+    seed: int
+    summary: dict
+    details: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"workload {self.workload} (seed={self.seed})"]
+        for key in sorted(self.summary):
+            lines.append(f"  {key} = {self.summary[key]}")
+        for key in sorted(self.details):
+            lines.append(f"  [{key}] = {self.details[key]}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"workload": self.workload, "seed": self.seed,
+             "summary": self.summary, "details": self.details},
+            indent=2, sort_keys=True, default=str,
+        )
+
+
+class Workload(ABC):
+    """A named scenario: seeded run + correctness battery."""
+
+    #: Registry name (set by subclasses; ``@register`` keys on it).
+    name: str = ""
+    #: One-line description shown by ``--list``.
+    description: str = ""
+
+    def __init__(self, seed: int = 1999):
+        self.seed = seed
+
+    def _report(self, summary: dict, details: dict | None = None
+                ) -> WorkloadReport:
+        return WorkloadReport(self.name, self.seed, summary, details or {})
+
+    @abstractmethod
+    def run(self) -> WorkloadReport:
+        """Replay the scenario once and report (summary deterministic)."""
+
+    @abstractmethod
+    def battery(self) -> dict:
+        """Run the correctness battery; raises AssertionError on any
+        violation, returns its accounting (counts checked, etc.)."""
+
+
+#: The registry: workload name -> class.
+WORKLOADS: dict[str, type[Workload]] = {}
+
+
+def register(cls: type[Workload]) -> type[Workload]:
+    """Class decorator: add a workload to the registry by its name."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no workload name")
+    if cls.name in WORKLOADS:
+        raise ValueError(f"workload {cls.name!r} registered twice")
+    WORKLOADS[cls.name] = cls
+    return cls
+
+
+def available_workloads() -> list[str]:
+    _load_builtin()
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str, seed: int = 1999, **knobs) -> Workload:
+    """Instantiate a registered workload by name."""
+    _load_builtin()
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS)) or "<none>"
+        raise KeyError(
+            f"unknown workload {name!r}; available: {known}"
+        ) from None
+    return cls(seed=seed, **knobs)
+
+
+def _load_builtin() -> None:
+    """Import the modules whose ``@register`` calls fill the registry."""
+    from repro.workloads import (  # noqa: F401
+        adversarial,
+        federation,
+        minimal_answers,
+        replay,
+    )

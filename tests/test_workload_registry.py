@@ -1,0 +1,154 @@
+"""The named-workload registry: discovery, seeding, the replay-twice
+determinism contract for every workload, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.workloads import (
+    Workload,
+    WorkloadReport,
+    available_workloads,
+    derive_seed,
+    get_workload,
+)
+from repro.workloads.named import WORKLOADS, register
+
+ALL_WORKLOADS = (
+    "adversarial_ssdl",
+    "dynamic_federation",
+    "minimal_answers",
+    "zipf_traffic",
+)
+
+#: Small-but-representative knobs so replay tests stay quick.
+SMALL_KNOBS = {
+    "dynamic_federation": dict(rounds=80, n_rows=50),
+    "adversarial_ssdl": dict(n_grammars=2, conditions_per_grammar=16),
+    "zipf_traffic": dict(n_requests=80, duration=0.3, n_rows=60),
+    "minimal_answers": dict(n_queries=20, n_rows=60),
+}
+
+
+class TestRegistry:
+    def test_all_four_scenarios_are_registered(self):
+        assert tuple(available_workloads()) == ALL_WORKLOADS
+
+    def test_get_workload_threads_seed_and_knobs(self):
+        workload = get_workload("dynamic_federation", seed=5, rounds=10)
+        assert workload.seed == 5
+        assert workload.rounds == 10
+
+    def test_unknown_name_lists_the_alternatives(self):
+        with pytest.raises(KeyError, match="dynamic_federation"):
+            get_workload("nope")
+
+    def test_register_rejects_duplicates_and_anonymous(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            @register
+            class Duplicate(Workload):  # noqa: F811 - intentional clash
+                name = "zipf_traffic"
+
+                def run(self):  # pragma: no cover - never invoked
+                    raise NotImplementedError
+
+                def battery(self):  # pragma: no cover - never invoked
+                    raise NotImplementedError
+
+        with pytest.raises(ValueError, match="no workload name"):
+            @register
+            class Anonymous(Workload):
+                def run(self):  # pragma: no cover - never invoked
+                    raise NotImplementedError
+
+                def battery(self):  # pragma: no cover - never invoked
+                    raise NotImplementedError
+
+    def test_every_workload_documents_itself(self):
+        for name in ALL_WORKLOADS:
+            assert WORKLOADS[name].description
+
+
+class TestDeriveSeed:
+    def test_stable_and_label_sensitive(self):
+        assert derive_seed(1999, "traffic") == derive_seed(1999, "traffic")
+        assert derive_seed(1999, "traffic") != derive_seed(1999, "faults")
+        assert derive_seed(1999, "traffic") != derive_seed(2000, "traffic")
+        assert 0 <= derive_seed(1999, "traffic") < 2**31
+
+
+class TestReplayContract:
+    """The tentpole property: every named workload, replayed with the
+    same seed and knobs, reproduces its summary bit-for-bit."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_replay_twice_diffs_nothing(self, name):
+        knobs = SMALL_KNOBS[name]
+        first = get_workload(name, seed=271, **knobs).run()
+        second = get_workload(name, seed=271, **knobs).run()
+        assert first.summary == second.summary
+        assert first.workload == name
+        assert first.seed == 271
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_different_seeds_differ(self, name):
+        knobs = SMALL_KNOBS[name]
+        first = get_workload(name, seed=1, **knobs).run()
+        second = get_workload(name, seed=2, **knobs).run()
+        assert first.summary != second.summary
+
+
+class TestWorkloadReport:
+    def test_format_and_json(self):
+        report = WorkloadReport("demo", 7, {"asks": 3}, {"wall": 0.5})
+        text = report.format()
+        assert "workload demo (seed=7)" in text
+        assert "asks = 3" in text and "[wall] = 0.5" in text
+        decoded = json.loads(report.to_json())
+        assert decoded["summary"] == {"asks": 3}
+        assert decoded["details"] == {"wall": 0.5}
+
+
+class TestCLI:
+    def _run(self, *args):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.workloads", *args],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_list(self):
+        proc = self._run("--list")
+        assert proc.returncode == 0
+        for name in ALL_WORKLOADS:
+            assert name in proc.stdout
+
+    def test_run_json(self):
+        proc = self._run("minimal_answers", "--seed", "3", "--json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["workload"] == "minimal_answers"
+        assert payload["seed"] == 3
+        assert payload["summary"]["mismatched_answers"] == 0
+
+    def test_battery(self):
+        proc = self._run("minimal_answers", "--battery")
+        assert proc.returncode == 0
+        assert "PASS" in proc.stdout
+
+    def test_unknown_workload_fails(self):
+        proc = self._run("nope")
+        assert proc.returncode == 2
+        assert "unknown workload" in proc.stderr
+
+    def test_no_workload_prints_usage(self):
+        proc = self._run()
+        assert proc.returncode == 2

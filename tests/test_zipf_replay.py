@@ -1,0 +1,132 @@
+"""Zipf replayer: diurnal schedules, the harness ``arrivals`` hook, and
+exact completed+shed+errors accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.serving.loadgen import LoadHarness
+from repro.workloads.replay import (
+    ZipfTrafficWorkload,
+    diurnal_arrivals,
+    zipf_stream,
+    zipf_weights,
+)
+from tests.conftest import make_example41_source
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_and_strictly_increasing(self):
+        schedule = diurnal_arrivals(200, 2.0, depth=0.9, cycles=2)
+        assert schedule == diurnal_arrivals(200, 2.0, depth=0.9, cycles=2)
+        assert all(a < b for a, b in zip(schedule, schedule[1:]))
+        assert 0.0 < schedule[0] and schedule[-1] < 2.0
+
+    def test_peak_is_denser_than_trough(self):
+        schedule = diurnal_arrivals(400, 4.0, depth=0.9, cycles=1)
+        trough = sum(1 for t in schedule if t < 0.4)       # first tenth
+        peak = sum(1 for t in schedule if 1.8 <= t < 2.2)  # mid tenth
+        assert peak > 3 * trough
+
+    def test_zero_depth_is_uniform(self):
+        schedule = diurnal_arrivals(9, 1.0, depth=0.0)
+        expected = [i / 10 for i in range(1, 10)]
+        assert schedule == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n=0, duration=1.0), dict(n=5, duration=0.0),
+         dict(n=5, duration=1.0, depth=1.0),
+         dict(n=5, duration=1.0, depth=-0.1),
+         dict(n=5, duration=1.0, cycles=0)],
+    )
+    def test_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(**kwargs)
+
+
+class TestZipf:
+    def test_weights_normalize_and_decrease(self):
+        weights = zipf_weights(10, 1.2)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_stream_is_seeded_and_skewed(self):
+        pool = list(range(20))
+        stream = zipf_stream(pool, 500, 1.2, seed=3)
+        assert stream == zipf_stream(pool, 500, 1.2, seed=3)
+        # Rank 1 dominates far beyond the uniform share.
+        assert stream.count(0) > 3 * (500 // 20)
+
+    def test_weights_reject_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestHarnessArrivals:
+    def _mediator(self):
+        mediator = Mediator()
+        mediator.add_source(make_example41_source("cars"))
+        return mediator
+
+    QUERY = "SELECT model FROM cars WHERE make = 'BMW' and price < 40000"
+
+    def test_explicit_schedule_runs_and_accounts(self):
+        harness = LoadHarness(
+            self._mediator(), [self.QUERY], threads=2, mode="open",
+            arrivals=[0.0, 0.001, 0.002, 0.05],
+        )
+        report = harness.run(4)
+        assert report.completed + report.shed + report.errors == 4
+        assert report.completed == 4
+
+    def test_schedule_must_cover_the_run(self):
+        harness = LoadHarness(
+            self._mediator(), [self.QUERY], mode="open",
+            arrivals=[0.0, 0.01],
+        )
+        with pytest.raises(ValueError, match="covers 2 requests"):
+            harness.run(3)
+
+    def test_rejects_schedule_with_rate(self):
+        with pytest.raises(ValueError, match="not both"):
+            LoadHarness(self._mediator(), [self.QUERY], mode="open",
+                        rate=10.0, arrivals=[0.0])
+
+    def test_rejects_schedule_in_closed_mode(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            LoadHarness(self._mediator(), [self.QUERY], arrivals=[0.0])
+
+    def test_rejects_unordered_or_empty_schedule(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            LoadHarness(self._mediator(), [self.QUERY], mode="open",
+                        arrivals=[0.2, 0.1])
+        with pytest.raises(ValueError, match="not be empty"):
+            LoadHarness(self._mediator(), [self.QUERY], mode="open",
+                        arrivals=[])
+
+
+class TestZipfTrafficWorkload:
+    KNOBS = dict(seed=29, n_requests=150, duration=0.5, pool_size=16,
+                 n_rows=80)
+
+    def test_run_is_deterministic(self):
+        first = ZipfTrafficWorkload(**self.KNOBS).run()
+        second = ZipfTrafficWorkload(**self.KNOBS).run()
+        assert first.summary == second.summary
+
+    def test_skew_feeds_the_plan_cache(self):
+        summary = ZipfTrafficWorkload(**self.KNOBS).run().summary
+        assert summary["ok"] + summary["infeasible"] \
+            + summary["errors"] == 150
+        assert summary["top_query_share"] > 2 / summary["pool_size"]
+        assert summary["hit_rate"] > 0.5
+        # The diurnal signature: peak arrivals come faster than trough.
+        assert summary["peak_gap_us"] < summary["trough_gap_us"]
+
+    def test_battery_accounts_exactly(self):
+        out = ZipfTrafficWorkload(**self.KNOBS).battery()
+        assert out["accounting_exact"] is True
+        assert out["gated_completed"] + out["gated_shed"] \
+            + out["gated_errors"] == 150
