@@ -6,32 +6,48 @@ evaluation (see DESIGN.md).  The table is written to
 leaves the full set of result tables behind; the pytest-benchmark
 fixture then times the experiment's hot path.
 
+X-benchmarks additionally emit a machine-readable
+``BENCH_<name>.json`` through :func:`record_bench` in the shared
+:mod:`repro.perf.schema` format (metrics + bars + tolerances + seed +
+env fingerprint).  The committed set of those files is the perf
+trajectory that ``python -m repro.perf compare`` gates CI on.
+
 Set ``REPRO_BENCH_FULL=1`` for full-size instances (several minutes);
-the default is the quick configuration.
+the default is the quick configuration.  ``REPRO_BENCH_RESULTS``
+redirects every artifact into another directory (how ``repro.perf
+compare --run`` measures without clobbering the committed trajectory).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+from repro.perf.schema import BenchResult, env_fingerprint
 
 #: Full-size instances when REPRO_BENCH_FULL=1, quick otherwise.
 QUICK = os.environ.get("REPRO_BENCH_FULL", "") != "1"
 
 
+def results_dir() -> pathlib.Path:
+    """Where artifacts land (honours ``REPRO_BENCH_RESULTS``)."""
+    override = os.environ.get("REPRO_BENCH_RESULTS", "")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(__file__).parent / "results"
+
+
 @pytest.fixture
 def record_table():
-    """Write an experiment table to benchmarks/results/ and echo it."""
+    """Write an experiment table to the results directory and echo it."""
 
     def _record(name: str, table) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        directory = results_dir()
+        directory.mkdir(parents=True, exist_ok=True)
         text = table.format()
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (directory / f"{name}.txt").write_text(text + "\n")
         print()
         print(text)
 
@@ -39,14 +55,31 @@ def record_table():
 
 
 @pytest.fixture
-def record_json():
-    """Write machine-readable results to benchmarks/results/BENCH_<name>.json
-    (what CI smoke steps parse to enforce acceptance bars)."""
+def record_bench():
+    """Write a schema-validated ``BENCH_<name>.json``.
 
-    def _record(name: str, payload: dict) -> pathlib.Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        return path
+    Accepts the flat pieces of a :class:`~repro.perf.schema.BenchResult`
+    and refuses to record anything malformed -- a benchmark cannot
+    commit a result the perf gate would be unable to parse.  Bars are
+    *recorded*, not enforced here: the benchmark's own asserts carry
+    the readable failure, ``repro.perf compare`` carries the gate.
+    """
+
+    def _record(name: str, metrics: dict, bars: dict | None = None,
+                tolerances: dict | None = None,
+                seed: int | None = None) -> pathlib.Path:
+        result = BenchResult(
+            benchmark=name,
+            metrics=dict(metrics),
+            bars=dict(bars or {}),
+            tolerances=dict(tolerances or {}),
+            seed=seed,
+            env=env_fingerprint(quick=QUICK),
+        )
+        problems = result.validate()
+        assert not problems, f"BENCH_{name}.json would be invalid: {problems}"
+        directory = results_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        return result.save(directory / f"BENCH_{name}.json")
 
     return _record

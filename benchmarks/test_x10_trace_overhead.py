@@ -31,6 +31,7 @@ from contextlib import nullcontext
 from benchmarks.conftest import QUICK
 from repro.experiments.report import Table
 from repro.mediator import Mediator
+from repro.perf.schema import Bar, Tolerance
 from repro.observability import (
     MetricsRegistry,
     Tracer,
@@ -143,9 +144,30 @@ def _table() -> tuple[Table, dict, dict]:
 # ----------------------------------------------------------------------
 
 
-def test_x10_trace_overhead(record_table):
+def test_x10_trace_overhead(record_table, record_bench):
     table, macro, micro = _table()
     record_table("x10", table)
+    record_bench(
+        "x10",
+        metrics={
+            "macro.overhead": macro["overhead"],
+            "macro.spans": macro["spans"],
+            "micro.empty_ctx_ns": micro["empty_ctx"],
+            "micro.null_span_ns": micro["null_span"],
+            "micro.null_event_ns": micro["null_event"],
+        },
+        bars={
+            "macro.overhead": Bar("<=", 0.25),
+            "micro.null_span_ns": Bar("<=", 5_000.0),
+            "micro.null_event_ns": Bar("<=", 5_000.0),
+        },
+        tolerances={
+            # Machine-dependent timings: the bars are the real gate, the
+            # tolerance only flags an order-of-magnitude blowup.
+            "micro.null_span_ns": Tolerance("lower", rel=3.0),
+            "micro.null_event_ns": Tolerance("lower", rel=3.0),
+        },
+    )
     # Even FULL tracing stays cheap relative to planning + execution;
     # the disabled path can only be cheaper than this.
     assert macro["overhead"] < 0.25, (

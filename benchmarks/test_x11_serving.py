@@ -25,6 +25,7 @@ import time
 from benchmarks.conftest import QUICK
 from repro.experiments.report import Table
 from repro.mediator import Mediator
+from repro.perf.schema import Bar, Tolerance
 from repro.serving import LoadHarness
 from repro.source.faults import SimulatedLatency
 from repro.workloads.synthetic import WorldConfig, make_queries, make_source
@@ -175,10 +176,40 @@ class _Combined:
 # ----------------------------------------------------------------------
 
 
-def test_x11_serving(record_table):
+def test_x11_serving(record_table, record_bench):
     warm_cold = _warm_cold_table()
     load = _load_table()
     record_table("x11", _Combined(warm_cold, load))
+
+    amortization = dict(zip(warm_cold.column("atoms"),
+                            warm_cold.column("plan/warm")))
+    shed = dict(zip(load.column("scenario"), load.column("shed")))
+    completed = dict(zip(load.column("scenario"), load.column("ok")))
+    record_bench(
+        "x11",
+        metrics={
+            "amortization.min": min(amortization.values()),
+            "amortization.max": max(amortization.values()),
+            "load.healthy_completed": completed["healthy"],
+            "load.healthy_shed": shed["healthy"],
+            "load.overloaded_shed": shed["overloaded"],
+            "load.reconciled": all(
+                flag == "yes" for flag in load.column("reconciled")
+            ),
+        },
+        bars={
+            "amortization.min": Bar(">=", 10.0),
+            "load.healthy_shed": Bar("==", 0.0),
+            "load.overloaded_shed": Bar(">=", 1.0),
+            "load.reconciled": Bar("==", 1.0),
+        },
+        tolerances={
+            # Cache-hit-vs-planning ratio moves with the machine; keep
+            # a wide band above the 10x floor the bar already holds.
+            "amortization.min": Tolerance("higher", rel=0.6),
+        },
+        seed=411,
+    )
 
     # The headline acceptance bar: a warm hit amortizes planning >= 10x
     # at every query size in the mix.

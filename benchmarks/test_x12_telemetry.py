@@ -41,6 +41,7 @@ from repro.observability import (
     use_metrics,
     use_tracer,
 )
+from repro.perf.schema import Bar, Tolerance
 from repro.serving import LoadHarness
 from repro.serving.plan_cache import plan_cache_key
 from repro.source.faults import SimulatedLatency
@@ -274,9 +275,35 @@ def _table() -> tuple[Table, dict, dict, dict]:
     return table, overhead, scrape, slo
 
 
-def test_x12_telemetry(record_table):
+def test_x12_telemetry(record_table, record_bench):
     table, overhead, scrape, slo = _table()
     record_table("x12", table)
+    record_bench(
+        "x12",
+        metrics={
+            "overhead.sampled_ratio": overhead["sampled_ratio"],
+            "overhead.full_ratio": overhead["full_ratio"],
+            "scrape.cost": scrape["cost"],
+            "scrape.served": scrape["scrapes"],
+            "slo.budget_burn": slo["budget_burn"],
+            "slo.http_status": slo["http_status"],
+            "slo.log_recorded": slo["log_recorded"],
+        },
+        bars={
+            "overhead.sampled_ratio": Bar("<=", 2.0),
+            "scrape.cost": Bar("<=", 0.05),
+            "scrape.served": Bar(">=", 1.0),
+            "slo.budget_burn": Bar(">=", 1.0),
+            "slo.http_status": Bar("==", 503.0),
+        },
+        tolerances={
+            # Timing ratios on shared CI boxes: a wide band, the bars
+            # above are the real floors/ceilings.
+            "overhead.sampled_ratio": Tolerance("lower", rel=0.6),
+            "scrape.cost": Tolerance("lower", abs=0.03),
+        },
+        seed=412,
+    )
 
     # Sampled recording stays within 2x of the disabled baseline.
     assert overhead["sampled_ratio"] <= 2.0, (

@@ -26,6 +26,7 @@ import random
 from benchmarks.conftest import QUICK
 from repro.experiments.report import Table
 from repro.mediator import Mediator
+from repro.perf.schema import Bar, Tolerance
 from repro.workloads.adversarial import AdversarialSSDLWorkload
 from repro.workloads.federation import (
     DriftingCatalog,
@@ -76,7 +77,7 @@ def _federation() -> dict:
     }
 
 
-def test_x14_workloads(record_table, record_json):
+def test_x14_workloads(record_table, record_bench):
     federation = _federation()
     adversarial = AdversarialSSDLWorkload(
         seed=_SEED, n_grammars=_ADV_GRAMMARS,
@@ -129,19 +130,53 @@ def test_x14_workloads(record_table, record_json):
         f"{minimal['source_queries_saved']} source queries saved",
     )
     record_table("x14", table)
-    record_json("x14", {
-        "federation": federation,
-        "adversarial": {
-            key: adversarial[key]
-            for key in ("parity_checks", "parity_mismatches",
-                        "budget_exceeded", "fallbacks",
-                        "accounting_exact", "closure_rules",
-                        "native_rules")
+    record_bench(
+        "x14",
+        metrics={
+            "federation.stale_serves": federation["stale_serves"],
+            "federation.hit_rate": federation["hit_rate"],
+            "federation.baseline_hit_rate":
+                federation["baseline_hit_rate"],
+            "federation.drift_events": federation["drift_events"],
+            "adversarial.parity_checks": adversarial["parity_checks"],
+            "adversarial.parity_mismatches":
+                adversarial["parity_mismatches"],
+            "adversarial.budget_exceeded": adversarial["budget_exceeded"],
+            "adversarial.fallbacks": adversarial["fallbacks"],
+            "adversarial.accounting_exact":
+                adversarial["accounting_exact"],
+            "zipf.requests": zipf["requests"],
+            "zipf.accounting_exact": zipf["accounting_exact"],
+            "minimal.queries": minimal["queries"],
+            "minimal.branches_pruned": minimal["branches_pruned"],
+            "minimal.mismatched_answers": minimal["mismatched_answers"],
+            "minimal.source_queries_saved":
+                minimal["source_queries_saved"],
         },
-        "zipf": zipf,
-        "minimal": minimal,
-        "bars": _BARS,
-    })
+        bars={
+            "federation.stale_serves":
+                Bar("<=", float(_BARS["stale_serves_max"])),
+            "federation.hit_rate":
+                Bar(">=", _BARS["drift_hit_rate_min"]),
+            "federation.baseline_hit_rate":
+                Bar(">=", _BARS["baseline_hit_rate_min"]),
+            "adversarial.parity_mismatches":
+                Bar("<=", float(_BARS["parity_mismatches_max"])),
+            "adversarial.accounting_exact": Bar("==", 1.0),
+            "zipf.accounting_exact": Bar("==", 1.0),
+            "minimal.branches_pruned":
+                Bar(">=", float(_BARS["branches_pruned_min"])),
+            "minimal.mismatched_answers": Bar("==", 0.0),
+        },
+        tolerances={
+            # Seeded runs: the hit rates are deterministic up to thread
+            # interleaving in the battery, so the bands stay tight.
+            "federation.hit_rate": Tolerance("higher", rel=0.05),
+            "federation.baseline_hit_rate": Tolerance("higher", rel=0.05),
+            "minimal.source_queries_saved": Tolerance("higher", rel=0.05),
+        },
+        seed=_SEED,
+    )
 
     # Bar 1: no stale plan is ever served -- seeded run or 16 threads.
     assert federation["stale_serves"] <= _BARS["stale_serves_max"], \

@@ -1,0 +1,255 @@
+"""X15 (extension): the price of the continuous profiler.
+
+The profiling subsystem's contract is "off by default, free when off":
+an uninstrumented mediator runs the exact same code paths and lock
+objects as before the profiler existed, and ``ProfilingSession.stop()``
+restores that state bit-for-bit.  This benchmark pins the claim:
+
+* **macro** -- wall-clock for a batch of plan+execute cycles on the
+  standard catalog, three ways: *baseline* (NullTracer, never
+  profiled), *after-stop* (a full profiling session installed and then
+  stopped before measuring -- must price like baseline), and *enabled*
+  (recording tracer + phase/lock profilers live).  Bars: the
+  after-stop run stays within 15% of baseline (pure scheduler noise;
+  the code paths are identical), the enabled run within 2x.
+* **micro** -- per-acquire cost of an *uncontended* :class:`ProfiledLock`
+  vs the plain ``threading.Lock`` it wraps, in nanoseconds.  The bar
+  mirrors X10's null-primitive ceiling: < 5 us per profiled acquire.
+* **coverage** -- the enabled run actually profiled: every headline
+  phase aggregated spans, every wrapped site recorded acquires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import timeit
+
+from benchmarks.conftest import QUICK
+from repro.experiments.report import Table
+from repro.mediator import Mediator
+from repro.observability import (
+    ContentionProfiler,
+    MetricsRegistry,
+    PhaseProfiler,
+    ProfiledLock,
+    Tracer,
+    profile_mediator,
+    use_metrics,
+    use_tracer,
+)
+from repro.perf.schema import Bar, Tolerance
+from repro.source.library import standard_catalog
+
+_QUERIES = [
+    "SELECT title FROM bookstore WHERE author = 'Carl Jung' "
+    "or author = 'Sigmund Freud'",
+    "SELECT model FROM car_guide WHERE make = 'BMW' and price < 40000",
+    "SELECT owner FROM bank WHERE account_no = 42",
+    "SELECT title FROM bookstore WHERE subject = 'philosophy' "
+    "and title contains 'dream'",
+]
+
+_ROUNDS = 20 if QUICK else 150
+_MACRO_REPEATS = 3
+_MICRO_CALLS = 100_000 if QUICK else 500_000
+
+#: Phases the macro workload must light up when profiling is on.
+_EXPECTED_PHASES = ("ask", "plan", "execute", "source.service")
+
+
+def _mediator() -> Mediator:
+    # Serving knobs on, so every hot-lock site (plan cache, templates,
+    # check caches, admission) exists to be wrapped.
+    mediator = Mediator(plan_cache_entries=256, max_in_flight=8,
+                        admission_timeout=30.0)
+    for source in standard_catalog(seed=1999).values():
+        mediator.add_source(source)
+    return mediator
+
+
+def _run_batch(mediator: Mediator, rounds: int) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for query in _QUERIES:
+            mediator.ask(query)
+    return time.perf_counter() - start
+
+
+def _best_batch(mediator: Mediator) -> float:
+    return min(_run_batch(mediator, _ROUNDS) for _ in range(_MACRO_REPEATS))
+
+
+def _macro() -> dict:
+    """Baseline vs after-stop vs enabled, best-of-N each."""
+    mediator = _mediator()
+    _run_batch(mediator, 2)  # warm caches, stats, lazy imports
+
+    with use_metrics(MetricsRegistry()):
+        t_baseline = _best_batch(mediator)
+
+    # Install the full session, stop it, then measure: the contract is
+    # that stop() leaves no residue -- same locks, NullTracer untouched.
+    with use_metrics(MetricsRegistry()):
+        with use_tracer(Tracer()) as tracer:
+            profile_mediator(mediator, tracer).stop()
+        t_stopped = _best_batch(mediator)
+    lock_type = type(mediator.plan_cache._lock).__name__
+
+    with use_metrics(MetricsRegistry()):
+        with use_tracer(Tracer()) as tracer:
+            session = profile_mediator(mediator, tracer)
+            try:
+                t_enabled = _best_batch(mediator)
+            finally:
+                phases = session.phases.snapshot()
+                sites = session.locks.sites()
+                session.stop()
+
+    return {
+        "baseline_s": t_baseline,
+        "stopped_s": t_stopped,
+        "enabled_s": t_enabled,
+        "disabled_overhead": (t_stopped - t_baseline) / t_baseline,
+        "enabled_overhead": (t_enabled - t_baseline) / t_baseline,
+        "phases": phases,
+        "sites": sites,
+        "restored_lock_type": lock_type,
+    }
+
+
+def _micro() -> dict:
+    """Uncontended acquire/release: plain lock vs ProfiledLock, ns."""
+    registry = MetricsRegistry()
+    plain = threading.Lock()
+    profiler = ContentionProfiler(registry=registry)
+    holder = type("Holder", (), {"_lock": threading.Lock()})()
+    profiled = profiler.wrap(holder, "_lock", "bench")
+    assert isinstance(profiled, ProfiledLock)
+
+    def plain_cycle():
+        plain.acquire()
+        plain.release()
+
+    def profiled_cycle():
+        profiled.acquire()
+        profiled.release()
+
+    results = {}
+    for name, fn in [("plain_lock", plain_cycle),
+                     ("profiled_lock", profiled_cycle)]:
+        best = min(timeit.repeat(fn, number=_MICRO_CALLS, repeat=3))
+        results[f"{name}_ns"] = best / _MICRO_CALLS * 1e9
+    profiler.uninstall()
+    results["acquires_recorded"] = registry.histogram(
+        "profile.lock.bench.wait_seconds"
+    ).snapshot()["count"]
+    return results
+
+
+def _table() -> tuple[Table, dict, dict]:
+    macro = _macro()
+    micro = _micro()
+    table = Table(
+        "X15: continuous-profiler overhead -- off, stopped, and on",
+        ["measure", "value", "unit"],
+        notes=(
+            f"Macro: best of {_MACRO_REPEATS} x ({_ROUNDS} rounds x "
+            f"{len(_QUERIES)} queries) of plan+execute on the standard "
+            "catalog. baseline = NullTracer, never profiled; stopped = a "
+            "full profiling session installed then stopped first (the "
+            "off-by-default contract: same code paths as baseline); "
+            "enabled = recording tracer + phase/lock profilers live.  "
+            "Micro: best-of-3 per-acquire cost of an uncontended "
+            "ProfiledLock vs the plain threading.Lock it wraps."
+        ),
+    )
+    table.add("macro baseline", round(macro["baseline_s"], 4), "s")
+    table.add("macro after stop()", round(macro["stopped_s"], 4), "s")
+    table.add("macro profiling enabled", round(macro["enabled_s"], 4), "s")
+    table.add("disabled overhead",
+              round(macro["disabled_overhead"] * 100, 2), "%")
+    table.add("enabled overhead",
+              round(macro["enabled_overhead"] * 100, 2), "%")
+    table.add("phases aggregated", len(macro["phases"]), "phases")
+    table.add("lock sites live", len(macro["sites"]), "sites")
+    table.add("micro plain lock", round(micro["plain_lock_ns"], 1),
+              "ns/acquire")
+    table.add("micro profiled lock", round(micro["profiled_lock_ns"], 1),
+              "ns/acquire")
+    return table, macro, micro
+
+
+# ----------------------------------------------------------------------
+
+
+def test_x15_profiler_overhead(record_table, record_bench):
+    table, macro, micro = _table()
+    record_table("x15", table)
+    record_bench(
+        "x15",
+        metrics={
+            "macro.disabled_overhead": macro["disabled_overhead"],
+            "macro.enabled_overhead": macro["enabled_overhead"],
+            "macro.phases": len(macro["phases"]),
+            "macro.lock_sites": len(macro["sites"]),
+            "micro.plain_lock_ns": micro["plain_lock_ns"],
+            "micro.profiled_lock_ns": micro["profiled_lock_ns"],
+        },
+        bars={
+            "macro.disabled_overhead": Bar("<=", 0.15),
+            "macro.enabled_overhead": Bar("<=", 1.0),
+            "macro.phases": Bar(">=", float(len(_EXPECTED_PHASES))),
+            "macro.lock_sites": Bar(">=", 3.0),
+            "micro.profiled_lock_ns": Bar("<=", 5_000.0),
+        },
+        tolerances={
+            # All timings here are machine noise around structural
+            # equality; the bars are the gate, the bands catch blowups.
+            "macro.disabled_overhead": Tolerance("lower", abs=0.10),
+            "micro.profiled_lock_ns": Tolerance("lower", rel=3.0),
+        },
+    )
+
+    # The off-by-default contract: a stopped session leaves the exact
+    # pre-profiling lock objects behind and prices like baseline.
+    assert macro["restored_lock_type"] != "ProfiledLock"
+    assert macro["disabled_overhead"] <= 0.15, (
+        f"stopped profiler cost {macro['disabled_overhead']:.1%} "
+        "over the never-profiled baseline"
+    )
+    # Profiling on is observably *working*, and still affordable.
+    assert macro["enabled_overhead"] <= 1.0, macro
+    for phase in _EXPECTED_PHASES:
+        assert phase in macro["phases"], sorted(macro["phases"])
+        assert macro["phases"][phase].spans > 0
+    # The warm workload hits the plan cache exactly, so the template
+    # path stays idle; every other site must have recorded waits.
+    for site in ("plan_cache", "check_cache", "admission"):
+        assert macro["sites"][site]["acquires"] > 0, macro["sites"]
+    # The profiled acquire is a cheap timed wrapper, not a lock queue.
+    assert micro["profiled_lock_ns"] < 5_000
+    assert micro["acquires_recorded"] == 3 * _MICRO_CALLS
+
+
+def test_x15_phase_profiler_requires_recording_tracer():
+    from repro.observability import get_tracer
+
+    profiler = PhaseProfiler(registry=MetricsRegistry())
+    try:
+        profiler.install(get_tracer())  # the NullTracer
+    except ValueError:
+        pass
+    else:  # pragma: no cover - contract violation
+        raise AssertionError("installed on a NullTracer")
+    assert not profiler.installed
+
+
+def test_x15_bench_profiled_ask(benchmark):
+    mediator = _mediator()
+    query = _QUERIES[0]
+    with use_metrics(MetricsRegistry()):
+        with use_tracer(Tracer()) as tracer:
+            with profile_mediator(mediator, tracer):
+                mediator.ask(query)  # warm
+                benchmark(lambda: mediator.ask(query))

@@ -21,6 +21,7 @@ import pytest
 from benchmarks.conftest import QUICK
 from repro.conditions.parser import parse_condition
 from repro.errors import TransientSourceError, UnsupportedQueryError
+from repro.perf.schema import Bar, Tolerance
 from repro.experiments.report import Table
 from repro.mediator import Mediator
 from repro.multisource import MirrorGroup
@@ -124,12 +125,41 @@ def _sweep_table(seed: int = 101) -> Table:
 
 # ----------------------------------------------------------------------
 
-def test_x8_retry_and_failover_recover_queries(record_table):
+def test_x8_retry_and_failover_recover_queries(record_table, record_bench):
     table = _sweep_table()
     record_table("x8", table)
     rates = table.column("p_fail")
     baseline = dict(zip(rates, table.column("baseline")))
     resilient = dict(zip(rates, table.column("resilient")))
+    retries = dict(zip(rates, table.column("retries")))
+    failovers = dict(zip(rates, table.column("failovers")))
+    record_bench(
+        "x8",
+        metrics={
+            "recovered.baseline_at_p0": baseline[0.0],
+            "recovered.resilient_at_p0": resilient[0.0],
+            "recovered.baseline_at_p20": baseline[0.2],
+            "recovered.resilient_at_p20": resilient[0.2],
+            "recovered.min_advantage": min(
+                resilient[p] - baseline[p] for p in rates
+            ),
+            "sweep.retries_at_p20": retries[0.2],
+            "sweep.failovers_at_p20": failovers[0.2],
+        },
+        bars={
+            "recovered.resilient_at_p0": Bar("==", 1.0),
+            "recovered.resilient_at_p20": Bar(">=", 0.95),
+            "recovered.baseline_at_p20": Bar("<=", 0.85),
+            "recovered.min_advantage": Bar(">=", 0.0),
+        },
+        tolerances={
+            # The sweep is a pure function of the seeds, so the
+            # recovered fractions carry only a rounding-slack band.
+            "recovered.resilient_at_p20": Tolerance("higher", rel=0.02),
+            "recovered.min_advantage": Tolerance("higher", abs=0.02),
+        },
+        seed=101,
+    )
     # No faults: both answer everything, and resilience costs nothing.
     assert baseline[0.0] == 1.0 and resilient[0.0] == 1.0
     # The acceptance bar: at a 20% per-call fault rate the resilient

@@ -22,6 +22,7 @@ import time
 from benchmarks.conftest import QUICK
 from repro.conditions.parser import parse_condition
 from repro.experiments.report import Table
+from repro.perf.schema import Bar, Tolerance
 from repro.plans.execute import Executor
 from repro.plans.nodes import SourceQuery, UnionPlan
 from repro.plans.parallel import ParallelExecutor
@@ -107,13 +108,36 @@ def _sweep_table() -> Table:
 # ----------------------------------------------------------------------
 
 
-def test_x9_parallel_speedup_at_fanout_4(record_table):
+def test_x9_parallel_speedup_at_fanout_4(record_table, record_bench):
     table = _sweep_table()
     record_table("x9", table)
     rows = list(zip(
         table.column("fanout"), table.column("latency_ms"),
         table.column("workers"), table.column("speedup"),
     ))
+    covered = [
+        speedup for fanout, latency_ms, workers, speedup in rows
+        if fanout >= 4 and latency_ms >= 50 and workers >= fanout
+    ]
+    record_bench(
+        "x9",
+        metrics={
+            "speedup.min_covered_50ms": min(covered),
+            "speedup.max": max(s for *_, s in rows),
+            "speedup.min": min(s for *_, s in rows),
+            "sweep.configurations": len(rows),
+        },
+        bars={
+            "speedup.min_covered_50ms": Bar(">=", 2.0),
+            "speedup.min": Bar(">=", 0.8),
+        },
+        tolerances={
+            # Wall-clock overlap of seeded sleeps: robust across
+            # machines, but give scheduling noise a wide band.
+            "speedup.min_covered_50ms": Tolerance("higher", rel=0.4),
+        },
+        seed=77,
+    )
     # The acceptance bar: >= 2x at fan-out >= 4 with 50 ms calls and
     # enough workers to cover the fan-out.
     for fanout, latency_ms, workers, speedup in rows:

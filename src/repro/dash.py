@@ -1,10 +1,11 @@
 """An ASCII telemetry dashboard: ``python -m repro.dash URL``.
 
 One screen over a running :class:`~repro.observability.TelemetryServer`
--- health, SLO, admission, and every histogram with its streaming
-p50/p95/p99 plus a bucket-distribution sparkline -- rendered from the
-server's ``/snapshot`` and ``/health`` endpoints with nothing but the
-stdlib.
+-- health, SLO, admission, a continuous-profiling panel (top phases by
+wall/CPU and the hottest lock-wait sites, when a profiler is
+publishing), and every histogram with its streaming p50/p95/p99 plus a
+bucket-distribution sparkline -- rendered from the server's
+``/snapshot`` and ``/health`` endpoints with nothing but the stdlib.
 
 One-shot by default; ``--watch SECONDS`` refreshes in place until
 interrupted (``--iterations N`` bounds the loop, mostly for tests)::
@@ -27,6 +28,7 @@ import urllib.request
 from typing import Any
 
 from repro.observability.metrics import quantile_from_snapshot
+from repro.observability.profiling import profile_families
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
@@ -69,6 +71,64 @@ def _ms(seconds: float) -> str:
     return f"{seconds * 1000:.2f}"
 
 
+def profiling_panel(snapshot: dict[str, dict[str, Any]],
+                    top: int = 8) -> list[str]:
+    """The continuous-profiler panel: top phases by wall/CPU and the
+    hottest lock-wait sites, from ``profile.*`` registry families.
+
+    Empty when no profiler has published (the off-by-default case) --
+    the dashboard simply omits the panel.
+    """
+    phases: dict[str, dict[str, float]] = {}
+    for name, reading in profile_families(snapshot, "profile.phase"):
+        category, _, kind = name.rpartition(".")
+        stat = phases.setdefault(
+            category, {"spans": 0, "wall": 0.0, "cpu": 0.0})
+        if kind == "wall_seconds":
+            stat["spans"] = reading.get("count", 0)
+            stat["wall"] = reading.get("sum", 0.0)
+        elif kind == "cpu_seconds":
+            stat["cpu"] = reading.get("value", 0.0)
+    locks: dict[str, dict[str, float]] = {}
+    for name, reading in profile_families(snapshot, "profile.lock"):
+        site, _, kind = name.rpartition(".")
+        stat = locks.setdefault(
+            site, {"acquires": 0, "wait": 0.0, "max": 0.0, "timeouts": 0.0})
+        if kind == "wait_seconds":
+            stat["acquires"] = reading.get("count", 0)
+            stat["wait"] = reading.get("sum", 0.0)
+            stat["max"] = reading.get("max") or 0.0
+        elif kind == "timeouts":
+            stat["timeouts"] = reading.get("value", 0.0)
+
+    lines: list[str] = []
+    if phases:
+        lines.append("")
+        lines.append(f"  {'profile: phase':<24} {'spans':>8} "
+                     f"{'wall s':>10} {'cpu s':>10} {'cpu/wall':>9}")
+        ranked = sorted(phases.items(), key=lambda item: item[1]["wall"],
+                        reverse=True)[:top]
+        for category, stat in ranked:
+            share = stat["cpu"] / stat["wall"] if stat["wall"] else 0.0
+            lines.append(
+                f"  {category:<24} {stat['spans']:>8g} "
+                f"{stat['wall']:>10.4f} {stat['cpu']:>10.4f} {share:>9.2f}"
+            )
+    if locks:
+        lines.append("")
+        lines.append(f"  {'profile: lock site':<24} {'acquires':>8} "
+                     f"{'wait s':>10} {'max ms':>10} {'timeouts':>9}")
+        ranked = sorted(locks.items(), key=lambda item: item[1]["wait"],
+                        reverse=True)[:top]
+        for site, stat in ranked:
+            lines.append(
+                f"  {site:<24} {stat['acquires']:>8g} "
+                f"{stat['wait']:>10.4f} {_ms(stat['max']):>10} "
+                f"{stat['timeouts']:>9g}"
+            )
+    return lines
+
+
 def render(health: dict[str, Any], snapshot: dict[str, dict[str, Any]],
            source: str) -> str:
     """The one-screen dashboard for one scrape."""
@@ -102,11 +162,16 @@ def render(health: dict[str, Any], snapshot: dict[str, dict[str, Any]],
             f"  slow queries: {slow['recorded']} recorded, "
             f"{slow['retained']} retained, {slow['evicted']} evicted"
         )
-    histograms = {n: r for n, r in snapshot.items()
+    lines.extend(profiling_panel(snapshot))
+    # profile.* families render in their own panel above, not in the
+    # generic instrument sections.
+    generic = {n: r for n, r in snapshot.items()
+               if not n.startswith("profile.")}
+    histograms = {n: r for n, r in generic.items()
                   if r["type"] == "histogram"}
-    counters = {n: r for n, r in snapshot.items()
+    counters = {n: r for n, r in generic.items()
                 if r["type"] == "counter"}
-    gauges = {n: r for n, r in snapshot.items() if r["type"] == "gauge"}
+    gauges = {n: r for n, r in generic.items() if r["type"] == "gauge"}
     if histograms:
         lines.append("")
         lines.append(f"  {'histogram':<40} {'count':>7} {'mean ms':>9} "

@@ -18,6 +18,10 @@ dependency:
 * :mod:`repro.observability.sampling` -- the production
   :class:`SamplingTracer`: head-sampling ratio, tail keep rules
   (errors and slow traces always kept), bounded ring buffer;
+* :mod:`repro.observability.profiling` -- continuous profiling:
+  :class:`PhaseProfiler` (wall/CPU per span category) and
+  :class:`ContentionProfiler` (lock acquire-wait histograms), both
+  off by default and free when off;
 * :mod:`repro.observability.exposition` -- the OpenMetrics text
   renderer behind ``/metrics``;
 * :mod:`repro.observability.server` -- the opt-in, stdlib-only
@@ -52,6 +56,17 @@ from repro.observability.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.observability.profiling import (
+    PROFILE_BUCKETS,
+    ContentionProfiler,
+    PhaseProfiler,
+    PhaseStat,
+    ProfiledLock,
+    ProfilingSession,
+    phase_category,
+    profile_families,
+    profile_mediator,
+)
 from repro.observability.sampling import SamplingTracer
 from repro.observability.server import TelemetryServer
 from repro.observability.slo import (
@@ -74,6 +89,7 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "ContentionProfiler",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -84,6 +100,11 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OPENMETRICS_CONTENT_TYPE",
+    "PROFILE_BUCKETS",
+    "PhaseProfiler",
+    "PhaseStat",
+    "ProfiledLock",
+    "ProfilingSession",
     "SLOTracker",
     "SamplingTracer",
     "SlowQuery",
@@ -95,7 +116,10 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "orphan_spans",
+    "phase_category",
     "plan_fingerprint",
+    "profile_families",
+    "profile_mediator",
     "quantile_from_snapshot",
     "read_jsonl",
     "render_openmetrics",

@@ -76,7 +76,10 @@ class Counter:
 
     def reset(self) -> None:
         with self._lock:
-            self.value = 0.0
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self.value = 0.0
 
 
 class Gauge:
@@ -112,8 +115,11 @@ class Gauge:
 
     def reset(self) -> None:
         with self._lock:
-            self.value = 0.0
-            self.max_value = 0.0
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
 
 
 class Histogram:
@@ -164,7 +170,14 @@ class Histogram:
             return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """A streaming estimate of the ``q`` quantile (``q`` in [0, 1])."""
+        """A streaming estimate of the ``q`` quantile (``q`` in [0, 1]).
+
+        Defined for every histogram state: an empty (or freshly reset)
+        histogram answers 0.0, a single-observation histogram answers
+        exactly that observation (the min/max clamp pins it), never an
+        exception -- the profilers call this on live histograms that may
+        not have seen a sample yet.
+        """
         return quantile_from_snapshot(self.snapshot(), q)
 
     def snapshot(self) -> dict[str, Any]:
@@ -189,11 +202,14 @@ class Histogram:
 
     def reset(self) -> None:
         with self._lock:
-            self.count = 0
-            self.total = 0.0
-            self.min = None
-            self.max = None
-            self.bucket_counts = [0] * len(self.bucket_counts)
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.bucket_counts = [0] * len(self.bucket_counts)
 
 
 def quantile_from_snapshot(reading: dict[str, Any], q: float) -> float:
@@ -204,13 +220,20 @@ def quantile_from_snapshot(reading: dict[str, Any], q: float) -> float:
     the same snapshot computes the *same* p50/p95/p99.  Nearest-rank
     bucket selection with linear interpolation inside the bucket,
     clamped to the observed min/max.
+
+    Total on its domain: an empty reading (count 0 or missing) answers
+    0.0 and a single-observation reading answers the observation itself
+    -- the clamp collapses the interpolation to the point min == max.
+    Only a ``q`` outside [0, 1] raises.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
-    count = reading.get("count", 0)
-    if not count:
+    count = reading.get("count") or 0
+    if count <= 0:
         return 0.0
-    observed_min = reading.get("min") or 0.0
+    observed_min = reading.get("min")
+    if observed_min is None:
+        observed_min = 0.0
     observed_max = reading.get("max")
     if observed_max is None:
         observed_max = observed_min
@@ -303,11 +326,26 @@ class MetricsRegistry:
                     lock.release()
 
     def reset(self) -> None:
-        """Zero every instrument (the instruments stay registered)."""
+        """Zero every instrument (the instruments stay registered).
+
+        Same one-pass locking discipline as :meth:`snapshot`: every
+        instrument's lock is acquired before the first zeroing, so a
+        concurrent snapshot sees either the pre-reset registry or the
+        post-reset one -- never a half-reset mix (a profiler resetting
+        between benchmark phases must not tear a scraper's view).
+        """
         with self._lock:
-            instruments = list(self._instruments.values())
-        for instrument in instruments:
-            instrument.reset()
+            instruments = sorted(self._instruments.values(),
+                                 key=lambda i: i.name)
+            held = [instrument._lock for instrument in instruments]
+            for lock in held:
+                lock.acquire()
+            try:
+                for instrument in instruments:
+                    instrument._reset_locked()
+            finally:
+                for lock in reversed(held):
+                    lock.release()
 
     def format(self) -> str:
         """A small human-readable dump (the trace CLI's --metrics view)."""

@@ -62,6 +62,12 @@ class Span:
     events: list[SpanEvent] = field(default_factory=list)
     status: str = STATUS_OK
     error: str | None = None
+    #: Thread-CPU clock readings bracketing the span, captured only when
+    #: the owning tracer has ``record_cpu`` set (a PhaseProfiler is
+    #: attached); ``None`` otherwise, so the default path never reads
+    #: the CPU clock.
+    cpu_start: float | None = None
+    cpu_end: float | None = None
 
     @property
     def duration(self) -> float:
@@ -69,6 +75,19 @@ class Span:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    @property
+    def cpu_duration(self) -> float:
+        """Thread-CPU seconds spent inside the span (0.0 unless the
+        tracer recorded CPU clocks -- see ``Tracer.record_cpu``).
+
+        A span runs on exactly one thread, so ``time.thread_time()``
+        deltas are the span's own CPU burn: a 50 ms span with 0.2 ms of
+        CPU was waiting on the network, one with 49 ms was computing.
+        """
+        if self.cpu_start is None or self.cpu_end is None:
+            return 0.0
+        return self.cpu_end - self.cpu_start
 
     @property
     def is_root(self) -> bool:
@@ -138,6 +157,12 @@ class Tracer:
 
     enabled = True
 
+    #: When true, every span brackets its body with ``time.thread_time()``
+    #: readings so :attr:`Span.cpu_duration` is real.  Off by default --
+    #: the CPU clock is a syscall on some platforms -- and flipped on by
+    #: :meth:`~repro.observability.profiling.PhaseProfiler.install`.
+    record_cpu = False
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -189,6 +214,8 @@ class Tracer:
             start=time.perf_counter(),
             attributes=dict(attributes),
         )
+        if self.record_cpu:
+            opened.cpu_start = time.thread_time()
         self._local.span = opened
         try:
             yield opened
@@ -196,6 +223,8 @@ class Tracer:
             opened.record_exception(exc)
             raise
         finally:
+            if opened.cpu_start is not None:
+                opened.cpu_end = time.thread_time()
             opened.end = time.perf_counter()
             self._local.span = parent
             self._record(opened)
@@ -220,6 +249,14 @@ class Tracer:
     def add_exporter(self, exporter: Callable[[Span], None]) -> None:
         with self._lock:
             self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter: Callable[[Span], None]) -> None:
+        """Detach a previously added exporter (no-op if absent)."""
+        with self._lock:
+            try:
+                self._exporters.remove(exporter)
+            except ValueError:
+                pass
 
     def finished_spans(self) -> list[Span]:
         """A snapshot of every span finished so far (ended order)."""
@@ -290,6 +327,9 @@ class NullTracer(Tracer):
     def add_exporter(self, exporter: Callable[[Span], None]) -> None:
         raise ValueError("a NullTracer never finishes spans to export; "
                          "install a Tracer first (set_tracer/use_tracer)")
+
+    def remove_exporter(self, exporter: Callable[[Span], None]) -> None:
+        pass
 
     def finished_spans(self) -> list[Span]:
         return []

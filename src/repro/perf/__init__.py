@@ -1,0 +1,54 @@
+"""The perf-trajectory gate: universal BENCH JSON and regression checks.
+
+Every X-benchmark writes a machine-readable result file
+(``benchmarks/results/BENCH_x*.json``) in one shared schema
+(:mod:`repro.perf.schema`): flat metrics, the enforced acceptance
+**bars**, per-metric regression **tolerances**, the seed and an
+environment fingerprint.  The committed set of those files is the
+repository's *perf trajectory* -- the measured record of every speedup
+the README claims.
+
+``python -m repro.perf`` keeps the trajectory honest:
+
+* ``compare`` -- validate a fresh run against the committed trajectory:
+  every bar must hold, and every metric with a tolerance must not
+  regress past it.  Exits nonzero on any violation (the CI gate).
+* ``report`` -- render the committed trajectory as an ASCII trend
+  table: benchmark x metric, value, bar, headroom.
+
+See :mod:`repro.perf.compare` for the comparison semantics and
+``benchmarks/conftest.py`` (the ``record_bench`` fixture) for how
+benchmarks emit results.
+"""
+
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    Bar,
+    BenchResult,
+    SchemaError,
+    Tolerance,
+    env_fingerprint,
+    load_result,
+    load_trajectory,
+)
+from repro.perf.compare import (
+    MetricOutcome,
+    check_bars,
+    compare_results,
+    compare_trajectories,
+)
+
+__all__ = [
+    "Bar",
+    "BenchResult",
+    "MetricOutcome",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Tolerance",
+    "check_bars",
+    "compare_results",
+    "compare_trajectories",
+    "env_fingerprint",
+    "load_result",
+    "load_trajectory",
+]

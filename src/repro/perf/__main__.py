@@ -1,0 +1,160 @@
+"""``python -m repro.perf``: the perf-trajectory CLI.
+
+::
+
+    python -m repro.perf compare                  # self-check the
+                                                  # committed trajectory
+    python -m repro.perf compare --fresh DIR      # gate a fresh run
+    python -m repro.perf compare --run            # re-run the smoke
+                                                  # benches, then gate
+    python -m repro.perf report                   # ASCII trend table
+
+``compare`` exits 0 when every bar holds and no gated metric regressed
+past its tolerance, 1 otherwise -- which is exactly what CI keys on.
+``--run`` re-executes each committed benchmark's pytest module with
+``REPRO_BENCH_RESULTS`` pointed at a scratch directory, so the
+committed files are never clobbered by the measurement run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+from repro.perf.compare import (
+    compare_trajectories,
+    render_compare,
+    render_report,
+)
+from repro.perf.schema import SchemaError, load_trajectory
+
+#: The default trajectory location, relative to the working directory.
+DEFAULT_RESULTS = pathlib.Path("benchmarks") / "results"
+
+
+def _bench_module(name: str, root: pathlib.Path) -> pathlib.Path | None:
+    """The pytest module that produces ``BENCH_<name>.json``."""
+    matches = sorted((root / "benchmarks").glob(f"test_{name}_*.py"))
+    return matches[0] if matches else None
+
+
+def run_benchmarks(baseline_dir: pathlib.Path, fresh_dir: pathlib.Path,
+                   only: list[str] | None = None) -> list[str]:
+    """Re-run the benchmark modules behind the committed trajectory.
+
+    Returns the benchmarks actually re-run; prints a warning for any
+    committed benchmark whose module cannot be located.
+    """
+    root = baseline_dir.parent.parent
+    names = sorted(load_trajectory(baseline_dir)) if not only else only
+    ran: list[str] = []
+    for name in names:
+        module = _bench_module(name, root)
+        if module is None:
+            print(f"warning: no benchmark module for {name!r}; skipping",
+                  file=sys.stderr)
+            continue
+        env = dict(os.environ)
+        env["REPRO_BENCH_RESULTS"] = str(fresh_dir)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(root / "src"), env.get("PYTHONPATH", "")])
+        )
+        print(f"perf: running {module.name} ...", flush=True)
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", str(module), "-q",
+             "--benchmark-disable", "-p", "no:cacheprovider"],
+            cwd=root, env=env,
+        )
+        if completed.returncode != 0:
+            print(f"warning: {module.name} exited "
+                  f"{completed.returncode}", file=sys.stderr)
+        ran.append(name)
+    return ran
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Validate, compare and report the committed "
+                    "benchmark trajectory (BENCH_*.json).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compare = commands.add_parser(
+        "compare",
+        help="gate a fresh run against the committed trajectory "
+             "(exit 1 on any bar violation or tolerated-metric "
+             "regression)",
+    )
+    compare.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_RESULTS,
+        help=f"committed trajectory directory (default {DEFAULT_RESULTS})",
+    )
+    compare.add_argument(
+        "--fresh", type=pathlib.Path, default=None,
+        help="fresh BENCH directory to gate (default: the baseline "
+             "itself -- a pure validation + bars self-check)",
+    )
+    compare.add_argument(
+        "--run", action="store_true",
+        help="re-run the committed benchmarks into a scratch directory "
+             "first (mutually exclusive with --fresh)",
+    )
+    compare.add_argument(
+        "--only", nargs="*", metavar="BENCH", default=None,
+        help="with --run: re-run only these benchmarks (e.g. x13 x14)",
+    )
+    compare.add_argument(
+        "--require-all", action="store_true",
+        help="fail if any committed benchmark is missing from the "
+             "fresh run",
+    )
+
+    report = commands.add_parser(
+        "report", help="render the committed trajectory as a trend table",
+    )
+    report.add_argument(
+        "--results", type=pathlib.Path, default=DEFAULT_RESULTS,
+        help=f"trajectory directory (default {DEFAULT_RESULTS})",
+    )
+
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "report":
+            trajectory = load_trajectory(args.results)
+            if not trajectory:
+                print(f"error: no BENCH_*.json under {args.results}",
+                      file=sys.stderr)
+                return 1
+            print(render_report(trajectory))
+            return 0
+
+        if args.run and args.fresh is not None:
+            parser.error("--run and --fresh are mutually exclusive")
+        if args.run:
+            with tempfile.TemporaryDirectory(prefix="repro-perf-") as scratch:
+                fresh = pathlib.Path(scratch)
+                run_benchmarks(args.baseline, fresh, only=args.only)
+                verdict = compare_trajectories(
+                    args.baseline, fresh, require_all=args.require_all
+                )
+                print(render_compare(verdict))
+        else:
+            fresh = args.fresh if args.fresh is not None else args.baseline
+            verdict = compare_trajectories(
+                args.baseline, fresh, require_all=args.require_all
+            )
+            print(render_compare(verdict))
+        return 0 if verdict.ok else 1
+    except (SchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

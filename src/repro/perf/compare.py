@@ -1,0 +1,249 @@
+"""Trajectory comparison: bars, tolerances, and the gate verdict.
+
+Three layers, each returning data the CLI renders:
+
+* :func:`check_bars` -- one result against its own absolute bars;
+* :func:`compare_results` -- a fresh result against the committed one:
+  bars on the fresh values plus per-metric drift within tolerance;
+* :func:`compare_trajectories` -- two directories of BENCH files (the
+  committed ``benchmarks/results/`` vs. a fresh run), producing a
+  :class:`CompareReport` whose ``violations`` list *is* the gate: empty
+  means pass, anything else means ``python -m repro.perf compare``
+  exits nonzero.
+
+Semantics worth pinning:
+
+* A fresh benchmark **missing from the baseline** is new work: bars are
+  enforced, drift is not (there is nothing to drift from).
+* A baseline benchmark **missing from the fresh run** is *skipped*, not
+  failed -- CI re-runs a smoke subset, and a skipped benchmark's
+  committed file was already bar-checked when loaded.  ``require_all``
+  flips skips into violations for full-gate runs.
+* A metric that **disappears** from a benchmark while carrying a
+  tolerance is a violation: deleting the measurement is not a way to
+  pass the gate.
+* Tolerances come from the **fresh** file -- the checked-out code
+  defines the policy, and loosening one is a reviewable diff, never a
+  silent runtime decision.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.perf.schema import BenchResult, load_trajectory
+
+
+@dataclass
+class MetricOutcome:
+    """One metric's verdict inside a comparison."""
+
+    benchmark: str
+    metric: str
+    fresh: float
+    baseline: float | None = None
+    bar: str = ""
+    bar_ok: bool = True
+    tolerance: str = ""
+    tolerance_ok: bool = True
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.bar_ok and self.tolerance_ok
+
+
+def check_bars(result: BenchResult) -> list[str]:
+    """Violation messages for a result failing its own bars."""
+    violations = []
+    for metric, bar in sorted(result.bars.items()):
+        observed = result.metrics.get(metric)
+        if observed is None:
+            violations.append(
+                f"{result.benchmark}: bar on missing metric {metric!r}"
+            )
+        elif not bar.holds(observed):
+            violations.append(
+                f"{result.benchmark}: {metric} = {observed:g} violates "
+                f"bar {bar}"
+            )
+    return violations
+
+
+def compare_results(
+    baseline: BenchResult | None, fresh: BenchResult
+) -> tuple[list[MetricOutcome], list[str]]:
+    """Per-metric outcomes plus violation messages for one benchmark."""
+    outcomes: list[MetricOutcome] = []
+    violations = check_bars(fresh)
+    failed_bars = {
+        metric for metric, bar in fresh.bars.items()
+        if metric in fresh.metrics
+        and not bar.holds(fresh.metrics[metric])
+    }
+    committed = baseline.metrics if baseline is not None else {}
+    for metric in sorted(fresh.metrics):
+        value = fresh.metrics[metric]
+        bar = fresh.bars.get(metric)
+        tolerance = fresh.tolerances.get(metric)
+        outcome = MetricOutcome(
+            benchmark=fresh.benchmark,
+            metric=metric,
+            fresh=float(value),
+            baseline=(float(committed[metric])
+                      if metric in committed else None),
+            bar=str(bar) if bar is not None else "",
+            bar_ok=metric not in failed_bars,
+            tolerance=str(tolerance) if tolerance is not None else "",
+        )
+        if tolerance is not None and metric in committed:
+            outcome.tolerance_ok = tolerance.allows(
+                float(committed[metric]), float(value)
+            )
+            if not outcome.tolerance_ok:
+                outcome.note = "regressed past tolerance"
+                violations.append(
+                    f"{fresh.benchmark}: {metric} regressed "
+                    f"{float(committed[metric]):g} -> {float(value):g} "
+                    f"(tolerance {tolerance})"
+                )
+        outcomes.append(outcome)
+    if baseline is not None:
+        for metric in sorted(baseline.tolerances):
+            if metric in baseline.metrics and metric not in fresh.metrics:
+                violations.append(
+                    f"{fresh.benchmark}: gated metric {metric!r} "
+                    "disappeared from the fresh run"
+                )
+    return outcomes, violations
+
+
+@dataclass
+class CompareReport:
+    """The whole gate's verdict: per-metric outcomes and violations."""
+
+    outcomes: list[MetricOutcome] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    compared: list[str] = field(default_factory=list)
+    new: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def compare_trajectories(
+    baseline_dir: str | pathlib.Path,
+    fresh_dir: str | pathlib.Path,
+    require_all: bool = False,
+) -> CompareReport:
+    """Gate a fresh BENCH directory against the committed trajectory."""
+    report = CompareReport()
+    baseline = load_trajectory(baseline_dir)
+    fresh = load_trajectory(fresh_dir)
+    for name, result in sorted(fresh.items()):
+        problems = result.validate()
+        if problems:
+            report.violations.extend(
+                f"{name}: {problem}" for problem in problems
+            )
+            continue
+        committed = baseline.get(name)
+        if committed is None:
+            report.new.append(name)
+        else:
+            report.compared.append(name)
+        outcomes, violations = compare_results(committed, result)
+        report.outcomes.extend(outcomes)
+        report.violations.extend(violations)
+    for name in sorted(set(baseline) - set(fresh)):
+        report.skipped.append(name)
+        if require_all:
+            report.violations.append(
+                f"{name}: in the committed trajectory but missing from "
+                "the fresh run (--require-all)"
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_compare(report: CompareReport) -> str:
+    """The compare verdict as an ASCII table plus a verdict line."""
+    lines = [
+        f"{'benchmark':<10} {'metric':<34} {'baseline':>12} {'fresh':>12} "
+        f"{'bar':<10} {'tolerance':<16} verdict"
+    ]
+    lines.append("-" * len(lines[0]))
+    for outcome in report.outcomes:
+        verdict = "ok"
+        if not outcome.bar_ok:
+            verdict = "BAR FAILED"
+        elif not outcome.tolerance_ok:
+            verdict = "REGRESSED"
+        baseline = ("-" if outcome.baseline is None
+                    else _format_value(outcome.baseline))
+        lines.append(
+            f"{outcome.benchmark:<10} {outcome.metric:<34} {baseline:>12} "
+            f"{_format_value(outcome.fresh):>12} {outcome.bar:<10} "
+            f"{outcome.tolerance:<16} {verdict}"
+        )
+    summary = [
+        f"compared {len(report.compared)}",
+        f"new {len(report.new)}",
+        f"skipped {len(report.skipped)}",
+    ]
+    if report.skipped:
+        summary.append(f"(skipped: {', '.join(report.skipped)})")
+    lines.append("")
+    lines.append("perf gate: " + ", ".join(summary))
+    if report.violations:
+        lines.append("")
+        lines.append(f"VIOLATIONS ({len(report.violations)}):")
+        lines.extend(f"  - {violation}" for violation in report.violations)
+    else:
+        lines.append("perf gate: PASS")
+    return "\n".join(lines)
+
+
+def render_report(trajectory: dict[str, BenchResult]) -> str:
+    """The committed trajectory as an ASCII trend table."""
+    lines = [
+        f"perf trajectory -- {len(trajectory)} benchmarks",
+        "",
+        f"{'benchmark':<10} {'metric':<34} {'value':>12} {'bar':<10} "
+        f"{'headroom':>9} {'tolerance':<16} {'env':<14}",
+    ]
+    lines.append("-" * len(lines[2]))
+    for name in sorted(trajectory):
+        result = trajectory[name]
+        env = f"py{result.env.get('python', '?')}"
+        if result.env.get("quick"):
+            env += " quick"
+        for metric in sorted(result.metrics):
+            value = float(result.metrics[metric])
+            bar = result.bars.get(metric)
+            headroom = ""
+            if bar is not None and bar.value:
+                if bar.op == ">=":
+                    headroom = f"{(value - bar.value) / abs(bar.value):+.0%}"
+                elif bar.op == "<=":
+                    headroom = f"{(bar.value - value) / abs(bar.value):+.0%}"
+            tolerance = result.tolerances.get(metric)
+            lines.append(
+                f"{name:<10} {metric:<34} {_format_value(value):>12} "
+                f"{str(bar) if bar else '':<10} {headroom:>9} "
+                f"{str(tolerance) if tolerance else '':<16} {env:<14}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,280 @@
+"""The shared BENCH JSON schema every X-benchmark emits.
+
+One result file per benchmark, ``BENCH_<name>.json``, four load-bearing
+sections:
+
+* ``metrics`` -- a flat ``dotted.name -> number`` map (booleans allowed,
+  serialized as ``true``/``false``).  Dotted names group related
+  readings (``check.speedup``, ``templates.combined_hit_rate``) without
+  nesting, so comparison code never walks structure.
+* ``bars`` -- the benchmark's *absolute* acceptance criteria: per
+  metric, an operator (``>=``, ``<=``, ``==``) and a bound.  Bars are
+  enforced on every run, baseline and fresh alike -- a committed result
+  violating its own bars is itself a gate failure.
+* ``tolerances`` -- the *relative* regression policy: per metric, how
+  far a fresh value may drift from the committed one before the gate
+  fails.  ``direction: "higher"`` means higher-is-better (a drop past
+  the slack is a regression); ``"lower"`` means lower-is-better.
+  Metrics without a tolerance are informational: recorded, rendered,
+  never gated on drift (raw wall-clock numbers land here -- they
+  depend on the machine; ratios and counts get tolerances).
+* ``seed`` / ``quick`` / ``env`` -- reproducibility: the workload seed,
+  whether the quick configuration ran, and the interpreter/platform
+  fingerprint of the recording machine.
+
+:class:`BenchResult` round-trips the schema losslessly and
+:meth:`BenchResult.validate` rejects anything malformed -- unknown
+operators, bars or tolerances naming absent metrics, non-numeric
+values -- so a corrupt trajectory fails loudly at load time, not as a
+silent non-comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+SCHEMA_VERSION = 1
+
+#: Bar operators and their meaning against the bound.
+_OPERATORS = {
+    ">=": lambda value, bound: value >= bound,
+    "<=": lambda value, bound: value <= bound,
+    "==": lambda value, bound: value == bound,
+}
+
+_DIRECTIONS = ("higher", "lower")
+
+
+class SchemaError(ValueError):
+    """A BENCH payload that does not conform to the schema."""
+
+
+def env_fingerprint(quick: bool | None = None) -> dict[str, Any]:
+    """The recording environment: enough to explain a timing delta."""
+    fingerprint: dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    if quick is not None:
+        fingerprint["quick"] = quick
+    return fingerprint
+
+
+@dataclass(frozen=True)
+class Bar:
+    """An absolute acceptance criterion on one metric."""
+
+    op: str
+    value: float
+
+    def holds(self, observed: float) -> bool:
+        return _OPERATORS[self.op](observed, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """The allowed drift of one metric from its committed value.
+
+    ``rel`` is a fraction of the committed value, ``abs`` an absolute
+    slack; both apply (a fresh value inside *either* slack passes, so a
+    tiny committed value doesn't make the relative band vanish).
+    """
+
+    direction: str = "higher"
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def allows(self, committed: float, fresh: float) -> bool:
+        slack = max(self.rel * abs(committed), self.abs)
+        if self.direction == "higher":
+            return fresh >= committed - slack
+        return fresh <= committed + slack
+
+    def __str__(self) -> str:
+        parts = [self.direction]
+        if self.rel:
+            parts.append(f"rel {self.rel:g}")
+        if self.abs:
+            parts.append(f"abs {self.abs:g}")
+        return " ".join(parts)
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's machine-readable result (one BENCH_*.json)."""
+
+    benchmark: str
+    metrics: dict[str, float]
+    bars: dict[str, Bar] = field(default_factory=dict)
+    tolerances: dict[str, Tolerance] = field(default_factory=dict)
+    seed: int | None = None
+    env: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Every schema violation in this result (empty = conforming)."""
+        problems: list[str] = []
+        if self.schema_version != SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {self.schema_version!r} is not "
+                f"{SCHEMA_VERSION}"
+            )
+        if not self.benchmark or not all(
+            ch.isalnum() or ch == "_" for ch in self.benchmark
+        ):
+            problems.append(f"benchmark name {self.benchmark!r} is not a "
+                            "[a-z0-9_] identifier")
+        if not self.metrics:
+            problems.append("no metrics recorded")
+        for name, value in self.metrics.items():
+            # bools are fine (True/False serialize and compare as 1/0).
+            if not isinstance(value, (int, float)):
+                problems.append(f"metric {name!r} is {type(value).__name__}, "
+                                "not a number")
+            elif isinstance(value, float) and (
+                value != value or value in (float("inf"), float("-inf"))
+            ):
+                problems.append(f"metric {name!r} is non-finite ({value!r})")
+        for name, bar in self.bars.items():
+            if name not in self.metrics:
+                problems.append(f"bar on unknown metric {name!r}")
+            if bar.op not in _OPERATORS:
+                problems.append(f"bar {name!r} has unknown op {bar.op!r}")
+            if not isinstance(bar.value, (int, float)) \
+                    or isinstance(bar.value, bool):
+                problems.append(f"bar {name!r} bound is not a number")
+        for name, tolerance in self.tolerances.items():
+            if name not in self.metrics:
+                problems.append(f"tolerance on unknown metric {name!r}")
+            if tolerance.direction not in _DIRECTIONS:
+                problems.append(
+                    f"tolerance {name!r} direction {tolerance.direction!r} "
+                    f"is not one of {_DIRECTIONS}"
+                )
+            if not isinstance(tolerance.rel, (int, float)) \
+                    or tolerance.rel < 0:
+                problems.append(f"tolerance {name!r} rel must be >= 0")
+            if not isinstance(tolerance.abs, (int, float)) \
+                    or tolerance.abs < 0:
+                problems.append(f"tolerance {name!r} abs must be >= 0")
+        if self.seed is not None and (not isinstance(self.seed, int)
+                                      or isinstance(self.seed, bool)):
+            problems.append(f"seed {self.seed!r} is not an int")
+        return problems
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-ready dict (sorted keys happen at dump time)."""
+        return {
+            "schema_version": self.schema_version,
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "env": dict(self.env),
+            "metrics": {
+                name: value for name, value in self.metrics.items()
+            },
+            "bars": {
+                name: {"op": bar.op, "value": bar.value}
+                for name, bar in self.bars.items()
+            },
+            "tolerances": {
+                name: {
+                    "direction": tolerance.direction,
+                    "rel": tolerance.rel,
+                    "abs": tolerance.abs,
+                }
+                for name, tolerance in self.tolerances.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BenchResult":
+        """Parse a BENCH payload; raises :class:`SchemaError` on shape
+        errors (wrong containers / missing sections) and returns a
+        result whose :meth:`validate` reports value-level problems."""
+        if not isinstance(payload, Mapping):
+            raise SchemaError("BENCH payload is not an object")
+        for section in ("benchmark", "metrics"):
+            if section not in payload:
+                raise SchemaError(f"BENCH payload misses {section!r}")
+        metrics = payload["metrics"]
+        bars = payload.get("bars", {})
+        tolerances = payload.get("tolerances", {})
+        for name, section in (("metrics", metrics), ("bars", bars),
+                              ("tolerances", tolerances)):
+            if not isinstance(section, Mapping):
+                raise SchemaError(f"{name} is not an object")
+        try:
+            parsed_bars = {
+                name: Bar(op=str(spec["op"]), value=spec["value"])
+                for name, spec in bars.items()
+            }
+            parsed_tolerances = {
+                name: Tolerance(
+                    direction=str(spec.get("direction", "higher")),
+                    rel=spec.get("rel", 0.0),
+                    abs=spec.get("abs", 0.0),
+                )
+                for name, spec in tolerances.items()
+            }
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise SchemaError(f"malformed bar/tolerance entry: {exc}")
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            metrics=dict(metrics),
+            bars=parsed_bars,
+            tolerances=parsed_tolerances,
+            seed=payload.get("seed"),
+            env=dict(payload.get("env", {})),
+            schema_version=payload.get("schema_version", -1),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+def load_result(path: str | pathlib.Path) -> BenchResult:
+    """Load and shape-check one BENCH file (value checks via
+    ``validate()``); raises :class:`SchemaError` on unparseable input."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path.name}: not JSON ({exc})")
+    return BenchResult.from_payload(payload)
+
+
+def load_trajectory(directory: str | pathlib.Path
+                    ) -> dict[str, BenchResult]:
+    """Every ``BENCH_*.json`` under ``directory``, keyed by benchmark.
+
+    A file whose ``benchmark`` field disagrees with its filename stem is
+    a :class:`SchemaError` -- the trajectory must be navigable by name.
+    """
+    directory = pathlib.Path(directory)
+    trajectory: dict[str, BenchResult] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        result = load_result(path)
+        expected = path.stem[len("BENCH_"):]
+        if result.benchmark != expected:
+            raise SchemaError(
+                f"{path.name}: benchmark field {result.benchmark!r} does "
+                f"not match the filename ({expected!r})"
+            )
+        trajectory[result.benchmark] = result
+    return trajectory

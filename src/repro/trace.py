@@ -35,7 +35,9 @@ log); ``--slowlog`` prints the slow-query log after the run (with an
 objective of 0 ms when ``--slo`` was not given, so every ask logs);
 ``--serve PORT`` starts the stdlib :class:`TelemetryServer` (0 =
 ephemeral port), scrapes its ``/metrics`` and ``/health`` over real
-HTTP and prints both -- the one-command proof the exposition works.
+HTTP and prints both -- the one-command proof the exposition works;
+``--profile`` runs with the continuous profiler on and prints the
+phase (wall/CPU) and lock-wait breakdown after the run.
 
 The catalog is :func:`~repro.source.library.standard_catalog` plus the
 Example 4.1 ``cars`` source, so the paper's running example works
@@ -144,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="start the telemetry server (0 = ephemeral "
                              "port), scrape /metrics and /health over "
                              "HTTP and print both")
+    parser.add_argument("--profile", action="store_true",
+                        help="run with the continuous profiler on and "
+                             "print the phase (wall/CPU) and lock-wait "
+                             "breakdown after the run")
     args = parser.parse_args(argv)
 
     loadgen = _parse_loadgen(args.loadgen) if args.loadgen else None
@@ -163,6 +169,11 @@ def main(argv: list[str] | None = None) -> int:
                                     slow_threshold=objective)
         else:
             tracer = Tracer()
+        session = None
+        if args.profile:
+            from repro.observability import profile_mediator
+
+            session = profile_mediator(mediator, tracer)
         with use_tracer(tracer):
             answer = mediator.ask(args.query)
             if args.plan_cache is not None:
@@ -206,6 +217,20 @@ def main(argv: list[str] | None = None) -> int:
             report = harness.run(requests)
         print()
         print(report.format())
+
+    if session is not None:
+        session.stop()
+        print()
+        print(session.phases.format())
+        sites = session.locks.sites()
+        if sites:
+            print()
+            print(f"{'lock site':<18} {'acquires':>9} {'wait s':>10} "
+                  f"{'timeouts':>9}")
+            for site, summary in sites.items():
+                print(f"{site:<18} {summary['acquires']:>9} "
+                      f"{summary['wait_seconds']:>10.5f} "
+                      f"{summary['timeouts']:>9g}")
 
     if mediator.slo is not None:
         print()

@@ -310,6 +310,91 @@ class TestHistogramQuantiles:
         assert "p50=" in text and "p99=" in text
 
 
+class TestHistogramEdgeCases:
+    def test_single_observation_quantiles_are_exact(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 1.5
+
+    def test_single_observation_in_overflow_bucket(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(42.0)
+        assert histogram.quantile(0.5) == 42.0
+        assert histogram.quantile(0.999) == 42.0
+
+    def test_quantile_from_snapshot_totality(self):
+        # Every defensively-possible malformed reading yields 0.0, not
+        # a raise: dashboards render whatever the registry serves.
+        assert quantile_from_snapshot({}, 0.5) == 0.0
+        assert quantile_from_snapshot({"count": 0}, 0.5) == 0.0
+        assert quantile_from_snapshot({"count": None}, 0.5) == 0.0
+        assert quantile_from_snapshot(
+            {"count": 2, "min": None, "max": None, "buckets": []}, 0.5
+        ) == 0.0
+
+    def test_quantile_from_snapshot_single_observation(self):
+        histogram = Histogram("h", buckets=DEFAULT_BUCKETS)
+        histogram.observe(0.25)
+        snap = histogram.snapshot()
+        for q in (0.01, 0.5, 0.99):
+            assert quantile_from_snapshot(snap, q) == 0.25
+
+    def test_reset_then_quantile_is_defined(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.reset()
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.snapshot()["count"] == 0
+        assert histogram.min is None and histogram.max is None
+        histogram.observe(2.0)  # reusable after reset
+        assert histogram.quantile(0.5) == 2.0
+
+
+class TestRegistryResetConsistency:
+    def test_reset_is_one_consistent_pass_under_load(self):
+        """reset() mirrors snapshot(): all locks first, zero everything,
+        release -- so paired instruments never show one zeroed and the
+        other mid-flight values from before the reset."""
+        registry = MetricsRegistry()
+        counter = registry.counter("asks")
+        histogram = registry.histogram("ask_seconds")
+        stop = threading.Event()
+
+        def publish():
+            while not stop.is_set():
+                counter.inc()
+                histogram.observe(0.001)
+
+        workers = [threading.Thread(target=publish) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(25):
+                registry.reset()
+                snap = registry.snapshot()
+                drift = snap["asks"]["value"] - snap["ask_seconds"]["count"]
+                assert abs(drift) <= len(workers)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+
+    def test_reset_handles_empty_and_single_observation(self):
+        registry = MetricsRegistry()
+        registry.reset()  # empty registry: a no-op, never a raise
+        histogram = registry.histogram("h")
+        registry.counter("c")
+        registry.gauge("g").set(5.0)
+        histogram.observe(1.0)  # a single observation
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["h"]["count"] == 0
+        assert snap["c"]["value"] == 0.0
+        assert snap["g"]["value"] == 0.0
+        assert registry.histogram("h").quantile(0.99) == 0.0
+
+
 class TestRegistrySnapshotConsistency:
     def test_snapshot_is_mutually_consistent_under_load(self):
         """One registry-wide lock pass: a snapshot taken mid-storm must

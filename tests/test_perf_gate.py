@@ -1,0 +1,284 @@
+"""Unit battery for the perf-trajectory gate (``repro.perf``).
+
+Covers the BENCH schema (round trip, validation, tolerance-parsing
+units), the committed trajectory itself (every ``BENCH_*.json`` in the
+repository must parse, validate, and pass its own bars), the compare
+semantics (new / skipped / disappeared-metric / regression), and the
+``python -m repro.perf`` CLI -- including the injected-regression
+fixture the gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.perf import (
+    Bar,
+    BenchResult,
+    SCHEMA_VERSION,
+    SchemaError,
+    Tolerance,
+    check_bars,
+    compare_results,
+    compare_trajectories,
+    env_fingerprint,
+    load_result,
+    load_trajectory,
+)
+from repro.perf.__main__ import main as perf_main
+
+REPO = pathlib.Path(__file__).parent.parent
+COMMITTED = REPO / "benchmarks" / "results"
+
+
+def _result(**overrides) -> BenchResult:
+    base = dict(
+        benchmark="x99",
+        metrics={"speed.ratio": 12.0, "count.rows": 100},
+        bars={"speed.ratio": Bar(">=", 10.0)},
+        tolerances={"speed.ratio": Tolerance("higher", rel=0.1)},
+        seed=7,
+        env=env_fingerprint(quick=True),
+    )
+    base.update(overrides)
+    return BenchResult(**base)
+
+
+class TestSchema:
+    def test_round_trip_is_lossless(self, tmp_path):
+        result = _result()
+        path = result.save(tmp_path / "BENCH_x99.json")
+        loaded = load_result(path)
+        assert loaded.benchmark == "x99"
+        assert loaded.metrics == result.metrics
+        assert loaded.bars == result.bars
+        assert loaded.tolerances == result.tolerances
+        assert loaded.seed == 7
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.validate() == []
+
+    def test_validate_catches_the_classics(self):
+        assert _result(metrics={}).validate()
+        assert _result(benchmark="bad name").validate()
+        assert _result(schema_version=99).validate()
+        assert _result(metrics={"m": float("nan")}).validate()
+        assert _result(metrics={"m": "fast"}).validate()
+        assert _result(bars={"absent": Bar(">=", 1.0)}).validate()
+        assert _result(tolerances={"absent": Tolerance()}).validate()
+        assert _result(
+            metrics={"m": 1.0}, bars={"m": Bar("!=", 1.0)},
+            tolerances={},
+        ).validate()
+        assert _result(
+            metrics={"m": 1.0}, bars={},
+            tolerances={"m": Tolerance(direction="sideways")},
+        ).validate()
+        assert _result(
+            metrics={"m": 1.0}, bars={},
+            tolerances={"m": Tolerance(rel=-0.1)},
+        ).validate()
+        assert _result(seed="lucky").validate()
+        assert _result().validate() == []
+
+    def test_booleans_are_valid_metric_values(self):
+        result = _result(metrics={"flag.ok": True},
+                         bars={"flag.ok": Bar("==", 1.0)},
+                         tolerances={})
+        assert result.validate() == []
+        assert check_bars(result) == []
+
+    def test_from_payload_shape_errors(self):
+        with pytest.raises(SchemaError):
+            BenchResult.from_payload([])
+        with pytest.raises(SchemaError):
+            BenchResult.from_payload({"benchmark": "x"})
+        with pytest.raises(SchemaError):
+            BenchResult.from_payload({"benchmark": "x", "metrics": 3})
+        with pytest.raises(SchemaError):
+            BenchResult.from_payload({
+                "benchmark": "x", "metrics": {"m": 1},
+                "bars": {"m": {"value": 1.0}},  # op missing
+            })
+
+    def test_load_rejects_non_json_and_name_mismatch(self, tmp_path):
+        bad = tmp_path / "BENCH_x99.json"
+        bad.write_text("not json {")
+        with pytest.raises(SchemaError):
+            load_result(bad)
+        _result(benchmark="other").save(tmp_path / "BENCH_x99.json")
+        with pytest.raises(SchemaError):
+            load_trajectory(tmp_path)
+
+    def test_tolerance_parsing_units(self):
+        payload = _result().to_payload()
+        payload["tolerances"]["speed.ratio"] = {
+            "direction": "lower", "rel": 0.25, "abs": 3.0,
+        }
+        parsed = BenchResult.from_payload(payload)
+        tolerance = parsed.tolerances["speed.ratio"]
+        assert tolerance.direction == "lower"
+        assert tolerance.rel == 0.25
+        assert tolerance.abs == 3.0
+        # Defaults fill in when a spec is partial.
+        payload["tolerances"]["speed.ratio"] = {"rel": 0.5}
+        partial = BenchResult.from_payload(payload)
+        assert partial.tolerances["speed.ratio"] == \
+            Tolerance("higher", rel=0.5)
+
+
+class TestToleranceSemantics:
+    def test_higher_is_better_band(self):
+        tolerance = Tolerance("higher", rel=0.1)
+        assert tolerance.allows(committed=10.0, fresh=9.5)
+        assert tolerance.allows(committed=10.0, fresh=15.0)
+        assert not tolerance.allows(committed=10.0, fresh=8.5)
+
+    def test_lower_is_better_band(self):
+        tolerance = Tolerance("lower", rel=0.1)
+        assert tolerance.allows(committed=10.0, fresh=10.9)
+        assert tolerance.allows(committed=10.0, fresh=2.0)
+        assert not tolerance.allows(committed=10.0, fresh=11.5)
+
+    def test_abs_slack_rescues_tiny_committed_values(self):
+        tolerance = Tolerance("higher", rel=0.1, abs=0.5)
+        # rel slack alone would be 0.001; abs carries it.
+        assert tolerance.allows(committed=0.01, fresh=-0.4)
+        assert not tolerance.allows(committed=0.01, fresh=-0.6)
+
+    def test_bar_operators(self):
+        assert Bar(">=", 2.0).holds(2.0)
+        assert not Bar(">=", 2.0).holds(1.9)
+        assert Bar("<=", 0.1).holds(0.05)
+        assert Bar("==", 503.0).holds(503)
+        assert str(Bar(">=", 2.0)) == ">= 2"
+        assert str(Tolerance("higher", rel=0.1)) == "higher rel 0.1"
+
+
+class TestCompareSemantics:
+    def test_self_compare_is_clean(self):
+        outcomes, violations = compare_results(_result(), _result())
+        assert violations == []
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_bar_violation_is_reported(self):
+        fresh = _result(metrics={"speed.ratio": 5.0, "count.rows": 100})
+        violations = check_bars(fresh)
+        assert len(violations) == 1 and "violates bar" in violations[0]
+
+    def test_regression_past_tolerance(self):
+        fresh = _result(metrics={"speed.ratio": 10.2, "count.rows": 100})
+        _, violations = compare_results(_result(), fresh)
+        assert any("regressed" in message for message in violations)
+
+    def test_drift_within_tolerance_passes(self):
+        fresh = _result(metrics={"speed.ratio": 11.0, "count.rows": 42})
+        _, violations = compare_results(_result(), fresh)
+        # count.rows moved but carries no tolerance: informational.
+        assert violations == []
+
+    def test_gated_metric_disappearing_is_a_violation(self):
+        fresh = _result(metrics={"count.rows": 100}, bars={},
+                        tolerances={})
+        _, violations = compare_results(_result(), fresh)
+        assert any("disappeared" in message for message in violations)
+
+    def test_new_benchmark_gets_bars_only(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir(), fresh_dir.mkdir()
+        _result().save(fresh_dir / "BENCH_x99.json")
+        report = compare_trajectories(baseline_dir, fresh_dir)
+        assert report.new == ["x99"] and report.ok
+
+    def test_skipped_benchmark_needs_require_all(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir(), fresh_dir.mkdir()
+        _result().save(baseline_dir / "BENCH_x99.json")
+        lenient = compare_trajectories(baseline_dir, fresh_dir)
+        assert lenient.skipped == ["x99"] and lenient.ok
+        strict = compare_trajectories(baseline_dir, fresh_dir,
+                                      require_all=True)
+        assert not strict.ok
+
+
+class TestCommittedTrajectory:
+    def test_every_committed_file_round_trips_and_passes_its_bars(self):
+        trajectory = load_trajectory(COMMITTED)
+        assert trajectory, "no committed BENCH_*.json files"
+        for name, result in trajectory.items():
+            assert result.validate() == [], (name, result.validate())
+            assert check_bars(result) == [], (name, check_bars(result))
+            # Round trip through JSON text stays identical.
+            payload = json.loads(
+                (COMMITTED / f"BENCH_{name}.json").read_text()
+            )
+            assert BenchResult.from_payload(payload).to_payload() == \
+                result.to_payload()
+
+    def test_x8_through_x15_are_on_record(self):
+        trajectory = load_trajectory(COMMITTED)
+        for name in ("x8", "x9", "x10", "x11", "x12", "x13", "x14", "x15"):
+            assert name in trajectory, sorted(trajectory)
+
+
+class TestCLI:
+    def test_self_check_passes_on_the_committed_trajectory(self, capsys):
+        assert perf_main(["compare", "--baseline", str(COMMITTED)]) == 0
+        out = capsys.readouterr().out
+        assert "perf gate: PASS" in out
+
+    def test_injected_regression_fails_the_gate(self, tmp_path, capsys):
+        fresh_dir = tmp_path / "fresh"
+        shutil.copytree(COMMITTED, fresh_dir,
+                        ignore=shutil.ignore_patterns("*.txt"))
+        # Inject: halve a bar-guarded, tolerance-gated headline metric.
+        doctored = fresh_dir / "BENCH_x13.json"
+        payload = json.loads(doctored.read_text())
+        payload["metrics"]["check.speedup"] = \
+            payload["metrics"]["check.speedup"] / 10.0
+        doctored.write_text(json.dumps(payload))
+        code = perf_main([
+            "compare", "--baseline", str(COMMITTED),
+            "--fresh", str(fresh_dir),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+
+    def test_tolerated_drift_passes_bars_hold(self, tmp_path):
+        fresh_dir = tmp_path / "fresh"
+        shutil.copytree(COMMITTED, fresh_dir,
+                        ignore=shutil.ignore_patterns("*.txt"))
+        doctored = fresh_dir / "BENCH_x8.json"
+        payload = json.loads(doctored.read_text())
+        # Nudge a gated metric inside its band (rel 0.02 of ~1.0).
+        payload["metrics"]["recovered.resilient_at_p20"] -= 0.01
+        payload["bars"]["recovered.resilient_at_p20"]["value"] = 0.9
+        doctored.write_text(json.dumps(payload))
+        assert perf_main([
+            "compare", "--baseline", str(COMMITTED),
+            "--fresh", str(fresh_dir),
+        ]) == 0
+
+    def test_report_renders_the_trend_table(self, capsys):
+        assert perf_main(["report", "--results", str(COMMITTED)]) == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory" in out and "x15" in out
+
+    def test_report_on_an_empty_directory_errors(self, tmp_path, capsys):
+        assert perf_main(["report", "--results", str(tmp_path)]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_a_loud_error(self, tmp_path, capsys):
+        (tmp_path / "BENCH_x1.json").write_text("{broken")
+        assert perf_main(["compare", "--baseline", str(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_and_fresh_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            perf_main(["compare", "--run", "--fresh", str(tmp_path)])

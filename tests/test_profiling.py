@@ -1,0 +1,356 @@
+"""Unit battery for the continuous-profiling subsystem.
+
+Covers the span->phase mapping, the :class:`PhaseProfiler` exporter
+(wall/CPU aggregation, install/detach symmetry, the NullTracer
+refusal), :class:`ProfiledLock` against both lock and semaphore
+acquire conventions, the :class:`ContentionProfiler` wrap/uninstall
+round trip (including wrapping the metrics registry's own lock), and
+the one-call :func:`profile_mediator` wiring over a real mediator --
+through to the ``repro_profile_*`` OpenMetrics families.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.observability import (
+    ContentionProfiler,
+    MetricsRegistry,
+    PhaseProfiler,
+    PhaseStat,
+    ProfiledLock,
+    Tracer,
+    get_tracer,
+    phase_category,
+    profile_mediator,
+    render_openmetrics,
+    use_metrics,
+    use_tracer,
+)
+from repro.observability.profiling import PROFILE_BUCKETS, profile_families
+from repro.source.library import bookstore
+
+
+class TestPhaseCategory:
+    def test_known_span_names_map_to_phases(self):
+        assert phase_category("mediator.ask") == "ask"
+        assert phase_category("mediator.plan") == "plan"
+        assert phase_category("planner.plan") == "plan"
+        assert phase_category("planner.rewrite") == "rewrite"
+        assert phase_category("planner.generate") == "generate"
+        assert phase_category("planner.cost") == "cost"
+        assert phase_category("mediator.execute") == "execute"
+        assert phase_category("executor.source_call") == "execute"
+        assert phase_category("source.service") == "source.service"
+
+    def test_unknown_names_fall_back_to_first_segment(self):
+        assert phase_category("custom.subsystem.op") == "custom"
+        assert phase_category("bare") == "bare"
+        assert phase_category("") == "other"
+
+
+class TestPhaseStat:
+    def test_means_and_shares_are_total(self):
+        empty = PhaseStat()
+        assert empty.wall_mean == 0.0 and empty.cpu_share == 0.0
+        stat = PhaseStat(spans=4, wall_seconds=2.0, cpu_seconds=1.0)
+        assert stat.wall_mean == 0.5
+        assert stat.cpu_share == 0.5
+
+
+class TestPhaseProfiler:
+    def test_install_flips_cpu_clock_and_detach_restores(self):
+        tracer = Tracer()
+        profiler = PhaseProfiler(registry=MetricsRegistry())
+        assert tracer.record_cpu is False
+        profiler.install(tracer)
+        assert tracer.record_cpu is True
+        assert profiler.installed
+        profiler.detach()
+        assert tracer.record_cpu is False
+        assert not profiler.installed
+        # Detach is idempotent.
+        profiler.detach()
+
+    def test_double_install_raises(self):
+        profiler = PhaseProfiler(registry=MetricsRegistry())
+        profiler.install(Tracer())
+        with pytest.raises(RuntimeError):
+            profiler.install(Tracer())
+
+    def test_null_tracer_refuses_installation(self):
+        profiler = PhaseProfiler(registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            profiler.install(get_tracer())
+        assert not profiler.installed
+        assert get_tracer().record_cpu is False
+
+    def test_spans_aggregate_with_wall_and_cpu(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        profiler = PhaseProfiler(registry=registry).install(tracer)
+        with tracer.span("planner.rewrite"):
+            sum(range(20_000))  # burn a little CPU
+        with tracer.span("planner.rewrite"):
+            pass
+        with tracer.span("mediator.execute"):
+            pass
+        phases = profiler.snapshot()
+        assert phases["rewrite"].spans == 2
+        assert phases["execute"].spans == 1
+        assert phases["rewrite"].wall_seconds > 0.0
+        assert phases["rewrite"].cpu_seconds >= 0.0
+        # The registry saw the same spans.
+        snapshot = registry.snapshot()
+        wall = snapshot["profile.phase.rewrite.wall_seconds"]
+        assert wall["count"] == 2
+        assert "profile.phase.execute.wall_seconds" in snapshot
+
+    def test_top_orders_by_wall_or_cpu_and_rejects_else(self):
+        profiler = PhaseProfiler(registry=MetricsRegistry())
+        tracer = Tracer()
+        profiler.install(tracer)
+        with tracer.span("planner.cost"):
+            pass
+        with tracer.span("mediator.execute"):
+            sum(range(10_000))
+        names = [category for category, _ in profiler.top(by="wall")]
+        assert set(names) == {"cost", "execute"}
+        assert profiler.top(by="cpu")[0][0] in {"cost", "execute"}
+        with pytest.raises(ValueError):
+            profiler.top(by="p99")
+
+    def test_reset_clears_aggregates_not_instruments(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        profiler = PhaseProfiler(registry=registry).install(tracer)
+        with tracer.span("planner.plan"):
+            pass
+        profiler.reset()
+        assert profiler.snapshot() == {}
+        # The registry keeps its history (reset is the registry's call).
+        assert registry.snapshot()[
+            "profile.phase.plan.wall_seconds"]["count"] == 1
+
+    def test_format_lists_phases(self):
+        profiler = PhaseProfiler(registry=MetricsRegistry())
+        tracer = Tracer()
+        profiler.install(tracer)
+        with tracer.span("planner.plan"):
+            pass
+        text = profiler.format()
+        assert "phase" in text and "plan" in text
+
+    def test_without_cpu_switch_spans_still_aggregate_wall(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        profiler = PhaseProfiler(registry=registry)
+        tracer.add_exporter(profiler.export)  # exporter only, no CPU
+        with tracer.span("mediator.ask"):
+            pass
+        stat = profiler.snapshot()["ask"]
+        assert stat.wall_seconds > 0.0
+        assert stat.cpu_seconds == 0.0  # cpu clocks never ran
+
+
+class TestProfiledLock:
+    def _wrapped(self, inner=None):
+        registry = MetricsRegistry()
+        wait = registry.histogram("profile.lock.site.wait_seconds",
+                                  buckets=PROFILE_BUCKETS)
+        timeouts = registry.counter("profile.lock.site.timeouts")
+        lock = ProfiledLock(inner if inner is not None
+                            else threading.Lock(), "site", wait, timeouts)
+        return lock, wait, timeouts
+
+    def test_context_manager_observes_each_wait(self):
+        lock, wait, _ = self._wrapped()
+        with lock:
+            assert lock.locked()
+        with lock:
+            pass
+        assert not lock.locked()
+        assert wait.snapshot()["count"] == 2
+
+    def test_nonblocking_failure_counts_a_timeout(self):
+        lock, wait, timeouts = self._wrapped()
+        assert lock.acquire()
+        assert lock.acquire(blocking=False) is False
+        assert timeouts.value == 1
+        lock.release()
+        assert wait.snapshot()["count"] == 2
+
+    def test_timed_acquire_gives_up_and_counts(self):
+        lock, _, timeouts = self._wrapped()
+        lock.acquire()
+        assert lock.acquire(timeout=0.01) is False
+        assert timeouts.value == 1
+        lock.release()
+
+    def test_wraps_a_semaphore_too(self):
+        semaphore = threading.BoundedSemaphore(1)
+        lock, wait, timeouts = self._wrapped(inner=semaphore)
+        assert lock.acquire()
+        assert lock.acquire(blocking=False) is False
+        lock.release()
+        assert wait.snapshot()["count"] == 2
+        assert timeouts.value == 1
+
+    def test_inner_exposes_the_wrapped_lock(self):
+        original = threading.Lock()
+        lock, _, _ = self._wrapped(inner=original)
+        assert lock.inner is original
+
+
+class TestContentionProfiler:
+    def test_wrap_and_uninstall_restore_the_original(self):
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        holder = Holder()
+        original = holder._lock
+        profiler = ContentionProfiler(registry=MetricsRegistry())
+        profiler.wrap(holder, "_lock", "site")
+        assert isinstance(holder._lock, ProfiledLock)
+        assert profiler.installed
+        assert profiler.uninstall() == 1
+        assert holder._lock is original
+        assert not profiler.installed
+
+    def test_double_wrap_raises(self):
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        holder = Holder()
+        profiler = ContentionProfiler(registry=MetricsRegistry())
+        profiler.wrap(holder, "_lock", "site")
+        with pytest.raises(RuntimeError):
+            profiler.wrap(holder, "_lock", "site")
+
+    def test_sites_summarize_waits_and_timeouts(self):
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        holder = Holder()
+        profiler = ContentionProfiler(registry=MetricsRegistry())
+        profiler.wrap(holder, "_lock", "site")
+        with holder._lock:
+            pass
+        summary = profiler.sites()["site"]
+        assert summary["acquires"] == 1
+        assert summary["timeouts"] == 0
+        assert summary["wait_seconds"] >= 0.0
+
+    def test_registry_lock_wrap_survives_instrument_traffic(self):
+        # The deadlock trap: a wrapped registry lock must not recurse
+        # into the registry while recording its own waits.
+        registry = MetricsRegistry()
+        profiler = ContentionProfiler(registry=registry)
+        profiler.instrument_registry(registry)
+        assert isinstance(registry._lock, ProfiledLock)
+        counter = registry.counter("independent.counter")  # takes the lock
+        counter.inc()
+        snapshot = registry.snapshot()  # takes every lock, ordered
+        assert snapshot["independent.counter"]["value"] == 1
+        waits = profiler.sites()["metrics_registry"]
+        assert waits["acquires"] >= 2
+        profiler.uninstall()
+        assert not isinstance(registry._lock, ProfiledLock)
+
+    def test_instrument_mediator_wraps_every_hot_site(self):
+        mediator = Mediator(plan_cache_entries=32, max_in_flight=4,
+                            admission_timeout=5.0)
+        mediator.add_source(bookstore(n=20))
+        profiler = ContentionProfiler(registry=MetricsRegistry())
+        profiler.instrument_mediator(mediator)
+        assert isinstance(mediator.plan_cache._lock, ProfiledLock)
+        assert isinstance(mediator.admission._lock, ProfiledLock)
+        source = mediator.source("bookstore")
+        assert isinstance(source.description._cache_lock, ProfiledLock)
+        restored = profiler.uninstall()
+        assert restored >= 3
+        assert not isinstance(mediator.plan_cache._lock, ProfiledLock)
+
+
+class TestProfileMediator:
+    def _ask(self, mediator):
+        return mediator.ask(
+            "SELECT title FROM bookstore WHERE author = 'Carl Jung'"
+        )
+
+    def test_end_to_end_phases_locks_and_families(self):
+        registry = MetricsRegistry()
+        mediator = Mediator(plan_cache_entries=32)
+        mediator.add_source(bookstore(n=50))
+        with use_metrics(registry):
+            with use_tracer(Tracer()) as tracer:
+                with profile_mediator(mediator, tracer) as session:
+                    self._ask(mediator)
+                    self._ask(mediator)  # the second ask hits the cache
+        phases = session.phases.snapshot()
+        assert phases["ask"].spans == 2
+        assert "execute" in phases and "source.service" in phases
+        sites = session.locks.sites()
+        assert sites["plan_cache"]["acquires"] > 0
+        assert sites["check_cache"]["acquires"] >= 0
+        # After stop(): plain locks, CPU clock off, exporter gone.
+        assert not isinstance(mediator.plan_cache._lock, ProfiledLock)
+        assert tracer.record_cpu is False
+        # The metrics made it to the registry and the OpenMetrics text.
+        snapshot = registry.snapshot()
+        wall_families = dict(profile_families(snapshot, "profile.phase"))
+        assert "ask.wall_seconds" in wall_families
+        text = render_openmetrics(snapshot)
+        assert "repro_profile_phase_ask_wall_seconds" in text
+        assert "repro_profile_lock_plan_cache_wait_seconds" in text
+
+    def test_profile_registry_lock_opt_in(self):
+        registry = MetricsRegistry()
+        mediator = Mediator()
+        mediator.add_source(bookstore(n=20))
+        with use_metrics(registry):
+            with use_tracer(Tracer()) as tracer:
+                session = profile_mediator(
+                    mediator, tracer, registry=registry,
+                    profile_registry_lock=True,
+                )
+                try:
+                    self._ask(mediator)
+                finally:
+                    session.stop()
+        assert not isinstance(registry._lock, ProfiledLock)
+        assert session.locks.sites()["metrics_registry"]["acquires"] > 0
+
+    def test_wiring_rolls_back_on_failure(self):
+        registry = MetricsRegistry()
+        mediator = Mediator(plan_cache_entries=32)
+        mediator.add_source(bookstore(n=20))
+        tracer = Tracer()
+        # Pre-wrap one site so instrument_mediator blows up mid-way.
+        saboteur = ContentionProfiler(registry=registry)
+        saboteur.wrap(mediator.plan_cache, "_lock", "plan_cache")
+        with pytest.raises(RuntimeError):
+            profile_mediator(mediator, tracer, registry=registry)
+        # The failed wiring detached its exporter and CPU switch...
+        assert tracer.record_cpu is False
+        # ...and the saboteur's wrap is still the only one in place.
+        assert isinstance(mediator.plan_cache._lock, ProfiledLock)
+        saboteur.uninstall()
+
+    def test_profile_families_filters_and_strips_prefix(self):
+        snapshot = {
+            "profile.phase.ask.wall_seconds": {"count": 1},
+            "profile.phase.ask.cpu_seconds": {"value": 0.5},
+            "profile.lock.plan_cache.wait_seconds": {"count": 2},
+            "executor.retries": {"value": 0},
+        }
+        phases = dict(profile_families(snapshot, "profile.phase"))
+        assert set(phases) == {"ask.wall_seconds", "ask.cpu_seconds"}
+        locks = dict(profile_families(snapshot, "profile.lock."))
+        assert set(locks) == {"plan_cache.wait_seconds"}

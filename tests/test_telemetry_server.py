@@ -171,6 +171,75 @@ class TestDash:
         assert text == "repro dash — http://h — status OK"
 
 
+class TestDashProfilingPanel:
+    _SNAPSHOT = {
+        "profile.phase.ask.wall_seconds": {
+            "type": "histogram", "count": 4, "sum": 0.5, "mean": 0.125,
+            "min": 0.1, "max": 0.2, "buckets": [],
+        },
+        "profile.phase.ask.cpu_seconds": {"type": "counter", "value": 0.25},
+        "profile.phase.plan.wall_seconds": {
+            "type": "histogram", "count": 2, "sum": 0.04, "mean": 0.02,
+            "min": 0.01, "max": 0.03, "buckets": [],
+        },
+        "profile.phase.plan.cpu_seconds": {"type": "counter", "value": 0.04},
+        "profile.lock.plan_cache.wait_seconds": {
+            "type": "histogram", "count": 10, "sum": 0.002, "mean": 0.0002,
+            "min": 0.0, "max": 0.001, "buckets": [],
+        },
+        "profile.lock.plan_cache.timeouts": {"type": "counter", "value": 1.0},
+        "executor.retries": {"type": "counter", "value": 2.0},
+    }
+
+    GOLDEN = "\n".join([
+        "repro dash — http://h — status OK",
+        "",
+        "  profile: phase              spans     wall s      cpu s"
+        "  cpu/wall",
+        "  ask                             4     0.5000     0.2500"
+        "      0.50",
+        "  plan                            2     0.0400     0.0400"
+        "      1.00",
+        "",
+        "  profile: lock site       acquires     wait s     max ms"
+        "  timeouts",
+        "  plan_cache                     10     0.0020       1.00"
+        "         1",
+        "",
+        "  executor.retries                                        "
+        "        2",
+    ])
+
+    def test_golden_frame(self):
+        assert render({"status": "ok"}, self._SNAPSHOT, "http://h") \
+            == self.GOLDEN
+
+    def test_profile_families_stay_out_of_generic_sections(self):
+        text = render({"status": "ok"}, self._SNAPSHOT, "http://h")
+        # The phase histogram appears once (in the panel), never in the
+        # generic histogram table with p50/p95 columns.
+        assert text.count("ask.wall_seconds") == 0
+        assert "p95 ms" not in text  # no generic histograms at all here
+        assert "executor.retries" in text
+
+    def test_live_profiled_mediator_feeds_the_panel(self, capsys):
+        from repro.observability import Tracer, profile_mediator
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            mediator = build_mediator()
+            with use_tracer(Tracer()) as tracer:
+                with profile_mediator(mediator, tracer):
+                    mediator.ask(QUERY)
+            with TelemetryServer(mediator=mediator,
+                                 registry=registry) as server:
+                assert dash_main([server.url]) == 0
+        out = capsys.readouterr().out
+        assert "profile: phase" in out
+        assert "profile: lock site" in out
+        assert "source.service" in out
+        assert "check_cache" in out
+
+
 class TestTraceCliTelemetryFlags:
     def test_sample_prints_sampler_stats(self, capsys):
         assert trace_main([QUERY, "--sample", "1.0"]) == 0
@@ -202,6 +271,21 @@ class TestTraceCliTelemetryFlags:
     def test_rejects_non_positive_slo(self, capsys):
         with pytest.raises(SystemExit):
             trace_main([QUERY, "--slo", "0"])
+
+    def test_profile_prints_phase_and_lock_breakdown(self, capsys):
+        assert trace_main([QUERY, "--profile", "--plan-cache", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "cpu/wall" in out
+        assert "source.service" in out
+        assert "lock site" in out and "check_cache" in out
+        assert "plan_cache" in out
+
+    def test_profile_composes_with_loadgen(self, capsys):
+        code = trace_main([QUERY, "--profile", "--loadgen", "2x6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "cpu/wall" in out
 
     def test_sampling_composes_with_loadgen(self, capsys):
         code = trace_main([QUERY, "--sample", "0.0", "--slo", "60000",
