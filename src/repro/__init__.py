@@ -67,6 +67,7 @@ from repro.planners import (
     NaivePlanner,
 )
 from repro.plans import (
+    AsyncExecutor,
     BottleneckCostModel,
     CostModel,
     Executor,
@@ -140,6 +141,7 @@ __all__ = [
     "BottleneckCostModel",
     "Executor",
     "ParallelExecutor",
+    "AsyncExecutor",
     "RetryPolicy",
     "explain",
     "to_paper_notation",

@@ -60,6 +60,9 @@ class Mediator:
         result_cache_tuples: int | None = None,
         retry_policy: RetryPolicy | None = None,
         parallel_workers: int | None = None,
+        executor: str | None = None,
+        async_coalesce: bool = True,
+        async_batch_window: float | None = None,
         plan_cache_entries: int | None = None,
         plan_templates: bool = True,
         compile_capabilities: bool = True,
@@ -79,6 +82,18 @@ class Mediator:
         ``parallel_workers`` executes plans on a
         :class:`~repro.plans.parallel.ParallelExecutor` with that many
         worker threads (``None`` = the serial executor).
+
+        ``executor`` names the *default* execution engine --
+        ``"serial"``, ``"parallel"`` or ``"async"`` -- overriding the
+        ``parallel_workers`` inference; every :meth:`ask` can still
+        pick per call with ``ask(..., executor=...)`` (the engines are
+        built lazily and share the catalog, result cache and retry
+        policy, so switching engines never changes answers).  The
+        async engine runs source calls as tasks on one event-loop
+        thread with single-flight coalescing (``async_coalesce``) and
+        optional disjunct batching (``async_batch_window`` seconds);
+        call :meth:`close` -- or use the mediator as a context manager
+        -- to stop its loop thread.
 
         Serving knobs: ``plan_cache_entries`` enables the canonical
         :class:`~repro.serving.PlanCache` -- equivalent rewritings of a
@@ -171,18 +186,78 @@ class Mediator:
             from repro.plans.cache import ResultCache
 
             self.result_cache = ResultCache(result_cache_tuples)
-        if parallel_workers is None:
-            self._executor = Executor(
-                self.catalog, cache=self.result_cache,
-                retry_policy=retry_policy,
-            )
-        else:
-            from repro.plans.parallel import ParallelExecutor
+        self.retry_policy = retry_policy
+        self.parallel_workers = parallel_workers
+        self.async_coalesce = async_coalesce
+        self.async_batch_window = async_batch_window
+        #: Lazily built engines, keyed "serial" | "parallel" | "async";
+        #: all share the live catalog, result cache and retry policy.
+        self._executors: dict[str, Executor] = {}
+        if executor is None:
+            executor = "serial" if parallel_workers is None else "parallel"
+        self._executor = self._executor_for(executor)
 
-            self._executor = ParallelExecutor(
-                self.catalog, cache=self.result_cache,
-                retry_policy=retry_policy, max_workers=parallel_workers,
+    _EXECUTORS = ("serial", "parallel", "async")
+
+    def _executor_for(self, choice: str | None) -> Executor:
+        """The engine for one ask (``None`` = the mediator's default)."""
+        if choice is None:
+            return self._executor
+        if choice not in self._EXECUTORS:
+            raise PlanExecutionError(
+                f"unknown executor {choice!r}; pick one of "
+                f"{', '.join(self._EXECUTORS)}"
             )
+        engine = self._executors.get(choice)
+        if engine is None:
+            if choice == "serial":
+                engine = Executor(
+                    self.catalog, cache=self.result_cache,
+                    retry_policy=self.retry_policy,
+                )
+            elif choice == "parallel":
+                from repro.plans.parallel import ParallelExecutor
+
+                engine = ParallelExecutor(
+                    self.catalog, cache=self.result_cache,
+                    retry_policy=self.retry_policy,
+                    max_workers=self.parallel_workers or 8,
+                )
+            else:
+                from repro.plans.async_exec import AsyncExecutor
+
+                engine = AsyncExecutor(
+                    self.catalog, cache=self.result_cache,
+                    retry_policy=self.retry_policy,
+                    coalesce=self.async_coalesce,
+                    batch_window=self.async_batch_window,
+                )
+            self._executors[choice] = engine
+        return engine
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, the async loop
+        thread).  Idempotent; the mediator remains usable -- engines
+        are rebuilt lazily on the next ask."""
+        engines, self._executors = self._executors, {}
+        for engine in engines.values():
+            closer = getattr(engine, "close", None)
+            if closer is not None:
+                closer()
+        # The default engine is always registered in _executors, so it
+        # was closed above; rebuild it lazily via the same registry.
+        if self._executor in engines.values():
+            name = next(
+                name for name, engine in engines.items()
+                if engine is self._executor
+            )
+            self._executor = self._executor_for(name)
+
+    def __enter__(self) -> "Mediator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def add_source(self, source: CapabilitySource) -> None:
@@ -406,12 +481,16 @@ class Mediator:
             body += "\n\n" + timeline
         return body
 
-    def ask(self, query: TargetQuery | str, planner: Planner | None = None
-            ) -> MediatorAnswer:
+    def ask(self, query: TargetQuery | str, planner: Planner | None = None,
+            executor: str | None = None) -> MediatorAnswer:
         """Plan and execute; raise :class:`InfeasiblePlanError` if no plan.
 
-        With ``max_in_flight`` configured, the whole plan+execute is one
-        admitted request: past the limit, :meth:`ask` raises
+        ``executor`` picks the execution engine for this ask --
+        ``"serial"``, ``"parallel"`` or ``"async"`` (``None`` = the
+        mediator's default).  With ``max_in_flight`` configured, the
+        whole plan+execute is one admitted request -- however wide the
+        chosen engine fans out inside, one ask holds one admission slot
+        -- and past the limit :meth:`ask` raises
         :class:`~repro.errors.OverloadError` within the admission
         timeout instead of queueing without bound."""
         if isinstance(query, str):
@@ -420,10 +499,10 @@ class Mediator:
             "mediator.ask", query=str(query), source=query.source
         ) as span:
             if self.slo is None:
-                return self._admitted_ask(query, planner, span)
+                return self._admitted_ask(query, planner, span, executor)
             started = time.perf_counter()
             try:
-                answer = self._admitted_ask(query, planner, span)
+                answer = self._admitted_ask(query, planner, span, executor)
             except BaseException as exc:
                 self._observe_ask(query, time.perf_counter() - started,
                                   None, exc, span)
@@ -433,11 +512,11 @@ class Mediator:
             return answer
 
     def _admitted_ask(self, query: TargetQuery, planner: Planner | None,
-                      span) -> MediatorAnswer:
+                      span, executor: str | None = None) -> MediatorAnswer:
         if self.admission is None:
-            return self._ask(query, planner, span)
+            return self._ask(query, planner, span, executor)
         with self.admission.admit():
-            return self._ask(query, planner, span)
+            return self._ask(query, planner, span, executor)
 
     def _observe_ask(self, query: TargetQuery, duration: float,
                      answer: MediatorAnswer | None,
@@ -482,8 +561,8 @@ class Mediator:
             timeline=timeline,
         ))
 
-    def _ask(self, query: TargetQuery, planner: Planner | None, span
-             ) -> MediatorAnswer:
+    def _ask(self, query: TargetQuery, planner: Planner | None, span,
+             executor: str | None = None) -> MediatorAnswer:
         """The admitted body of :meth:`ask` (under its span)."""
         if self.short_circuit_unsatisfiable and is_definitely_unsatisfiable(
             query.condition
@@ -505,8 +584,9 @@ class Mediator:
                 get_metrics().counter(
                     "mediator.union_branches_pruned").inc(pruned)
                 span.set_attribute("union_branches_pruned", pruned)
+        engine = self._executor_for(executor)
         with get_tracer().span("mediator.execute") as exec_span:
-            report = self._executor.execute_with_report(plan)
+            report = engine.execute_with_report(plan)
             exec_span.set_attributes(
                 queries=report.queries,
                 tuples=report.tuples_transferred,

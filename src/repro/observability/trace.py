@@ -1,4 +1,4 @@
-"""End-to-end tracing: nested spans with thread-local context.
+"""End-to-end tracing: nested spans with context-local propagation.
 
 The paper's evaluation is about quantities -- sub-plans kept, pruning
 rules fired, queries issued -- and the ROADMAP's production north star
@@ -8,12 +8,19 @@ OpenTelemetry shape, without the dependency):
 
 * a :class:`Span` is a named, timed unit of work with attributes, a
   status and optional point-in-time :class:`SpanEvent`\\ s;
-* spans nest: the tracer keeps a **thread-local** current span, and a
-  span opened while another is active becomes its child;
-* cross-thread work stays connected: :meth:`Tracer.current_context`
-  captures the active span as a token and :meth:`Tracer.attach`
-  installs it in a worker thread, which is exactly what the parallel
-  executor does when it fans a plan's branches out.
+* spans nest: the tracer keeps the current span in a
+  :class:`contextvars.ContextVar`, and a span opened while another is
+  active becomes its child.  For plain threads a ``ContextVar``
+  behaves exactly like the thread-local it replaced (each thread has
+  its own implicit context); for :mod:`asyncio` it additionally gives
+  every task an isolated copy, so spans opened by interleaved tasks on
+  one event-loop thread cannot corrupt each other's nesting;
+* cross-thread and cross-task work stays connected:
+  :meth:`Tracer.current_context` captures the active span as a token
+  and :meth:`Tracer.attach` installs it on the other side, which is
+  exactly what the parallel executor does when it fans a plan's
+  branches out to worker threads and what the async executor does when
+  it spawns branch tasks.
 
 Disabled tracing must cost (almost) nothing on the hot path, so the
 module ships :class:`NullTracer`: same interface, a single shared
@@ -23,11 +30,12 @@ module-level default tracer is a ``NullTracer``; production code calls
 
 Everything here is thread-safe: span-id allocation and the
 finished-span buffer are lock-guarded, and the *current span* is
-thread-local by construction.
+context-local by construction.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from contextlib import contextmanager
@@ -165,7 +173,13 @@ class Tracer:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._local = threading.local()
+        #: The innermost open span of the current thread *or* asyncio
+        #: task.  A ContextVar is thread-local for plain threads and
+        #: task-local under asyncio (each task runs in a copied
+        #: context), which is what lets one event-loop thread interleave
+        #: thousands of traced source calls without crosstalk.
+        self._current: contextvars.ContextVar[Span | None] = \
+            contextvars.ContextVar("repro_current_span", default=None)
         self._next_id = 1
         self._finished: list[Span] = []
         self._exporters: list[Callable[[Span], None]] = []
@@ -180,27 +194,28 @@ class Tracer:
     # -- context -------------------------------------------------------
     @property
     def current_span(self) -> Span | None:
-        """The span active on *this* thread (innermost open one)."""
-        return getattr(self._local, "span", None)
+        """The span active in *this* context (innermost open one)."""
+        return self._current.get()
 
     def current_context(self) -> Span | None:
-        """A token for handing the active span to another thread."""
+        """A token for handing the active span to another thread/task."""
         return self.current_span
 
     @contextmanager
     def attach(self, token: Span | None) -> Iterator[None]:
-        """Install a captured context as this thread's current span.
+        """Install a captured context as the current span here.
 
-        The parallel executor calls this on the worker side so branch
-        spans parent under the span that was active where the branch
-        was submitted -- one connected tree, however many threads ran.
+        The parallel executor calls this on the worker side (and the
+        async executor inside each spawned task) so branch spans parent
+        under the span that was active where the branch was submitted
+        -- one connected tree, however many threads or tasks ran.
         """
-        previous = self.current_span
-        self._local.span = token
+        previous = self._current.get()
+        self._current.set(token)
         try:
             yield
         finally:
-            self._local.span = previous
+            self._current.set(previous)
 
     # -- spans ---------------------------------------------------------
     @contextmanager
@@ -216,7 +231,7 @@ class Tracer:
         )
         if self.record_cpu:
             opened.cpu_start = time.thread_time()
-        self._local.span = opened
+        self._current.set(opened)
         try:
             yield opened
         except BaseException as exc:
@@ -226,7 +241,7 @@ class Tracer:
             if opened.cpu_start is not None:
                 opened.cpu_end = time.thread_time()
             opened.end = time.perf_counter()
-            self._local.span = parent
+            self._current.set(parent)
             self._record(opened)
 
     def _record(self, span: Span) -> None:

@@ -13,6 +13,8 @@ from repro.plans.execute import (
     FailoverTarget,
     reference_answer,
 )
+from repro.plans.async_exec import AsyncExecutor
+from repro.plans.coalesce import CoalesceStats, RequestCoalescer
 from repro.plans.feasible import FeasibilityReport, validate_plan
 from repro.plans.parallel import ParallelExecutor
 from repro.plans.retry import RetryPolicy
@@ -57,6 +59,9 @@ __all__ = [
     "count_concrete",
     "Executor",
     "ParallelExecutor",
+    "AsyncExecutor",
+    "RequestCoalescer",
+    "CoalesceStats",
     "ExecutionReport",
     "FailoverTarget",
     "RetryPolicy",

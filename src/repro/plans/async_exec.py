@@ -1,0 +1,628 @@
+"""Asyncio plan execution: request-coalescing fan-out without threads.
+
+The :class:`~repro.plans.parallel.ParallelExecutor` burns one worker
+thread per in-flight source call; at the ROADMAP's millions-of-users
+scale that caps out around the pool size.  :class:`AsyncExecutor`
+rebuilds execution on :mod:`asyncio` behind the **same blocking
+interface**: ``execute``/``execute_with_report`` are ordinary calls,
+but inside they submit the plan to a private, lazily started event
+loop on one daemon thread, where every source call is a *task* --
+thousands of concurrent simulated-latency calls cost coroutine frames,
+not threads.
+
+On top of the fan-out the executor layers the execution-time sharing
+the serial engines cannot express (see
+:mod:`repro.plans.coalesce`):
+
+* **single-flight coalescing** -- identical in-flight ``SP(C, A)``
+  calls (canonicalized, so commuted spellings match) share one
+  physical call; every logical caller gets its own row-copied answer.
+* **disjunct batching** -- pending asks differing only in one equality
+  constant merge into one ``SP(c1 or c2 or ..., A + {attr})`` when the
+  source's grammar admits it, each caller post-filtering its own
+  constant back out.
+* **streamed union merge** -- combination children complete in any
+  order and the ready *prefix* is folded immediately, so the answer
+  accumulates before the slowest source returns while the final
+  relation stays byte-identical to serial child-order folding.
+
+Everything else matches the serial executor per branch: query fixing,
+result caching, retry with backoff (waited with ``asyncio.sleep``,
+never a blocked thread), mirror failover and execution-time Choice
+resolution.  Error choice matches the parallel executor: a Union
+surfaces its earliest-index child's failure after every branch
+settles; an Intersect **cancels** its surviving branches on the first
+failure (the result is doomed anyway) and reaps them before raising.
+
+Accounting is exact under sharing: the serial engines diff the global
+source meters around the execution, which double-counts when two
+concurrent reports overlap one coalesced physical call.  This executor
+instead tallies traffic *per execution context at the call site* --
+the physical call lands once, on the logical caller that initiated it,
+and joiners report ``coalesced_hits``/``batched_hits`` (mirrored to
+the metrics registry as ``executor.coalesced_hits`` and
+``executor.batched_hits``).
+
+Determinism caveat (same as the parallel executor's): which call
+consumes which draw of a *shared* seeded fault injector varies with
+task scheduling, and coalescing collapses draws entirely -- seeded
+experiments that must be bit-identical should stay serial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.data.relation import Relation
+from repro.errors import (
+    PlanExecutionError,
+    TransientSourceError,
+    UnsupportedQueryError,
+)
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import get_tracer, trace_event
+from repro.plans.coalesce import RequestCoalescer, flight_key
+from repro.plans.execute import (
+    ExecutionReport,
+    Executor,
+    _ExecutionContext,
+)
+from repro.plans.nodes import (
+    ChoicePlan,
+    IntersectPlan,
+    Plan,
+    Postprocess,
+    SourceQuery,
+    UnionPlan,
+)
+from repro.plans.retry import RetryPolicy
+from repro.source.metering import MeterSnapshot
+from repro.source.source import CapabilitySource
+
+logger = logging.getLogger(__name__)
+
+_EMPTY = MeterSnapshot()
+
+
+@dataclass
+class _AsyncExecutionContext(_ExecutionContext):
+    """The serial context plus call-site traffic tallies and sharing
+    counters -- what makes per-report accounting exact under
+    coalescing (the global meters still meter each physical call
+    exactly once; they just cannot say *whose* it was)."""
+
+    coalesced_hits: int = 0
+    batched_hits: int = 0
+    per_source: dict[str, MeterSnapshot] = field(default_factory=dict)
+
+    def tally(self, source: str, **deltas: int) -> None:
+        """Attribute source traffic caused by this execution."""
+        with self._lock:
+            self.per_source[source] = \
+                self.per_source.get(source, _EMPTY) + MeterSnapshot(**deltas)
+
+    def add_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced_hits += 1
+        get_metrics().counter("executor.coalesced_hits").inc()
+
+    def add_batched(self) -> None:
+        with self._lock:
+            self.batched_hits += 1
+        get_metrics().counter("executor.batched_hits").inc()
+
+
+class AsyncExecutor(Executor):
+    """A drop-in :class:`Executor` that runs plans on an event loop.
+
+    Construct it with the serial executor's arguments plus the sharing
+    knobs; close it (or use it as a context manager) to stop the loop
+    thread.  Concurrent ``execute`` calls from any number of threads
+    share the one loop -- which is exactly what lets their identical
+    in-flight source calls coalesce across requests.
+    """
+
+    def __init__(
+        self,
+        catalog: Mapping[str, CapabilitySource],
+        fix_queries: bool = True,
+        cache=None,
+        retry_policy=None,
+        failover=None,
+        cost_model=None,
+        coalesce: bool = True,
+        batch_window: float | None = None,
+        batch_max: int = 16,
+    ):
+        """``coalesce=False`` disables single-flight sharing (each
+        logical call pays its own round-trip, as the serial engines
+        do).  ``batch_window`` (seconds) enables disjunct batching:
+        the first batchable ask waits that long for companions before
+        its (possibly merged) call is issued; ``None`` disables it.
+        """
+        super().__init__(
+            catalog,
+            fix_queries=fix_queries,
+            cache=cache,
+            retry_policy=retry_policy,
+            failover=failover,
+            cost_model=cost_model,
+        )
+        self.coalesce = coalesce
+        self.batch_window = batch_window
+        self._coalescer = (
+            RequestCoalescer(batch_window=batch_window, batch_max=batch_max)
+            if coalesce or batch_window is not None else None
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._loop_lock = threading.Lock()
+
+    @property
+    def coalesce_stats(self):
+        """The coalescer's savings counters (zeros when disabled)."""
+        from repro.plans.coalesce import CoalesceStats
+
+        if self._coalescer is None:
+            return CoalesceStats()
+        return self._coalescer.stats
+
+    # -- event-loop lifecycle ------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._loop_lock:
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever,
+                    name="repro-async-loop",
+                    daemon=True,
+                )
+                thread.start()
+                self._loop, self._loop_thread = loop, thread
+            return self._loop
+
+    def close(self) -> None:
+        """Stop the loop thread, cancelling any stragglers (idempotent)."""
+        with self._loop_lock:
+            loop, self._loop = self._loop, None
+            thread, self._loop_thread = self._loop_thread, None
+        if loop is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown(), loop
+            ).result(timeout=5.0)
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._coalescer is not None:
+            self._coalescer.drain()
+        tasks = [
+            task for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def __enter__(self) -> "AsyncExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def pending_task_count(self) -> int:
+        """How many tasks the loop is running right now (tests assert 0
+        after cancellation -- nothing orphaned)."""
+        loop = self._ensure_loop()
+
+        async def count() -> int:
+            return len(asyncio.all_tasks()) - 1  # minus this probe
+
+        return asyncio.run_coroutine_threadsafe(count(), loop).result(5.0)
+
+    # -- entry points --------------------------------------------------
+    def _new_context(self) -> _AsyncExecutionContext:
+        policy = self.retry_policy
+        budget = policy.retry_budget if policy is not None else None
+        return _AsyncExecutionContext(budget_left=budget)
+
+    def _run(self, plan: Plan, ctx: _AsyncExecutionContext) -> Relation:
+        """Submit one plan execution to the loop and block for it."""
+        loop = self._ensure_loop()
+        tracer = get_tracer()
+        token = tracer.current_context()
+
+        async def entry() -> Relation:
+            # The cross-thread span handoff, task edition: the caller
+            # thread's active span becomes the parent of everything the
+            # loop runs for this plan (same idiom as ParallelExecutor's
+            # current_context()/attach pair).
+            with get_tracer().attach(token):
+                return await self._a_execute(plan, ctx)
+
+        return asyncio.run_coroutine_threadsafe(entry(), loop).result()
+
+    def execute(self, plan: Plan) -> Relation:
+        return self._run(plan, self._new_context())
+
+    def execute_with_report(self, plan: Plan) -> ExecutionReport:
+        """Execute and report -- from this execution's own tallies.
+
+        Unlike the serial engines' global-meter diff (which misattributes
+        traffic when concurrent reports overlap -- and under coalescing
+        would count one shared physical call in *every* overlapping
+        report), the async report is built from the context's call-site
+        tallies: each physical call appears in exactly one report, the
+        initiating caller's, and joiners carry ``coalesced_hits`` /
+        ``batched_hits`` instead.
+        """
+        ctx = self._new_context()
+        started = time.perf_counter()
+        result = self._run(plan, ctx)
+        duration = time.perf_counter() - started
+        per_source = {
+            name: delta for name, delta in ctx.per_source.items()
+            if delta != _EMPTY
+        }
+        return ExecutionReport(
+            result,
+            sum(delta.queries for delta in per_source.values()),
+            sum(delta.tuples for delta in per_source.values()),
+            attempts=ctx.attempts,
+            retries=ctx.retries,
+            failovers=ctx.failovers,
+            backoff_seconds=ctx.backoff,
+            duration_seconds=duration,
+            per_source=per_source,
+            call_latency=ctx.call_latency.snapshot(),
+            coalesced_hits=ctx.coalesced_hits,
+            batched_hits=ctx.batched_hits,
+        )
+
+    # -- the async tree walk -------------------------------------------
+    async def _a_execute(
+        self, plan: Plan, ctx: _AsyncExecutionContext
+    ) -> Relation:
+        if isinstance(plan, ChoicePlan):
+            return await self._a_execute_choice(plan, ctx)
+        if isinstance(plan, SourceQuery):
+            return await self._a_execute_source_query(plan, ctx)
+        if isinstance(plan, Postprocess):
+            inner = await self._a_execute(plan.input, ctx)
+            if plan.condition.is_true:
+                return inner.project(plan.attrs)
+            return inner.select(plan.condition).project(plan.attrs)
+        if isinstance(plan, (UnionPlan, IntersectPlan)):
+            if not plan.children:
+                raise PlanExecutionError(
+                    f"cannot execute a {plan.op_name} plan with no inputs; "
+                    f"plans must combine at least one sub-plan"
+                )
+            return await self._a_execute_combination(plan, ctx)
+        raise PlanExecutionError(
+            f"cannot execute plan node {type(plan).__name__}"
+        )
+
+    async def _a_execute_combination(
+        self, plan: UnionPlan | IntersectPlan, ctx: _AsyncExecutionContext
+    ) -> Relation:
+        """Fan the children out as tasks; stream-merge the ready prefix.
+
+        The merge folds child ``i`` into the accumulator as soon as
+        children ``0..i`` have all finished -- results accumulate while
+        slower siblings are still in flight, yet the fold order (and so
+        the answer, row order included) is exactly serial's.
+        """
+        children = plan.children
+        if len(children) == 1:
+            return await self._a_execute(children[0], ctx)
+        tracer = get_tracer()
+        token = tracer.current_context()
+
+        async def branch(child: Plan) -> Relation:
+            with get_tracer().attach(token):
+                return await self._a_execute(child, ctx)
+
+        tasks = [asyncio.ensure_future(branch(child)) for child in children]
+        index_of = {task: index for index, task in enumerate(tasks)}
+        combine = (
+            Relation.union if isinstance(plan, UnionPlan)
+            else Relation.intersect
+        )
+        cancel_on_error = isinstance(plan, IntersectPlan)
+        parts: list[Relation | None] = [None] * len(tasks)
+        settled = [False] * len(tasks)
+        errors: list[tuple[int, BaseException]] = []
+        merged: Relation | None = None
+        merged_through = 0
+        pending = set(tasks)
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    index = index_of[task]
+                    settled[index] = True
+                    try:
+                        exc = task.exception()
+                    except asyncio.CancelledError as cancelled:
+                        exc = cancelled
+                    if exc is not None:
+                        errors.append((index, exc))
+                    else:
+                        parts[index] = task.result()
+                if errors and cancel_on_error:
+                    # An Intersect child failed: the combination cannot
+                    # succeed, so stop paying for the survivors.
+                    break
+                while (
+                    not errors
+                    and merged_through < len(tasks)
+                    and settled[merged_through]
+                ):
+                    part = parts[merged_through]
+                    parts[merged_through] = None
+                    merged = part if merged is None \
+                        else combine(merged, part)
+                    merged_through += 1
+        finally:
+            if pending:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+        if errors:
+            # Raise the earliest child's failure so deterministic
+            # errors match serial execution exactly (the parallel
+            # executor's rule).
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
+        return merged  # type: ignore[return-value]
+
+    async def _a_execute_choice(
+        self, plan: ChoicePlan, ctx: _AsyncExecutionContext
+    ) -> Relation:
+        if self.cost_model is None:
+            raise PlanExecutionError(
+                "plan still contains a Choice operator; resolve it with the "
+                "cost model before execution (or construct the Executor "
+                "with cost_model=... to resolve and fail over at runtime)"
+            )
+        ranked = sorted(plan.children, key=self.cost_model.cost)
+        last_fault: TransientSourceError | None = None
+        for index, alternative in enumerate(ranked):
+            if ctx.any_failed(
+                sq.source for sq in alternative.source_queries()
+            ):
+                continue
+            try:
+                return await self._a_execute(alternative, ctx)
+            except TransientSourceError as fault:
+                trace_event(
+                    logger, logging.WARNING,
+                    "Choice alternative %d failed (%s); trying the next one",
+                    index, fault,
+                    event="choice.failover", alternative=index,
+                    fault=str(fault),
+                )
+                last_fault = fault
+                ctx.add_failover()
+                continue
+        if last_fault is not None:
+            raise last_fault
+        raise PlanExecutionError(
+            "every Choice alternative depends on a failed source"
+        )
+
+    # -- source queries ------------------------------------------------
+    async def _a_execute_source_query(
+        self, plan: SourceQuery, ctx: _AsyncExecutionContext
+    ) -> Relation:
+        tracer = get_tracer()
+        task = asyncio.current_task()
+        with tracer.span(
+            "executor.source_call",
+            source=plan.source,
+            condition=str(plan.condition),
+            worker=task.get_name() if task is not None else "loop",
+        ) as span:
+            started = time.perf_counter()
+            try:
+                return await self._a_source_query(plan, ctx, span)
+            finally:
+                ctx.observe_call(time.perf_counter() - started)
+
+    async def _a_source_query(
+        self, plan: SourceQuery, ctx: _AsyncExecutionContext, span
+    ) -> Relation:
+        source = self._source(plan.source)
+        if self.cache is not None:
+            cached = self.cache.get(plan.source, plan.condition, plan.attrs)
+            if cached is not None:
+                trace_event(
+                    logger, logging.DEBUG,
+                    "cache hit for %s SP(%s)", plan.source, plan.condition,
+                    event="cache.hit", source=plan.source,
+                    condition=str(plan.condition),
+                )
+                get_metrics().counter("executor.cache_hits").inc()
+                span.set_attributes(cache_hit=True, attempts=0)
+                return cached
+        coalescer = self._coalescer
+        if coalescer is not None and coalescer.batch_window is not None:
+            answer = await self._a_try_batched(plan, ctx, span, source)
+            if answer is not None:
+                return answer
+        if coalescer is not None and self.coalesce:
+            result, shared = await coalescer.single_flight(
+                flight_key(plan.source, plan.condition, plan.attrs),
+                lambda: self._a_attempts(plan, ctx, span),
+            )
+            if shared:
+                ctx.add_coalesced()
+                span.set_attributes(coalesced=True, rows=len(result))
+            return result
+        return await self._a_attempts(plan, ctx, span)
+
+    async def _a_try_batched(
+        self, plan: SourceQuery, ctx: _AsyncExecutionContext, span, source
+    ) -> Relation | None:
+        """Offer this call to the disjunct batcher; ``None`` = not
+        batched (caller falls through to single flight)."""
+        attr = RequestCoalescer.batchable(plan.condition)
+        if attr is None:
+            return None
+        fetch_attrs = plan.attrs | {attr}
+
+        def supports(conditions) -> bool:
+            from repro.conditions.tree import disjunction
+
+            return source.supports(disjunction(list(conditions)), fetch_attrs)
+
+        led = False
+
+        async def run_merged(merged_condition) -> Relation:
+            nonlocal led
+            led = True
+            merged_plan = SourceQuery(merged_condition, fetch_attrs,
+                                      plan.source)
+            return await self._a_attempts(
+                merged_plan, ctx, span, fill_cache=False
+            )
+
+        merged, role = await self._coalescer.batch_call(
+            (plan.source, plan.attrs, attr), plan.condition,
+            supports, run_merged,
+        )
+        if role != "merged":
+            return None
+        # Post-filter the shared merged answer back down to this
+        # caller's own constant; project() builds fresh row dicts, so
+        # the result is also isolated from the other callers'.
+        answer = merged.select(plan.condition).project(plan.attrs)
+        if not led:
+            ctx.add_batched()
+        span.set_attributes(batched=True, rows=len(answer))
+        if self.cache is not None:
+            self.cache.put(plan.source, plan.condition, plan.attrs, answer)
+        return answer
+
+    async def _a_attempts(
+        self, plan: SourceQuery, ctx: _AsyncExecutionContext, span,
+        fill_cache: bool = True,
+    ) -> Relation:
+        """The retry/failover loop for one physical source query --
+        the serial loop with every wait turned into ``asyncio.sleep``."""
+        source = self._source(plan.source)
+        policy = self.retry_policy if self.retry_policy is not None \
+            else RetryPolicy.none()
+        attempt = 0
+        retries = 0
+        backoff = 0.0
+        while True:
+            attempt += 1
+            ctx.add_attempt()
+            try:
+                result = await self._a_submit(source, plan, ctx, fill_cache)
+                span.set_attributes(
+                    attempts=attempt, retries=retries,
+                    backoff_seconds=backoff, rows=len(result),
+                )
+                return result
+            except TransientSourceError as fault:
+                if policy.should_retry(attempt) and ctx.take_retry_token():
+                    delay = policy.backoff_delay(
+                        attempt, key=f"{plan.source}|{plan.condition}",
+                        fault=fault,
+                    )
+                    retries += 1
+                    backoff += delay
+                    ctx.add_retry(delay)
+                    ctx.tally(plan.source, retries=1)
+                    source.meter.record_retry()
+                    trace_event(
+                        logger, logging.DEBUG,
+                        "transient failure at %s (%s); retry %d/%d after "
+                        "%.3fs", plan.source, fault, attempt,
+                        policy.max_attempts - 1, delay,
+                        event="retry", source=plan.source, attempt=attempt,
+                        delay_seconds=delay, fault=str(fault),
+                    )
+                    if policy.real_sleep and delay > 0.0:
+                        # The async analogue of policy.wait(): backing
+                        # off suspends this task only -- the loop (and
+                        # every sibling call) keeps running.
+                        await asyncio.sleep(delay)
+                    continue
+                span.set_attributes(
+                    attempts=attempt, retries=retries, backoff_seconds=backoff
+                )
+                ctx.mark_failed(plan.source)
+                if self.failover is not None:
+                    alternative = self.failover.replan(
+                        plan, frozenset(ctx.failed_sources)
+                    )
+                    if alternative is not None:
+                        ctx.add_failover()
+                        targets = sorted(
+                            {sq.source for sq in alternative.source_queries()}
+                        )
+                        span.set_attribute("failover_targets", targets)
+                        trace_event(
+                            logger, logging.WARNING,
+                            "failing over %s SP(%s) after %d attempts: %s",
+                            plan.source, plan.condition, attempt, fault,
+                            event="failover", source=plan.source,
+                            attempts=attempt, targets=targets,
+                            fault=str(fault),
+                        )
+                        return await self._a_execute(alternative, ctx)
+                raise
+
+    async def _a_submit(
+        self, source: CapabilitySource, plan: SourceQuery,
+        ctx: _AsyncExecutionContext, fill_cache: bool,
+    ) -> Relation:
+        """One attempt: fix order, await the source, tally, fill cache."""
+        condition = plan.condition
+        if self.fix_queries and not condition.is_true:
+            condition = source.fix(condition, plan.attrs)
+            if condition != plan.condition:
+                trace_event(
+                    logger, logging.DEBUG,
+                    "fixed query order for %s: %s -> %s",
+                    plan.source, plan.condition, condition,
+                    event="query.fixed", source=plan.source,
+                    planned=str(plan.condition), fixed=str(condition),
+                )
+        try:
+            result = await source.execute_async(condition, plan.attrs)
+        except UnsupportedQueryError:
+            ctx.tally(source.name, rejected=1)
+            raise
+        except TransientSourceError:
+            ctx.tally(source.name, failures=1)
+            raise
+        trace_event(
+            logger, logging.DEBUG,
+            "source %s answered SP(%s) with %d tuples",
+            plan.source, condition, len(result),
+            event="source.answered", source=plan.source,
+            condition=str(condition), rows=len(result),
+        )
+        ctx.tally(source.name, queries=1, tuples=len(result))
+        if fill_cache and self.cache is not None:
+            self.cache.put(plan.source, plan.condition, plan.attrs, result)
+        return result

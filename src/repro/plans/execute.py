@@ -83,6 +83,17 @@ class ExecutionReport:
     duration_seconds: float = 0.0
     per_source: dict[str, MeterSnapshot] = field(default_factory=dict)
     call_latency: dict | None = None
+    #: Logical source calls answered by joining another caller's
+    #: in-flight physical call (async executor's single-flight
+    #: coalescing).  The attribution rule: a shared physical call is
+    #: counted -- queries, tuples, attempts, retries -- **once**, on
+    #: the logical caller that initiated it; every joiner reports one
+    #: ``coalesced_hits`` and no per-source traffic for it.
+    coalesced_hits: int = 0
+    #: Logical source calls folded into another caller's merged
+    #: disjunctive call (async executor's batching); same attribution
+    #: rule, with the batch leader carrying the one physical call.
+    batched_hits: int = 0
 
     def measured_cost(self, k1: float, k2: float) -> float:
         return self.queries * k1 + self.tuples_transferred * k2

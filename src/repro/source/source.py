@@ -26,10 +26,12 @@ no matter how aggressive the caller, it never exceeds the limit.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
-from contextlib import contextmanager
-from typing import Iterable, Iterator
+import weakref
+from contextlib import asynccontextmanager, contextmanager
+from typing import AsyncIterator, Iterable, Iterator
 
 from repro.conditions.tree import Condition
 from repro.data.relation import Relation
@@ -89,6 +91,14 @@ class CapabilitySource:
         self.max_in_flight = 0
         self._in_flight = 0
         self._gate: threading.BoundedSemaphore | None = None
+        #: Async twins of ``_gate``, one per event loop (a semaphore is
+        #: bound to the loop it was created on; keying weakly lets dead
+        #: loops drop their gates).  Sync and async callers share the
+        #: same *declared* capacity but gate independently -- mixing
+        #: both against one throttled source concurrently is not a
+        #: supported deployment shape.
+        self._async_gates: "weakref.WeakKeyDictionary" = \
+            weakref.WeakKeyDictionary()
         self._flight_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._stats: TableStats | None = None
@@ -289,6 +299,97 @@ class CapabilitySource:
                     )
         return self._gate
 
+    def _async_concurrency_gate(self) -> asyncio.BoundedSemaphore | None:
+        """The running loop's gate for this source (created on demand)."""
+        if self.max_concurrency is None:
+            return None
+        loop = asyncio.get_running_loop()
+        with self._flight_lock:
+            gate = self._async_gates.get(loop)
+            if gate is None:
+                gate = asyncio.BoundedSemaphore(self.max_concurrency)
+                self._async_gates[loop] = gate
+        return gate
+
+    @asynccontextmanager
+    async def async_concurrency_slot(self) -> AsyncIterator[float]:
+        """:meth:`concurrency_slot`'s awaitable twin.
+
+        Waits on an :class:`asyncio.BoundedSemaphore` instead of
+        blocking a thread, so a throttled source suspends its callers'
+        *tasks* while the event loop keeps serving everyone else.
+        Shares the ``in_flight`` bookkeeping (and the ``max_in_flight``
+        high-water mark) with the sync path; a caller cancelled while
+        queued never takes a slot and never leaks one.
+        """
+        gate = self._async_concurrency_gate()
+        instruments = self._instruments()
+        queue_wait = 0.0
+        if gate is not None:
+            waited_from = time.perf_counter()
+            await gate.acquire()
+            queue_wait = time.perf_counter() - waited_from
+            instruments["queue_wait"].observe(queue_wait)
+        with self._flight_lock:
+            self._in_flight += 1
+            if self._in_flight > self.max_in_flight:
+                self.max_in_flight = self._in_flight
+            watermark = self._in_flight
+        instruments["in_flight"].set(watermark)
+        try:
+            yield queue_wait
+        finally:
+            with self._flight_lock:
+                self._in_flight -= 1
+            if gate is not None:
+                gate.release()
+
+    def _draw_fault(self, instruments: dict) -> None:
+        """Raise this call's injected fault, if the injector draws one."""
+        if self.fault_injector is not None:
+            fault = self.fault_injector.draw(self.name)
+            if fault is not None:
+                self.meter.record_failure()
+                instruments["failures"].inc()
+                raise fault
+
+    def _enforce_and_answer(
+        self, condition: Condition, attributes: Iterable[str],
+        instruments: dict, span,
+    ) -> Relation:
+        """The capability-enforcement + metering core shared by the sync
+        and async execute paths (everything after latency and faults)."""
+        attrs = frozenset(attributes)
+        result = self.enforcing_description.check(condition)
+        if not result.supports(attrs):
+            self.meter.record_rejection()
+            instruments["rejected"].inc()
+            if not result:
+                reason = (
+                    "the condition expression is not accepted by the form"
+                )
+            else:
+                exportable = " | ".join(
+                    "{" + ", ".join(sorted(s)) + "}"
+                    for s in result.attribute_sets
+                )
+                reason = (
+                    f"the form cannot export attributes {sorted(attrs)} "
+                    f"for this condition (exportable: {exportable})"
+                )
+            raise UnsupportedQueryError(
+                f"source {self.name!r} rejected SP({condition}, "
+                f"{sorted(attrs)}): {reason}",
+                condition=condition,
+                attributes=attrs,
+            )
+        answer = self.relation.sp(condition, attrs)
+        self.meter.record(len(answer))
+        instruments["queries"].inc()
+        instruments["tuples"].inc(len(answer))
+        span.set_attribute("rows", len(answer))
+        return answer
+
     def execute(self, condition: Condition, attributes: Iterable[str]) -> Relation:
         """Answer the source query ``SP(condition, attributes, R)``.
 
@@ -316,42 +417,40 @@ class CapabilitySource:
             if self.latency is not None:
                 delay = self.latency.apply()
                 span.set_attribute("latency_seconds", delay)
-            if self.fault_injector is not None:
-                fault = self.fault_injector.draw(self.name)
-                if fault is not None:
-                    self.meter.record_failure()
-                    instruments["failures"].inc()
-                    raise fault
-            attrs = frozenset(attributes)
-            result = self.enforcing_description.check(condition)
-            if not result.supports(attrs):
-                self.meter.record_rejection()
-                instruments["rejected"].inc()
-                if not result:
-                    reason = (
-                        "the condition expression is not accepted by the form"
-                    )
-                else:
-                    exportable = " | ".join(
-                        "{" + ", ".join(sorted(s)) + "}"
-                        for s in result.attribute_sets
-                    )
-                    reason = (
-                        f"the form cannot export attributes {sorted(attrs)} "
-                        f"for this condition (exportable: {exportable})"
-                    )
-                raise UnsupportedQueryError(
-                    f"source {self.name!r} rejected SP({condition}, "
-                    f"{sorted(attrs)}): {reason}",
-                    condition=condition,
-                    attributes=attrs,
+            self._draw_fault(instruments)
+            return self._enforce_and_answer(
+                condition, attributes, instruments, span
+            )
+
+    async def execute_async(
+        self, condition: Condition, attributes: Iterable[str]
+    ) -> Relation:
+        """:meth:`execute`'s awaitable twin, with identical semantics.
+
+        Same capability enforcement, metering, tracing, fault drawing
+        and concurrency gating -- but the round-trip latency is paid
+        with ``await asyncio.sleep`` and the concurrency gate with an
+        :class:`asyncio.BoundedSemaphore`, so thousands of in-flight
+        calls cost tasks, not threads.  The latency draw itself comes
+        from the same seeded stream as the sync path (one draw per
+        call), which is what lets benchmarks assert both executors were
+        charged identical simulated time.
+        """
+        instruments = self._instruments()
+        async with self.async_concurrency_slot() as queue_wait:
+            with get_tracer().span(
+                "source.service", source=self.name
+            ) as span:
+                span.set_attribute("queue_wait_seconds", queue_wait)
+                if self.latency is not None:
+                    delay = self.latency.draw()
+                    if self.latency.real_sleep and delay > 0.0:
+                        await asyncio.sleep(delay)
+                    span.set_attribute("latency_seconds", delay)
+                self._draw_fault(instruments)
+                return self._enforce_and_answer(
+                    condition, attributes, instruments, span
                 )
-            answer = self.relation.sp(condition, attrs)
-            self.meter.record(len(answer))
-            instruments["queries"].inc()
-            instruments["tuples"].inc(len(answer))
-            span.set_attribute("rows", len(answer))
-            return answer
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -69,12 +69,14 @@ def build_mediator(planner_name: str = "gencompact",
                    workers: int | None = None,
                    plan_cache: int | None = None,
                    max_in_flight: int | None = None,
-                   latency_objective: float | None = None) -> Mediator:
+                   latency_objective: float | None = None,
+                   executor: str | None = None) -> Mediator:
     """The CLI's mediator: library catalog + Example 4.1's cars source."""
     from repro.__main__ import _make_planner
 
     mediator = Mediator(
         planner=_make_planner(planner_name), parallel_workers=workers,
+        executor=executor,
         plan_cache_entries=plan_cache, max_in_flight=max_in_flight,
         latency_objective=latency_objective,
     )
@@ -110,6 +112,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="gencompact|genmodular|cnf|dnf|disco|naive")
     parser.add_argument("--workers", type=int, default=None,
                         help="execute on a parallel executor with N workers")
+    parser.add_argument("--executor", default=None,
+                        choices=["serial", "parallel", "async"],
+                        help="execution engine (async = event-loop tasks "
+                             "with single-flight coalescing; the timeline "
+                             "then shows task workers)")
     parser.add_argument("--limit", type=int, default=5,
                         help="max answer rows to print (default 5)")
     parser.add_argument("--width", type=int, default=32,
@@ -163,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         mediator = build_mediator(args.planner, args.workers,
                                   args.plan_cache, args.max_in_flight,
-                                  latency_objective=objective)
+                                  latency_objective=objective,
+                                  executor=args.executor)
         if args.sample is not None:
             tracer = SamplingTracer(ratio=args.sample,
                                     slow_threshold=objective)
@@ -195,6 +203,11 @@ def main(argv: list[str] | None = None) -> int:
         f"{report.backoff_seconds:.3f}s backoff), "
         f"{len(answer.rows)} answer rows"
     )
+    if report.coalesced_hits or report.batched_hits:
+        print(
+            f"  shared: {report.coalesced_hits} coalesced hits, "
+            f"{report.batched_hits} batched hits"
+        )
     for name, delta in sorted(report.per_source.items()):
         print(f"  {name}: {delta.queries} queries, {delta.tuples} tuples")
     for row in answer.rows[: args.limit]:
@@ -263,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.jsonl:
         count = write_jsonl(tracer.finished_spans(), args.jsonl)
         print(f"\nwrote {count} spans to {args.jsonl}")
+    mediator.close()
     return 0
 
 

@@ -1,0 +1,223 @@
+"""AsyncExecutor under load: fan-out, cancellation, resource hygiene.
+
+What the event-loop engine must survive that the thread pool never
+could (or could only by burning a thread per call):
+
+* a 2,000-leaf union under seeded faults, within a deadline, while the
+  process grows by exactly **one** thread (the loop) -- no pool;
+* retry backoff spent with ``asyncio.sleep``: concurrent calls back
+  off *simultaneously*, so the report's accumulated backoff exceeds
+  the wall clock that elapsed;
+* Intersect cancellation: the first deterministic failure cancels the
+  surviving (slow, coalesced) branches and leaves nothing behind -- no
+  orphan tasks, no held concurrency slots, the source immediately
+  usable again;
+* admission integration: one async ask occupies one admission slot no
+  matter how wide its internal fan-out; a second concurrent ask sheds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.conditions.parser import parse_condition
+from repro.errors import OverloadError, QueryFixingError
+from repro.mediator import Mediator
+from repro.plans.async_exec import AsyncExecutor
+from repro.plans.nodes import IntersectPlan, SourceQuery, UnionPlan
+from repro.plans.retry import RetryPolicy
+from repro.source.faults import FaultInjector, SimulatedLatency
+from repro.source.library import BOOK_EXPORTS, bookstore
+
+_ATTRS = frozenset(BOOK_EXPORTS)
+
+#: Always recovers (p_fail^40 ~ 0) and really sleeps its backoff -- on
+#: the loop that means ``asyncio.sleep``, never a blocked thread.
+_RECOVERING = RetryPolicy(
+    max_attempts=40, base_backoff=0.001, real_sleep=True
+)
+
+
+def _loop_threads() -> int:
+    return sum(
+        1 for t in threading.enumerate() if t.name == "repro-async-loop"
+    )
+
+
+class TestFanOut:
+    def test_two_thousand_faulted_calls_one_extra_thread(self):
+        catalog = {}
+        for index in range(4):
+            source = bookstore(n=50, seed=1999)
+            source.name = f"b{index}"
+            source.latency = SimulatedLatency(
+                seed=index, base=0.002, real_sleep=True
+            )
+            source.fault_injector = FaultInjector(
+                seed=11 + index, transient_rate=0.15, timeout_rate=0.05
+            )
+            catalog[source.name] = source
+        # 2,000 distinct leaves (coalescing has nothing to collapse):
+        # one known author, 1,999 misses.
+        leaves = [
+            SourceQuery(
+                parse_condition("author = 'Carl Jung'"), _ATTRS, "b0"
+            )
+        ] + [
+            SourceQuery(
+                parse_condition(f"author = 'nobody-{index}'"),
+                _ATTRS,
+                f"b{index % 4}",
+            )
+            for index in range(1, 2000)
+        ]
+        before = threading.active_count()
+        started = time.perf_counter()
+        with AsyncExecutor(catalog, retry_policy=_RECOVERING) as executor:
+            report = executor.execute_with_report(UnionPlan(leaves))
+            during = threading.active_count()
+            assert executor.pending_task_count() == 0
+        elapsed = time.perf_counter() - started
+        # Deadline guard: 2,000 concurrent 2 ms sleeps plus retries must
+        # overlap, not serialize (serially this is > 4 s before faults).
+        assert elapsed < 20.0
+        assert during - before == 1  # the loop thread and nothing else
+        assert report.queries == 2000
+        assert report.attempts >= 2000
+        assert report.retries > 0  # the injectors really fired
+        assert len(report.result) > 0  # Carl Jung's books survived
+        for source in catalog.values():
+            assert source.in_flight == 0
+        # close() joined the loop thread.
+        assert _loop_threads() == 0
+
+    def test_backoff_is_spent_concurrently_not_serially(self):
+        source = bookstore(n=50, seed=1999)
+        source.fault_injector = FaultInjector(seed=3, transient_rate=0.5)
+        policy = RetryPolicy(
+            max_attempts=40, base_backoff=0.05, real_sleep=True
+        )
+        leaves = [
+            SourceQuery(
+                parse_condition(f"author = 'nobody-{index}'"),
+                _ATTRS,
+                "bookstore",
+            )
+            for index in range(40)
+        ]
+        started = time.perf_counter()
+        with AsyncExecutor(
+            {"bookstore": source}, retry_policy=policy
+        ) as executor:
+            report = executor.execute_with_report(UnionPlan(leaves))
+        elapsed = time.perf_counter() - started
+        assert report.retries > 0
+        # The one-line proof the waits were asyncio.sleep: more backoff
+        # was *accumulated* than wall-clock time passed, which is only
+        # possible if the calls backed off simultaneously.
+        assert report.backoff_seconds > elapsed
+
+
+class TestIntersectCancellation:
+    def _world(self):
+        rejecting = bookstore(n=30, seed=1999)
+        rejecting.name = "rejecting"
+        slow = bookstore(n=30, seed=1999)
+        slow.name = "slow"
+        slow.max_concurrency = 1
+        slow.latency = SimulatedLatency(seed=5, base=0.5, real_sleep=True)
+        return {"rejecting": rejecting, "slow": slow}
+
+    def test_first_failure_cancels_slow_siblings_cleanly(self):
+        catalog = self._world()
+        # Child 0 fails deterministically (price-only queries are
+        # outside the bookstore grammar); children 1 and 2 are the
+        # *same* slow call, so they share one coalesced flight whose
+        # two waiters both get cancelled.
+        doomed = SourceQuery(
+            parse_condition("price <= 40"), _ATTRS, "rejecting"
+        )
+        slow_leaf = SourceQuery(
+            parse_condition("author = 'Carl Jung'"), _ATTRS, "slow"
+        )
+        plan = IntersectPlan([doomed, slow_leaf, slow_leaf])
+        with AsyncExecutor(catalog) as executor:
+            started = time.perf_counter()
+            with pytest.raises(QueryFixingError):
+                executor.execute(plan)
+            elapsed = time.perf_counter() - started
+            # The slow branches (0.5 s) were cancelled, not awaited.
+            assert elapsed < 0.4
+            assert executor.pending_task_count() == 0
+            assert catalog["slow"].in_flight == 0
+            # The cancelled flight released its one concurrency slot:
+            # a fresh call on the same source completes instead of
+            # deadlocking on a leaked semaphore.
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(executor.execute, slow_leaf)
+                result = future.result(timeout=5.0)
+            assert len(result) >= 0
+        assert catalog["slow"].meter.snapshot().queries == 1
+
+    def test_cancellation_during_gate_wait_releases_nothing_twice(self):
+        catalog = self._world()
+        # Two *different* slow calls on a concurrency-1 source: the
+        # second waits on the gate itself when the intersect dies.
+        doomed = SourceQuery(
+            parse_condition("price <= 40"), _ATTRS, "rejecting"
+        )
+        slow_a = SourceQuery(
+            parse_condition("author = 'Carl Jung'"), _ATTRS, "slow"
+        )
+        slow_b = SourceQuery(
+            parse_condition("author = 'Sigmund Freud'"), _ATTRS, "slow"
+        )
+        plan = IntersectPlan([doomed, slow_a, slow_b])
+        with AsyncExecutor(catalog) as executor:
+            with pytest.raises(QueryFixingError):
+                executor.execute(plan)
+            assert executor.pending_task_count() == 0
+            assert catalog["slow"].in_flight == 0
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(executor.execute, slow_a)
+                future.result(timeout=5.0)
+
+
+class TestAdmissionIntegration:
+    def test_one_async_ask_holds_one_slot_despite_fan_out(self):
+        mediator = Mediator(executor="async", max_in_flight=1)
+        source = bookstore(n=100, seed=1999)
+        mediator.add_source(source)
+        try:
+            # The disjunction plans into a two-leaf union: both leaves
+            # execute inside the *one* admission slot this ask holds.
+            answer = mediator.ask(
+                "SELECT title FROM bookstore WHERE "
+                "author = 'Carl Jung' or author = 'Sigmund Freud'"
+            )
+            assert answer.report.queries == 2
+        finally:
+            mediator.close()
+
+    def test_second_concurrent_ask_sheds(self):
+        mediator = Mediator(executor="async", max_in_flight=1,
+                            admission_timeout=0.05)
+        source = bookstore(n=100, seed=1999)
+        source.latency = SimulatedLatency(seed=9, base=0.4, real_sleep=True)
+        mediator.add_source(source)
+        query = "SELECT title FROM bookstore WHERE author = 'Carl Jung'"
+        try:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                first = pool.submit(mediator.ask, query)
+                time.sleep(0.1)  # let the first ask take the slot
+                with pytest.raises(OverloadError):
+                    mediator.ask(query)
+                assert len(first.result(timeout=5.0).rows) > 0
+            # Slot released: the mediator serves again.
+            assert len(mediator.ask(query).rows) > 0
+        finally:
+            mediator.close()

@@ -39,6 +39,30 @@ class TestMaxInFlightFlag:
         assert "model=" in out
 
 
+class TestExecutorFlag:
+    def test_async_executor_runs_and_shows_task_workers(self, capsys):
+        assert trace_main([QUERY, "--executor", "async"]) == 0
+        out = capsys.readouterr().out
+        assert "executed in" in out
+        assert "model=" in out
+        # The timeline's source-call spans ran as loop tasks, not
+        # threads -- the async engine's signature in the trace.
+        assert "worker=Task-" in out
+
+    def test_async_composes_with_metrics_and_loadgen(self, capsys):
+        code = trace_main([
+            QUERY, "--executor", "async", "--loadgen", "2x4", "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "serving.request_seconds" in out
+
+    def test_serial_stays_the_default(self, capsys):
+        assert trace_main([QUERY]) == 0
+        assert "worker=Task-" not in capsys.readouterr().out
+
+
 class TestLoadgenFlag:
     def test_report_is_appended(self, capsys):
         code = trace_main([
