@@ -72,6 +72,9 @@ class Mediator:
         latency_objective: float | None = None,
         slo_target: float = 0.99,
         slow_query_log_entries: int = 128,
+        exemplar_slots: int = 4,
+        event_log_entries: int | None = None,
+        event_log_path=None,
     ):
         """``short_circuit_unsatisfiable`` answers provably empty queries
         (e.g. ``price < 10 and price > 20``) locally, without planning or
@@ -134,7 +137,21 @@ class Mediator:
         the bounded :class:`~repro.observability.slo.SlowQueryLog`
         (``slow_query_log_entries`` deep) with its canonical plan
         fingerprint, per-source meter deltas and -- when a recording
-        tracer is installed -- the rendered span timeline."""
+        tracer is installed -- the rendered span timeline.  The ask
+        latency histogram keeps ``exemplar_slots`` exemplars: the
+        (trace id, latency) of recent extreme asks, exported in
+        OpenMetrics exemplar syntax so a scraper can jump from a
+        latency bucket to the exact trace; traces an exemplar points
+        at are pinned in a :class:`SamplingTracer` so the link never
+        dangles.
+
+        ``event_log_entries`` arms the **wide-event request log**
+        (see :mod:`repro.observability.events`): one structured
+        :class:`~repro.observability.events.AskEvent` per :meth:`ask`
+        -- trace id, plan fingerprint, planning outcome, per-source
+        tallies, coalesced/batched hits, latency and outcome -- in a
+        bounded ring that deep, optionally mirrored to the JSONL file
+        ``event_log_path`` (a path alone also arms it)."""
         self.planner = planner if planner is not None else GenCompact()
         self.k1 = k1
         self.k2 = k2
@@ -177,10 +194,23 @@ class Mediator:
             self.ask_latency = Histogram(
                 "mediator.ask_seconds",
                 buckets=sorted(set(DEFAULT_BUCKETS) | {latency_objective}),
+                exemplar_slots=exemplar_slots,
             )
             self.slo = SLOTracker(self.ask_latency, latency_objective,
                                   target=slo_target)
             self.slow_queries = SlowQueryLog(slow_query_log_entries)
+        self.events = None
+        if event_log_entries is not None or event_log_path is not None:
+            from repro.observability.events import EventLog
+
+            self.events = EventLog(
+                capacity=event_log_entries or 256, path=event_log_path
+            )
+        #: Per-thread planning-outcome scratch: :meth:`plan` happens on
+        #: the asking thread (with every engine, async included), so a
+        #: thread-local is enough to hand the plan-cache outcome to the
+        #: ask's wide event without threading it through return values.
+        self._ask_scratch = threading.local()
         self.result_cache = None
         if result_cache_tuples is not None:
             from repro.plans.cache import ResultCache
@@ -244,6 +274,8 @@ class Mediator:
             closer = getattr(engine, "close", None)
             if closer is not None:
                 closer()
+        if self.events is not None:
+            self.events.close()
         # The default engine is always registered in _executors, so it
         # was closed above; rebuild it lazily via the same registry.
         if self._executor in engines.values():
@@ -412,6 +444,7 @@ class Mediator:
                         planner=cached.planner, feasible=cached.feasible,
                         cost=cached.cost, plan_cache="hit",
                     )
+                    self._ask_scratch.plan_cache = "hit"
                     return cached
                 span.add_event("plan.cache_miss", catalog_version=version)
                 if self.plan_templates is not None:
@@ -434,6 +467,7 @@ class Mediator:
                             planner=rebound.planner, feasible=rebound.feasible,
                             cost=rebound.cost, plan_cache="template_hit",
                         )
+                        self._ask_scratch.plan_cache = "template_hit"
                         return rebound
             result = scheme.plan(query, source, self.cost_model())
             result.catalog_version = version
@@ -447,6 +481,7 @@ class Mediator:
                         template_key, query.condition, result, version
                     )
                 span.set_attribute("plan_cache", "miss")
+                self._ask_scratch.plan_cache = "miss"
             span.set_attributes(
                 planner=result.planner, feasible=result.feasible,
                 cost=result.cost,
@@ -498,17 +533,24 @@ class Mediator:
         with get_tracer().span(
             "mediator.ask", query=str(query), source=query.source
         ) as span:
-            if self.slo is None:
+            if self.slo is None and self.events is None:
                 return self._admitted_ask(query, planner, span, executor)
+            self._ask_scratch.plan_cache = ""
             started = time.perf_counter()
             try:
                 answer = self._admitted_ask(query, planner, span, executor)
             except BaseException as exc:
-                self._observe_ask(query, time.perf_counter() - started,
-                                  None, exc, span)
+                duration = time.perf_counter() - started
+                if self.slo is not None:
+                    self._observe_ask(query, duration, None, exc, span)
+                if self.events is not None:
+                    self._emit_event(query, duration, None, exc, span)
                 raise
-            self._observe_ask(query, time.perf_counter() - started,
-                              answer, None, span)
+            duration = time.perf_counter() - started
+            if self.slo is not None:
+                self._observe_ask(query, duration, answer, None, span)
+            if self.events is not None:
+                self._emit_event(query, duration, answer, None, span)
             return answer
 
     def _admitted_ask(self, query: TargetQuery, planner: Planner | None,
@@ -525,7 +567,14 @@ class Mediator:
         feed the latency histograms, and append any objective breach to
         the slow-query log with its plan fingerprint, per-source meter
         deltas and (when a tracer records) the rendered timeline."""
-        self.ask_latency.observe(duration)
+        trace_id = span.trace_id or None
+        if self.ask_latency.observe(duration, trace_id=trace_id):
+            # The latency landed in an exemplar slot: the exported
+            # exemplar will point at this trace, so pin it through any
+            # sampling decision (a dangling exemplar helps nobody).
+            pin = getattr(get_tracer(), "pin_trace", None)
+            if pin is not None:
+                pin(trace_id)
         get_metrics().histogram("mediator.ask_seconds").observe(duration)
         if duration <= self.latency_objective:
             return
@@ -559,6 +608,51 @@ class Mediator:
             error=f"{type(error).__name__}: {error}" if error else None,
             per_source=per_source,
             timeline=timeline,
+            trace_id=span.trace_id or None,
+        ))
+
+    def _emit_event(self, query: TargetQuery, duration: float,
+                    answer: MediatorAnswer | None,
+                    error: BaseException | None, span) -> None:
+        """Append the wide event of one finished ask to the event log."""
+        from repro.errors import OverloadError
+        from repro.observability.events import AskEvent
+        from repro.observability.slo import plan_fingerprint
+        from repro.serving.plan_cache import plan_cache_key
+
+        if error is None:
+            outcome = "ok"
+        elif isinstance(error, OverloadError):
+            outcome = "shed"
+        else:
+            outcome = type(error).__name__
+        per_source: dict[str, list[int]] = {}
+        planner_name = None
+        answers = coalesced = batched = 0
+        if answer is not None:
+            planner_name = answer.planning.planner
+            report = answer.report
+            per_source = {
+                name: [delta.queries, delta.tuples]
+                for name, delta in report.per_source.items()
+            }
+            answers = len(report.result)
+            coalesced = report.coalesced_hits
+            batched = report.batched_hits
+        self.events.append(AskEvent(
+            query=str(query),
+            source=query.source,
+            outcome=outcome,
+            duration_seconds=duration,
+            trace_id=f"{span.trace_id:032x}" if span.trace_id else "",
+            fingerprint=plan_fingerprint(plan_cache_key(query)),
+            planner=planner_name,
+            plan_cache=getattr(self._ask_scratch, "plan_cache", ""),
+            per_source=per_source,
+            answers=answers,
+            coalesced_hits=coalesced,
+            batched_hits=batched,
+            error=f"{type(error).__name__}: {error}" if error else None,
         ))
 
     def _ask(self, query: TargetQuery, planner: Planner | None, span,

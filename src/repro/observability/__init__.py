@@ -28,13 +28,26 @@ dependency:
   :class:`TelemetryServer` (``/metrics`` / ``/health`` /
   ``/snapshot``);
 * :mod:`repro.observability.slo` -- :class:`SLOTracker` error-budget
-  accounting and the bounded :class:`SlowQueryLog`.
+  accounting and the bounded :class:`SlowQueryLog`;
+* :mod:`repro.observability.federation` -- mergeable snapshot
+  semantics and the :class:`FederatedScraper` that pulls N telemetry
+  servers into one :class:`ClusterView` over real HTTP;
+* :mod:`repro.observability.events` -- the wide-event request log:
+  one structured :class:`AskEvent` per ``Mediator.ask`` in a bounded
+  :class:`EventLog` ring with an optional JSONL file sink.
+
+Cross-process tracing lives in :mod:`repro.observability.trace` too:
+:class:`TraceContext` serializes a span's (trace id, span id,
+sampling decision) into a W3C-``traceparent``-style header dict via
+``inject``/``extract``, and ``Tracer.attach_remote`` parents local
+spans under the remote caller.
 """
 
 from repro.observability.exposition import (
     OPENMETRICS_CONTENT_TYPE,
     render_openmetrics,
 )
+from repro.observability.events import AskEvent, EventLog, read_events
 from repro.observability.export import (
     InMemoryCollector,
     JsonlExporter,
@@ -45,9 +58,17 @@ from repro.observability.export import (
     tree_shape,
     write_jsonl,
 )
+from repro.observability.federation import (
+    ClusterView,
+    FederatedScraper,
+    InstanceStatus,
+    merge_readings,
+    merge_snapshots,
+)
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -78,9 +99,11 @@ from repro.observability.slo import (
 from repro.observability.timeline import render_timeline
 from repro.observability.trace import (
     NULL_TRACER,
+    TRACEPARENT_HEADER,
     NullTracer,
     Span,
     SpanEvent,
+    TraceContext,
     Tracer,
     get_tracer,
     set_tracer,
@@ -89,12 +112,18 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "AskEvent",
+    "ClusterView",
     "ContentionProfiler",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EventLog",
+    "Exemplar",
+    "FederatedScraper",
     "Gauge",
     "Histogram",
     "InMemoryCollector",
+    "InstanceStatus",
     "JsonlExporter",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -111,16 +140,21 @@ __all__ = [
     "SlowQueryLog",
     "Span",
     "SpanEvent",
+    "TRACEPARENT_HEADER",
     "TelemetryServer",
+    "TraceContext",
     "Tracer",
     "get_metrics",
     "get_tracer",
+    "merge_readings",
+    "merge_snapshots",
     "orphan_spans",
     "phase_category",
     "plan_fingerprint",
     "profile_families",
     "profile_mediator",
     "quantile_from_snapshot",
+    "read_events",
     "read_jsonl",
     "render_openmetrics",
     "render_timeline",

@@ -14,10 +14,21 @@ Name mapping, deliberately mechanical so the golden test can pin it:
   name into a **label** (``source.cars.queries`` ->
   ``repro_source_queries_total{source="cars"}``), so every source is
   one series of the same family rather than its own family;
+* the per-instance namespace ``instance.<name>.<rest>`` (how a
+  federated cluster view keeps one shard's gauges apart -- see
+  :mod:`repro.observability.federation`) folds the instance into an
+  ``instance=`` label and maps the rest recursively, so
+  ``instance.shard-0.source.cars.in_flight`` renders as
+  ``repro_source_in_flight{instance="shard-0",source="cars"}``;
 * counters gain the ``_total`` suffix; gauges emit their value plus a
   ``_max`` companion for the high-water mark; histograms emit
   cumulative ``_bucket{le="..."}`` series (ending in ``le="+Inf"``),
-  ``_sum`` and ``_count``.
+  ``_sum`` and ``_count``;
+* a histogram reading carrying ``exemplars`` (see
+  :class:`~repro.observability.metrics.Histogram`) renders each one on
+  the bucket line its value falls into, in OpenMetrics exemplar syntax
+  -- ``... # {trace_id="<32-hex>"} <value> <timestamp>`` -- so a
+  scraper can jump from a latency bucket straight to the trace.
 
 Label values are escaped per the spec (backslash, double quote,
 newline).  :data:`OPENMETRICS_CONTENT_TYPE` is the content type the
@@ -65,10 +76,15 @@ def format_value(value: float) -> str:
 def metric_family(name: str) -> tuple[str, dict[str, str]]:
     """Registry name -> (family name, labels).
 
-    ``source.<name>.<metric>`` folds the source into a label; every
-    other dotted name maps 1:1 to an underscore family.
+    ``source.<name>.<metric>`` folds the source into a label, and
+    ``instance.<name>.<rest>`` folds a federation instance into a label
+    before mapping the rest recursively; every other dotted name maps
+    1:1 to an underscore family.
     """
     parts = name.split(".")
+    if parts[0] == "instance" and len(parts) >= 3:
+        family, labels = metric_family(".".join(parts[2:]))
+        return family, {"instance": parts[1], **labels}
     if parts[0] == "source" and len(parts) >= 3:
         family = "repro_source_" + "_".join(parts[2:])
         return sanitize_metric_name(family), {"source": parts[1]}
@@ -87,6 +103,40 @@ def _labels_text(labels: dict[str, str]) -> str:
 
 def _sample(name: str, labels: dict[str, str], value: float) -> str:
     return f"{name}{_labels_text(labels)} {format_value(value)}"
+
+
+def format_trace_id(trace_id: int) -> str:
+    """A trace id in its wire form (the 32-hex ``traceparent`` field),
+    so an exemplar's ``trace_id`` label greps against propagated
+    headers and exported span files alike."""
+    return f"{int(trace_id):032x}"
+
+
+def _exemplars_by_bucket(reading: dict[str, Any]) -> dict[Any, list]:
+    """Bucket key (boundary or ``"+Inf"``) -> the largest exemplar
+    whose value falls in that bucket (OpenMetrics allows at most one
+    exemplar per bucket line)."""
+    boundaries = [boundary for boundary, _ in reading.get("buckets", [])]
+    chosen: dict[Any, list] = {}
+    for exemplar in reading.get("exemplars") or []:
+        value = exemplar[0]
+        key: Any = "+Inf"
+        for boundary in boundaries:
+            if value <= boundary:
+                key = boundary
+                break
+        best = chosen.get(key)
+        if best is None or value > best[0]:
+            chosen[key] = exemplar
+    return chosen
+
+
+def _exemplar_text(exemplar: list) -> str:
+    value, trace_id, timestamp = exemplar
+    return (
+        f' # {{trace_id="{format_trace_id(trace_id)}"}} '
+        f"{format_value(value)} {format_value(timestamp)}"
+    )
 
 
 def render_openmetrics(snapshot: dict[str, dict[str, Any]]) -> str:
@@ -126,15 +176,22 @@ def render_openmetrics(snapshot: dict[str, dict[str, Any]]) -> str:
                 lines.append(_sample(f"{family}_max", labels,
                                      reading["max"]))
             elif kind == "histogram":
+                exemplars = _exemplars_by_bucket(reading)
                 for boundary, cumulative in reading.get("buckets", []):
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = format_value(boundary)
-                    lines.append(_sample(f"{family}_bucket", bucket_labels,
-                                         cumulative))
+                    line = _sample(f"{family}_bucket", bucket_labels,
+                                   cumulative)
+                    if boundary in exemplars:
+                        line += _exemplar_text(exemplars[boundary])
+                    lines.append(line)
                 inf_labels = dict(labels)
                 inf_labels["le"] = "+Inf"
-                lines.append(_sample(f"{family}_bucket", inf_labels,
-                                     reading["count"]))
+                line = _sample(f"{family}_bucket", inf_labels,
+                               reading["count"])
+                if "+Inf" in exemplars:
+                    line += _exemplar_text(exemplars["+Inf"])
+                lines.append(line)
                 lines.append(_sample(f"{family}_sum", labels,
                                      reading["sum"]))
                 lines.append(_sample(f"{family}_count", labels,

@@ -1,0 +1,349 @@
+"""Metrics federation: one registry-shaped view over N mediator shards.
+
+The ROADMAP's sharded mediator cluster needs "an aggregated /metrics +
+/health view across shards" -- a scraper that pulls every instance's
+``/snapshot`` + ``/health`` and answers for the *cluster* what a single
+:class:`~repro.observability.server.TelemetryServer` answers for one
+process.  Two layers, deliberately separable:
+
+**Merge semantics** (:func:`merge_readings` / :func:`merge_snapshots`)
+-- pure functions over exported snapshots, no sockets:
+
+* **counters sum**: the cluster served the union of the traffic, so
+  ``executor.attempts`` across shards is the plain sum;
+* **histograms merge bucket-wise**: all registries share the fixed
+  boundary set (``DEFAULT_BUCKETS``, fixed since the bucketed
+  histograms landed), so cumulative bucket counts, ``count`` and
+  ``sum`` add element-wise and min/max combine -- the merged histogram
+  is *exactly* the histogram a single process observing all the
+  traffic would have built, quantile estimates included.  Shards whose
+  boundaries disagree (a mediator with a custom SLO boundary) degrade
+  honestly: count/sum/min/max still merge, the bucket detail is
+  dropped and the reading is marked ``boundaries_conflict`` rather
+  than silently mis-summed;
+* **gauges keep per-instance identity**: "in-flight on shard 2" summed
+  with "in-flight on shard 5" answers no question anyone asks, so
+  gauges land in the merged view under ``instance.<name>.<metric>``
+  keys -- the exposition folds that prefix into an ``instance=`` label
+  (one family, one series per shard);
+* exemplars survive the merge: the union of the shards' exemplars,
+  largest first, re-bounded to the largest slot count seen.
+
+**The scraper** (:class:`FederatedScraper`) -- real HTTP over the
+instances' telemetry servers: one :meth:`~FederatedScraper.scrape`
+pulls every ``/snapshot`` + ``/health`` (stdlib ``urllib``, bounded
+timeout), merges the reachable ones and returns a :class:`ClusterView`
+that degrades gracefully: an unreachable instance is *marked* (``up``
+gauge 0, status ``unreachable``, last-known-good snapshot reused and
+flagged ``stale`` if one exists) and the scrape succeeds with whatever
+answered.  ``python -m repro.dash --cluster URL,URL,...`` renders the
+view; :meth:`ClusterView.render_openmetrics` re-exports it as
+OpenMetrics text with per-instance ``instance=`` labels.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.observability.exposition import render_openmetrics
+
+#: Synthetic families the scraper adds to every merged view.
+UP_METRIC = "up"
+STALE_METRIC = "stale"
+
+
+def instance_key(instance: str, name: str) -> str:
+    """The merged-view key of one instance's instrument ``name``."""
+    return f"instance.{instance}.{name}"
+
+
+def _merge_conflict(kind: str, readings: Sequence[dict[str, Any]]
+                    ) -> dict[str, Any]:
+    """A kind clash across instances: nothing meaningful to add up."""
+    return {"type": kind, "merge_conflict": True,
+            "kinds": sorted({r.get("type", "?") for r in readings})}
+
+
+def merge_readings(readings: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge one instrument's readings from N instances into one.
+
+    Counters sum; histograms add bucket-wise (same boundaries -- see
+    the module docstring for the conflict path); gauges are not meant
+    to reach here (:func:`merge_snapshots` keeps them per-instance) but
+    merge max-wise when fed directly.  Mixed kinds under one name are
+    marked ``merge_conflict`` instead of being guessed at.
+    """
+    if not readings:
+        raise ValueError("nothing to merge")
+    kind = readings[0].get("type")
+    if any(r.get("type") != kind for r in readings):
+        return _merge_conflict(kind or "?", readings)
+    if kind == "counter":
+        return {"type": "counter",
+                "value": sum(r.get("value", 0.0) for r in readings)}
+    if kind == "gauge":
+        return {
+            "type": "gauge",
+            "value": sum(r.get("value", 0.0) for r in readings),
+            "max": max(r.get("max", 0.0) for r in readings),
+        }
+    if kind == "histogram":
+        return _merge_histograms(readings)
+    return _merge_conflict(kind or "?", readings)
+
+
+def _merge_histograms(readings: Sequence[dict[str, Any]]
+                      ) -> dict[str, Any]:
+    count = sum(r.get("count", 0) for r in readings)
+    total = sum(r.get("sum", 0.0) for r in readings)
+    mins = [r.get("min") for r in readings if r.get("min") is not None]
+    maxes = [r.get("max") for r in readings if r.get("max") is not None]
+    merged: dict[str, Any] = {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+        "mean": total / count if count else 0.0,
+    }
+    boundary_sets = {
+        tuple(boundary for boundary, _ in r.get("buckets", []))
+        for r in readings
+    }
+    if len(boundary_sets) != 1:
+        # Shards disagree on bucket boundaries: the scalar aggregates
+        # above are still exact, the bucket detail is not mergeable.
+        merged["buckets"] = []
+        merged["boundaries_conflict"] = True
+    else:
+        buckets = []
+        for index, (boundary, _) in enumerate(
+            readings[0].get("buckets", [])
+        ):
+            buckets.append([
+                boundary,
+                sum(r["buckets"][index][1] for r in readings),
+            ])
+        merged["buckets"] = buckets
+    if any("exemplars" in r for r in readings):
+        # The union, largest first: the exposition picks at most one
+        # per bucket line, so keeping all of them costs nothing and
+        # loses no shard's extreme.
+        merged["exemplars"] = sorted(
+            (exemplar for r in readings
+             for exemplar in (r.get("exemplars") or [])),
+            key=lambda e: -e[0],
+        )
+    return merged
+
+
+def merge_snapshots(snapshots: Mapping[str, Mapping[str, dict[str, Any]]]
+                    ) -> dict[str, dict[str, Any]]:
+    """``instance name -> registry snapshot`` into one merged snapshot.
+
+    Counters and histograms merge under their own names; gauges keep
+    per-instance identity under ``instance.<name>.<metric>`` keys.  The
+    result is registry-shaped -- any consumer of a single process's
+    ``/snapshot`` (the dash, the OpenMetrics renderer, the quantile
+    estimator) reads the cluster view unchanged.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for instance in sorted(snapshots):
+        snapshot = snapshots[instance]
+        for name in sorted(snapshot):
+            reading = snapshot[name]
+            if reading.get("type") == "gauge":
+                merged[instance_key(instance, name)] = dict(reading)
+            else:
+                grouped.setdefault(name, []).append(reading)
+    for name, readings in grouped.items():
+        merged[name] = merge_readings(readings)
+    return merged
+
+
+@dataclass
+class InstanceStatus:
+    """One scraped instance's condition inside a :class:`ClusterView`."""
+
+    instance: str
+    url: str
+    #: ``ok`` | ``degraded`` (it answered but its /health is not ok) |
+    #: ``stale`` (unreachable now, last-known-good reused) |
+    #: ``unreachable`` (never answered; nothing to merge).
+    status: str
+    health: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    #: Seconds since this instance last answered (0.0 when it answered
+    #: in the scrape that built this view).
+    age_seconds: float = 0.0
+
+    @property
+    def reachable(self) -> bool:
+        return self.status in ("ok", "degraded")
+
+
+@dataclass
+class ClusterView:
+    """One merged scrape of a mediator cluster."""
+
+    instances: list[InstanceStatus]
+    merged: dict[str, dict[str, Any]]
+    scraped_at: float
+    elapsed_seconds: float
+
+    @property
+    def status(self) -> str:
+        """The cluster's one-word condition: ``ok`` only when every
+        instance answered healthy."""
+        if not self.instances:
+            return "empty"
+        if all(i.status == "ok" for i in self.instances):
+            return "ok"
+        if any(i.reachable for i in self.instances):
+            return "degraded"
+        return "unreachable"
+
+    def health(self) -> dict[str, Any]:
+        """A cluster-level health document (the federated analogue of
+        one server's ``/health``)."""
+        return {
+            "status": self.status,
+            "instances": {
+                i.instance: {
+                    "url": i.url,
+                    "status": i.status,
+                    **({"error": i.error} if i.error else {}),
+                }
+                for i in self.instances
+            },
+            "reachable": sum(1 for i in self.instances if i.reachable),
+            "scraped": len(self.instances),
+        }
+
+    def render_openmetrics(self) -> str:
+        """The merged view as OpenMetrics text (``instance=`` labels on
+        per-instance series, courtesy of the exposition's
+        ``instance.*`` folding)."""
+        return render_openmetrics(self.merged)
+
+
+class FederatedScraper:
+    """Pulls N telemetry servers into one :class:`ClusterView`.
+
+    ``targets`` are base URLs (``http://host:port``); each scrape GETs
+    ``/health`` and ``/snapshot`` from every target with a bounded
+    ``timeout``.  The scraper remembers each instance's last good
+    snapshot: a target that stops answering degrades to ``stale``
+    (its old numbers, marked) and finally stands as ``unreachable``
+    when it never answered at all -- the cluster view never throws
+    because one shard is down.  Thread-safe; one scraper may be shared
+    by a watch loop and a probe.
+    """
+
+    def __init__(self, targets: Sequence[str], timeout: float = 2.0):
+        if not targets:
+            raise ValueError("a FederatedScraper needs at least one target")
+        self.targets = [target.rstrip("/") for target in targets]
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        #: url -> (snapshot, health, monotonic time it was scraped).
+        self._last_good: dict[str, tuple[dict, dict, float]] = {}
+        self.scrapes = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def instance_name(url: str, health: Mapping[str, Any] | None = None
+                      ) -> str:
+        """The label an instance's series carry: the name its server
+        advertises in ``/health`` when configured, else ``host:port``."""
+        if health and health.get("instance"):
+            return str(health["instance"])
+        stripped = url.split("://", 1)[-1].rstrip("/")
+        return stripped or url
+
+    def _fetch_json(self, url: str) -> tuple[int, Any]:
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as reply:
+                return reply.status, json.loads(
+                    reply.read().decode("utf-8")
+                )
+        except urllib.error.HTTPError as reply:
+            # /health answers 503 while degraded -- the body is still
+            # the document; anything non-JSON raises like a miss.
+            return reply.code, json.loads(reply.read().decode("utf-8"))
+
+    def scrape_instance(self, url: str) -> tuple[dict, dict]:
+        """One target's ``(health, snapshot)`` over real HTTP (raises
+        on unreachable/garbled -- :meth:`scrape` does the catching)."""
+        _, health = self._fetch_json(url + "/health")
+        status, snapshot = self._fetch_json(url + "/snapshot")
+        if status != 200 or not isinstance(snapshot, dict):
+            raise ValueError(f"bad /snapshot from {url}: HTTP {status}")
+        return health, snapshot
+
+    # ------------------------------------------------------------------
+    def scrape(self) -> ClusterView:
+        """Pull every target once and merge what answered."""
+        started = time.perf_counter()
+        statuses: list[InstanceStatus] = []
+        snapshots: dict[str, dict] = {}
+        with self._lock:
+            self.scrapes += 1
+        for url in self.targets:
+            now = time.monotonic()
+            try:
+                health, snapshot = self.scrape_instance(url)
+            except (OSError, ValueError) as exc:
+                with self._lock:
+                    self.failures += 1
+                    remembered = self._last_good.get(url)
+                if remembered is not None:
+                    snapshot, health, scraped_at = remembered
+                    instance = self.instance_name(url, health)
+                    statuses.append(InstanceStatus(
+                        instance=instance, url=url, status="stale",
+                        health=health, error=str(exc),
+                        age_seconds=now - scraped_at,
+                    ))
+                    snapshots[instance] = snapshot
+                else:
+                    statuses.append(InstanceStatus(
+                        instance=self.instance_name(url), url=url,
+                        status="unreachable", error=str(exc),
+                    ))
+                continue
+            instance = self.instance_name(url, health)
+            with self._lock:
+                self._last_good[url] = (snapshot, health, now)
+            statuses.append(InstanceStatus(
+                instance=instance, url=url,
+                status="ok" if health.get("status") == "ok" else "degraded",
+                health=health,
+            ))
+            snapshots[instance] = snapshot
+        merged = merge_snapshots(snapshots)
+        for status in statuses:
+            merged[instance_key(status.instance, UP_METRIC)] = {
+                "type": "gauge",
+                "value": 1.0 if status.reachable else 0.0,
+                "max": 1.0,
+            }
+            merged[instance_key(status.instance, STALE_METRIC)] = {
+                "type": "gauge",
+                "value": 1.0 if status.status == "stale" else 0.0,
+                "max": 1.0,
+            }
+        return ClusterView(
+            instances=statuses,
+            merged=merged,
+            scraped_at=time.time(),
+            elapsed_seconds=time.perf_counter() - started,
+        )

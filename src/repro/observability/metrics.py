@@ -26,6 +26,13 @@ Three instrument kinds, deliberately minimal and dependency-free:
   harness, the execution report and the ``/metrics`` exposition all
   share -- one estimator, so they can never disagree.
 
+Histograms can additionally carry **exemplars** (``exemplar_slots > 0``):
+the ``(trace_id, value)`` of the most extreme recent observations, so a
+p99 spike on a dashboard links *directly* to the trace that caused it.
+Recording is opt-in per call site -- ``observe(value, trace_id=...)`` --
+and costs one comparison when the value is unremarkable, so the hot
+path stays hot.
+
 All instruments are thread-safe (one lock per instrument); creating an
 instrument is get-or-create and idempotent, so call sites just say
 ``get_metrics().counter("executor.retries").inc()``.
@@ -38,8 +45,10 @@ threads keep publishing.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 #: Default histogram boundaries (seconds): exponential from 0.5 ms to
@@ -122,6 +131,16 @@ class Gauge:
         self.max_value = 0.0
 
 
+@dataclass(frozen=True)
+class Exemplar:
+    """One extreme observation's identity: its value, the trace that
+    caused it, and when it happened (unix seconds)."""
+
+    value: float
+    trace_id: int
+    timestamp: float
+
+
 class Histogram:
     """Count / sum / min / max plus fixed cumulative buckets.
 
@@ -132,12 +151,20 @@ class Histogram:
     a streaming estimate -- linear interpolation inside the target
     bucket, clamped to the observed min/max -- without the histogram
     ever retaining a sample.
+
+    With ``exemplar_slots > 0`` the histogram additionally keeps the
+    :class:`Exemplar` of the largest recent observations that arrived
+    with a ``trace_id``: a new observation takes a free slot, or evicts
+    the smallest retained exemplar it exceeds.  The slow-query log and
+    the OpenMetrics exposition surface them, so "what was that p99
+    spike" resolves to a concrete trace instead of a bucket count.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "boundaries",
-                 "bucket_counts", "_lock")
+                 "bucket_counts", "exemplar_slots", "exemplars", "_lock")
 
-    def __init__(self, name: str, buckets: Sequence[float] | None = None):
+    def __init__(self, name: str, buckets: Sequence[float] | None = None,
+                 exemplar_slots: int = 0):
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -151,9 +178,17 @@ class Histogram:
         self.boundaries = boundaries
         #: Non-cumulative per-bucket counts; index len(boundaries) is +Inf.
         self.bucket_counts = [0] * (len(boundaries) + 1)
+        if exemplar_slots < 0:
+            raise ValueError("exemplar_slots must be >= 0")
+        self.exemplar_slots = exemplar_slots
+        #: Retained extreme observations, unordered (few slots).
+        self.exemplars: list[Exemplar] = []
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: int | None = None) -> bool:
+        """Record one observation; returns True when it landed in an
+        exemplar slot (the caller may then pin the trace so the
+        exported exemplar stays resolvable)."""
         index = bisect_left(self.boundaries, value)
         with self._lock:
             self.count += 1
@@ -163,6 +198,22 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if trace_id is None or not self.exemplar_slots:
+                return False
+            return self._record_exemplar_locked(value, trace_id)
+
+    def _record_exemplar_locked(self, value: float, trace_id: int) -> bool:
+        if len(self.exemplars) < self.exemplar_slots:
+            self.exemplars.append(Exemplar(value, trace_id, time.time()))
+            return True
+        smallest = min(range(len(self.exemplars)),
+                       key=lambda i: self.exemplars[i].value)
+        if value >= self.exemplars[smallest].value:
+            # Ties refresh: same-magnitude spikes keep the *recent* trace.
+            self.exemplars[smallest] = Exemplar(value, trace_id,
+                                                time.time())
+            return True
+        return False
 
     @property
     def mean(self) -> float:
@@ -190,7 +241,7 @@ class Histogram:
         for boundary, bucket in zip(self.boundaries, self.bucket_counts):
             running += bucket
             cumulative.append([boundary, running])
-        return {
+        reading = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
@@ -199,6 +250,14 @@ class Histogram:
             "mean": self.total / self.count if self.count else 0.0,
             "buckets": cumulative,
         }
+        if self.exemplar_slots:
+            # Only exemplar-carrying histograms grow the key, so every
+            # existing snapshot (and its golden) is byte-identical.
+            reading["exemplars"] = [
+                [e.value, e.trace_id, e.timestamp]
+                for e in sorted(self.exemplars, key=lambda e: -e.value)
+            ]
+        return reading
 
     def reset(self) -> None:
         with self._lock:
@@ -210,6 +269,7 @@ class Histogram:
         self.min = None
         self.max = None
         self.bucket_counts = [0] * len(self.bucket_counts)
+        self.exemplars = []
 
 
 def quantile_from_snapshot(reading: dict[str, Any], q: float) -> float:
@@ -286,13 +346,16 @@ class MetricsRegistry:
         return self._get_or_create(name, Gauge)
 
     def histogram(self, name: str,
-                  buckets: Sequence[float] | None = None) -> Histogram:
-        """Get-or-create; ``buckets`` only applies on first creation
-        (an existing histogram keeps the boundaries it was born with)."""
+                  buckets: Sequence[float] | None = None,
+                  exemplar_slots: int = 0) -> Histogram:
+        """Get-or-create; ``buckets`` and ``exemplar_slots`` only apply
+        on first creation (an existing histogram keeps the boundaries
+        and slots it was born with)."""
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = Histogram(name, buckets=buckets)
+                instrument = Histogram(name, buckets=buckets,
+                                       exemplar_slots=exemplar_slots)
                 self._instruments[name] = instrument
                 return instrument
         if not isinstance(instrument, Histogram):
@@ -356,6 +419,9 @@ class MetricsRegistry:
                 for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
                     reading[label] = quantile_from_snapshot(reading, q)
                 reading.pop("buckets")
+                exemplars = reading.pop("exemplars", None)
+                if exemplars:
+                    reading["exemplars"] = len(exemplars)
             detail = ", ".join(
                 f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
                 for k, v in reading.items() if v is not None

@@ -14,7 +14,19 @@ load.  :class:`SamplingTracer` is the production variant:
   keeping, and a head decision cannot see them;
 * **bounded ring buffer**: kept spans land in a ``deque(maxlen=...)``,
   so memory is capped however long the process serves; the oldest kept
-  spans are evicted first (counted, never silently).
+  spans are evicted first (counted, never silently);
+* **propagated decisions**: a trace attached from another process via
+  :meth:`~repro.observability.trace.Tracer.attach_remote` carries the
+  *caller's* sampling decision, and this tracer honors it instead of
+  re-flipping its own coin -- the only way a cross-process trace is
+  ever kept (or dropped) as one unit.  The top local span of such a
+  trace parents under the remote placeholder, so it is recognized as
+  the local root and the trace completes normally;
+* **pinned traces**: a trace whose latency landed in a histogram's
+  exemplar slots (see :class:`~repro.observability.metrics.Histogram`)
+  is kept regardless of the head decision -- an exported exemplar
+  pointing at a dropped trace would be a dead link.  Pin with
+  :meth:`SamplingTracer.pin_trace` *before* the root finishes.
 
 Until a trace's root span finishes, its spans sit in a per-trace
 pending buffer (tail rules need the whole trace).  A trace whose root
@@ -63,11 +75,16 @@ class SamplingTracer(Tracer):
         self.max_pending_traces = max_pending_traces
         self._ring: deque[Span] = deque(maxlen=capacity)
         self._pending: dict[int, list[Span]] = {}
+        #: Trace ids that must be kept whatever the head decision says
+        #: (exemplar-recorded observations point at them).  Bounded like
+        #: the pending table; an id is consumed when its trace settles.
+        self._pinned: set[int] = set()
         self.traces_kept = 0
         self.traces_dropped = 0
         self.spans_kept = 0
         self.spans_dropped = 0
         self.spans_evicted = 0
+        self.traces_pinned = 0
 
     # -- decisions -----------------------------------------------------
     def head_decision(self, trace_id: int) -> bool:
@@ -77,6 +94,30 @@ class SamplingTracer(Tracer):
         if self.ratio <= 0.0:
             return False
         return random.Random((self.seed << 32) ^ trace_id).random() < self.ratio
+
+    def sampling_decision(self, trace_id: int) -> bool:
+        """The decision to propagate onward: a remote caller's decision
+        is honored verbatim; an origin trace uses the head coin."""
+        with self._lock:
+            return self._decision_locked(trace_id)
+
+    def _decision_locked(self, trace_id: int) -> bool:
+        remote = self._remote_traces.get(trace_id)
+        if remote is not None:
+            return remote.sampled
+        return self.head_decision(trace_id)
+
+    def pin_trace(self, trace_id: int) -> None:
+        """Force-keep ``trace_id`` whatever the head decision says.
+
+        The mediator calls this the moment a latency histogram records
+        an exemplar for the trace, so every exported exemplar's trace
+        is resolvable in the ring.  Bounded alongside the pending
+        table; pinning after the trace already settled is a no-op.
+        """
+        with self._lock:
+            if len(self._pinned) < self.max_pending_traces:
+                self._pinned.add(trace_id)
 
     def _tail_keep(self, root: Span, spans: list[Span]) -> str | None:
         """The tail rule that keeps this trace, or ``None``."""
@@ -88,20 +129,33 @@ class SamplingTracer(Tracer):
         return None
 
     # -- the recording hook --------------------------------------------
+    def _is_local_root_locked(self, span: Span) -> bool:
+        """A root here: no parent at all, or the parent is the remote
+        placeholder of an attached cross-process context (the remote
+        span finishes in *its* process; waiting for it locally would
+        pend the trace forever)."""
+        if span.parent_id is None:
+            return True
+        remote = self._remote_traces.get(span.trace_id)
+        return remote is not None and span.parent_id == remote.span_id
+
     def _record(self, span: Span) -> None:
         exporters: list = []
         kept: list[Span] = []
         with self._lock:
             bucket = self._pending.setdefault(span.trace_id, [])
             bucket.append(span)
-            if span.parent_id is not None:
+            if not self._is_local_root_locked(span):
                 self._evict_pending_locked()
                 return
             # The root finished: the whole trace is in hand -- decide.
             spans = self._pending.pop(span.trace_id)
-            if self.head_decision(span.trace_id) or self._tail_keep(
-                span, spans
-            ):
+            pinned = span.trace_id in self._pinned
+            self._pinned.discard(span.trace_id)
+            if pinned:
+                self.traces_pinned += 1
+            if self._decision_locked(span.trace_id) or pinned \
+                    or self._tail_keep(span, spans):
                 kept = spans
                 self.traces_kept += 1
                 self.spans_kept += len(spans)
@@ -151,8 +205,10 @@ class SamplingTracer(Tracer):
                 "spans_kept": self.spans_kept,
                 "spans_dropped": self.spans_dropped,
                 "spans_evicted": self.spans_evicted,
+                "traces_pinned": self.traces_pinned,
                 "ring_size": len(self._ring),
                 "pending_traces": len(self._pending),
+                "pinned_traces": len(self._pinned),
             }
 
     def format_stats(self) -> str:
@@ -178,8 +234,10 @@ class SamplingTracer(Tracer):
             self._finished.clear()
             self._ring.clear()
             self._pending.clear()
+            self._pinned.clear()
             self.traces_kept = 0
             self.traces_dropped = 0
             self.spans_kept = 0
             self.spans_dropped = 0
             self.spans_evicted = 0
+            self.traces_pinned = 0

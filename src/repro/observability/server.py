@@ -59,13 +59,18 @@ class TelemetryServer:
         registry: MetricsRegistry | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        instance: str | None = None,
     ):
         """``mediator`` is optional: without one, ``/health`` reports
         only the process-level status and is always ``ok``.  The
         ``registry`` defaults to the process-wide one *at request
-        time*, so a scoped ``use_metrics`` block is respected."""
+        time*, so a scoped ``use_metrics`` block is respected.
+        ``instance`` names this server inside a federated cluster
+        view (see :mod:`repro.observability.federation`); unset, the
+        scraper falls back to ``host:port``."""
         self.mediator = mediator
         self._registry = registry
+        self.instance = instance
         self.host = host
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
@@ -91,6 +96,8 @@ class TelemetryServer:
     def health(self) -> dict[str, Any]:
         """The ``/health`` document (also usable in-process)."""
         document: dict[str, Any] = {"status": "ok"}
+        if self.instance is not None:
+            document["instance"] = self.instance
         mediator = self.mediator
         if mediator is not None:
             document["catalog_version"] = mediator.catalog_version

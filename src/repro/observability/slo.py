@@ -61,6 +61,9 @@ class SlowQuery:
     #: Source name -> (queries, tuples) meter delta of this execution.
     per_source: dict[str, tuple[int, int]] = field(default_factory=dict)
     timeline: str | None = None
+    #: The ask's trace id when a tracer was recording -- the join key
+    #: against exported spans and OpenMetrics exemplars.
+    trace_id: int | None = None
     wall_time: float = field(default_factory=time.time)
 
     def format(self) -> str:
@@ -75,6 +78,8 @@ class SlowQuery:
             lines.append(f"    planner={self.planner} source={self.source}")
         if self.error:
             lines.append(f"    error={self.error}")
+        if self.trace_id is not None:
+            lines.append(f"    trace_id={self.trace_id:032x}")
         for name in sorted(self.per_source):
             queries, tuples = self.per_source[name]
             lines.append(f"    {name}: {queries} queries, {tuples} tuples")

@@ -37,7 +37,10 @@ objective of 0 ms when ``--slo`` was not given, so every ask logs);
 ephemeral port), scrapes its ``/metrics`` and ``/health`` over real
 HTTP and prints both -- the one-command proof the exposition works;
 ``--profile`` runs with the continuous profiler on and prints the
-phase (wall/CPU) and lock-wait breakdown after the run.
+phase (wall/CPU) and lock-wait breakdown after the run; ``--events``
+arms the wide-event request log (one structured event per ask --
+trace id, plan fingerprint, planning outcome, latency, outcome) and
+prints it after the run.
 
 The catalog is :func:`~repro.source.library.standard_catalog` plus the
 Example 4.1 ``cars`` source, so the paper's running example works
@@ -70,7 +73,8 @@ def build_mediator(planner_name: str = "gencompact",
                    plan_cache: int | None = None,
                    max_in_flight: int | None = None,
                    latency_objective: float | None = None,
-                   executor: str | None = None) -> Mediator:
+                   executor: str | None = None,
+                   event_log_entries: int | None = None) -> Mediator:
     """The CLI's mediator: library catalog + Example 4.1's cars source."""
     from repro.__main__ import _make_planner
 
@@ -79,6 +83,7 @@ def build_mediator(planner_name: str = "gencompact",
         executor=executor,
         plan_cache_entries=plan_cache, max_in_flight=max_in_flight,
         latency_objective=latency_objective,
+        event_log_entries=event_log_entries,
     )
     for source in standard_catalog().values():
         mediator.add_source(source)
@@ -157,6 +162,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="run with the continuous profiler on and "
                              "print the phase (wall/CPU) and lock-wait "
                              "breakdown after the run")
+    parser.add_argument("--events", action="store_true",
+                        help="arm the wide-event request log (one "
+                             "structured event per ask) and print it "
+                             "after the run")
     args = parser.parse_args(argv)
 
     loadgen = _parse_loadgen(args.loadgen) if args.loadgen else None
@@ -171,7 +180,9 @@ def main(argv: list[str] | None = None) -> int:
         mediator = build_mediator(args.planner, args.workers,
                                   args.plan_cache, args.max_in_flight,
                                   latency_objective=objective,
-                                  executor=args.executor)
+                                  executor=args.executor,
+                                  event_log_entries=256 if args.events
+                                  else None)
         if args.sample is not None:
             tracer = SamplingTracer(ratio=args.sample,
                                     slow_threshold=objective)
@@ -251,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.slowlog:
         print()
         print(mediator.slow_queries.format())
+    if args.events:
+        print()
+        print(mediator.events.format())
 
     if args.serve is not None:
         import urllib.error

@@ -1,0 +1,349 @@
+"""Cross-process trace propagation: ``TraceContext`` inject/extract,
+remote-parented spans, and propagated sampling decisions.
+
+The contract under test: a context injected on one side and extracted
+on the other reconstructs the same identity bit-for-bit; spans opened
+under ``attach_remote`` land in the caller's trace with the caller's
+span as parent; a ``SamplingTracer`` on the callee side honors the
+*caller's* sampling decision instead of re-flipping its own coin; and
+a remote-parented trace survives the JSONL export/reload round trip
+with its ancestry intact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    NullTracer,
+    SamplingTracer,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    Tracer,
+    read_jsonl,
+    use_tracer,
+    write_jsonl,
+)
+from repro.observability.trace import MAX_REMOTE_TRACES
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        context = TraceContext(trace_id=0xABC, span_id=0x123, sampled=True)
+        header = context.to_traceparent()
+        assert header == f"00-{0xABC:032x}-{0x123:016x}-01"
+        assert TraceContext.from_traceparent(header) == context
+
+    def test_unsampled_flag_round_trips(self):
+        context = TraceContext(trace_id=5, span_id=9, sampled=False)
+        assert context.to_traceparent().endswith("-00")
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed is not None and parsed.sampled is False
+
+    def test_inject_extract_round_trip(self):
+        context = TraceContext(trace_id=(1 << 127) + 3, span_id=(1 << 63) + 7)
+        carrier = context.inject()
+        assert TRACEPARENT_HEADER in carrier
+        assert TraceContext.extract(carrier) == context
+
+    def test_inject_into_existing_headers_preserves_them(self):
+        carrier = {"content-type": "application/json"}
+        TraceContext(trace_id=1, span_id=2).inject(carrier)
+        assert carrier["content-type"] == "application/json"
+        assert TraceContext.extract(carrier) is not None
+
+    def test_extract_is_header_case_insensitive(self):
+        context = TraceContext(trace_id=7, span_id=11)
+        carrier = {"Traceparent": context.to_traceparent()}
+        assert TraceContext.extract(carrier) == context
+
+    @pytest.mark.parametrize("header", [
+        "",
+        "garbage",
+        "00-zz-11-01",                              # non-hex
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "1" * 31 + "-" + "1" * 16 + "-01",  # short trace id
+        "00-" + "1" * 32 + "-" + "1" * 16 + "-1",   # short flags
+        None,
+        42,
+    ])
+    def test_malformed_headers_extract_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+        carrier = {TRACEPARENT_HEADER: header}
+        assert TraceContext.extract(carrier) is None
+
+    def test_uppercase_hex_is_normalized_not_rejected(self):
+        header = "00-" + "A" * 32 + "-" + "1" * 16 + "-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == int("a" * 32, 16)
+
+    def test_extract_of_empty_or_missing_carrier(self):
+        assert TraceContext.extract(None) is None
+        assert TraceContext.extract({}) is None
+        assert TraceContext.extract({"other": "x"}) is None
+
+    def test_out_of_range_ids_are_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=0, span_id=1)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=1, span_id=0)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=1 << 128, span_id=1)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=1, span_id=1 << 64)
+
+
+class TestCurrentContext:
+    def test_no_open_span_means_no_context(self):
+        assert Tracer().current_trace_context() is None
+
+    def test_context_snapshots_the_active_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"), tracer.span("inner") as inner:
+            context = tracer.current_trace_context()
+            assert context is not None
+            assert context.trace_id == inner.trace_id
+            assert context.span_id == inner.span_id
+            assert context.sampled is True
+
+    def test_full_recorder_propagates_sampled_true(self):
+        tracer = Tracer()
+        assert tracer.sampling_decision(12345) is True
+
+    def test_null_tracer_has_no_context_and_samples_nothing(self):
+        tracer = NullTracer()
+        assert tracer.current_trace_context() is None
+        assert tracer.sampling_decision(1) is False
+        assert tracer.remote_context(1) is None
+        context = TraceContext(trace_id=1, span_id=1)
+        with tracer.attach_remote(context):
+            pass  # a no-op context manager, not an error
+
+
+class TestAttachRemote:
+    def _hop(self, caller, callee):
+        """One simulated process hop: caller injects, callee extracts."""
+        with caller.span("client.call"):
+            carrier = caller.current_trace_context().inject()
+        context = TraceContext.extract(carrier)
+        with callee.attach_remote(context):
+            with callee.span("server.ask"):
+                with callee.span("server.plan"):
+                    pass
+        return context
+
+    def test_local_spans_join_the_remote_trace(self):
+        caller, callee = Tracer(), Tracer()
+        context = self._hop(caller, callee)
+        spans = callee.finished_spans()
+        assert [s.name for s in spans] == ["server.plan", "server.ask"]
+        assert all(s.trace_id == context.trace_id for s in spans)
+        root = spans[-1]
+        assert root.parent_id == context.span_id
+        assert spans[0].parent_id == root.span_id
+
+    def test_placeholder_span_is_never_recorded(self):
+        callee = Tracer()
+        context = TraceContext(trace_id=3, span_id=4)
+        with callee.attach_remote(context) as placeholder:
+            assert placeholder.attributes["remote"] is True
+        assert callee.finished_spans() == []
+
+    def test_remote_context_is_remembered(self):
+        callee = Tracer()
+        context = TraceContext(trace_id=21, span_id=22, sampled=False)
+        with callee.attach_remote(context):
+            assert callee.remote_context(21) == context
+        assert callee.remote_context(999) is None
+
+    def test_remote_table_is_bounded(self):
+        callee = Tracer()
+        for offset in range(MAX_REMOTE_TRACES + 10):
+            with callee.attach_remote(
+                TraceContext(trace_id=offset + 1, span_id=1)
+            ):
+                pass
+        assert callee.remote_context(1) is None  # oldest evicted
+        assert callee.remote_context(MAX_REMOTE_TRACES + 10) is not None
+
+    def test_nested_local_work_sees_remote_ancestry_in_context(self):
+        callee = Tracer()
+        context = TraceContext(trace_id=77, span_id=88)
+        with callee.attach_remote(context):
+            with callee.span("work"):
+                current = callee.current_trace_context()
+                assert current.trace_id == 77
+                assert current.span_id != 88  # the local span, not the
+                # remote placeholder, is what propagates onward
+
+
+class TestPropagatedSamplingDecision:
+    def _serve_remote(self, tracer, context):
+        with tracer.attach_remote(context):
+            with tracer.span("server.ask"):
+                pass
+
+    def test_remote_keep_decision_overrides_local_drop(self):
+        tracer = SamplingTracer(ratio=0.0)  # would drop everything
+        context = TraceContext(trace_id=101, span_id=5, sampled=True)
+        self._serve_remote(tracer, context)
+        assert tracer.traces_kept == 1
+        assert tracer.sampling_decision(101) is True
+
+    def test_remote_drop_decision_overrides_local_keep(self):
+        tracer = SamplingTracer(ratio=1.0)  # would keep everything
+        context = TraceContext(trace_id=102, span_id=5, sampled=False)
+        self._serve_remote(tracer, context)
+        assert tracer.traces_dropped == 1
+        assert tracer.sampling_decision(102) is False
+
+    def test_unknown_trace_falls_back_to_the_head_coin(self):
+        tracer = SamplingTracer(ratio=1.0)
+        assert tracer.sampling_decision(424242) is True
+
+    def test_tail_rules_still_keep_an_unsampled_remote_error(self):
+        tracer = SamplingTracer(ratio=0.0)
+        context = TraceContext(trace_id=103, span_id=5, sampled=False)
+        with tracer.attach_remote(context):
+            with pytest.raises(RuntimeError):
+                with tracer.span("server.ask"):
+                    raise RuntimeError("boom")
+        assert tracer.traces_kept == 1
+
+    def test_remote_parented_root_settles_the_trace(self):
+        """The local top span under attach_remote *is* the local root:
+        the trace must settle, not pend forever waiting for the remote
+        parent to finish in this process."""
+        tracer = SamplingTracer(ratio=1.0)
+        context = TraceContext(trace_id=104, span_id=5, sampled=True)
+        with tracer.attach_remote(context):
+            with tracer.span("server.ask"):
+                with tracer.span("server.plan"):
+                    pass
+        assert tracer.stats()["pending_traces"] == 0
+        assert tracer.traces_kept == 1
+        assert tracer.spans_kept == 2
+
+    def test_decision_is_propagated_onward_unchanged(self):
+        """A middle hop re-injects the decision it extracted."""
+        tracer = SamplingTracer(ratio=1.0)  # local coin says keep
+        inbound = TraceContext(trace_id=105, span_id=5, sampled=False)
+        with tracer.attach_remote(inbound):
+            with use_tracer(tracer):
+                with tracer.span("server.ask"):
+                    outbound = tracer.current_trace_context()
+        assert outbound.trace_id == 105
+        assert outbound.sampled is False  # the caller's decision, not ours
+
+
+class TestPinnedTraces:
+    def test_pin_keeps_a_trace_the_head_would_drop(self):
+        tracer = SamplingTracer(ratio=0.0)
+        with tracer.span("root") as root:
+            tracer.pin_trace(root.trace_id)
+        assert tracer.traces_kept == 1
+        assert tracer.traces_pinned == 1
+        assert tracer.stats()["pinned_traces"] == 0  # consumed
+
+    def test_pin_after_settle_is_a_noop(self):
+        tracer = SamplingTracer(ratio=0.0)
+        with tracer.span("root") as root:
+            pass
+        tracer.pin_trace(root.trace_id)
+        assert tracer.traces_kept == 0
+        assert tracer.stats()["pinned_traces"] == 1  # parked, bounded
+
+    def test_pin_table_is_bounded(self):
+        tracer = SamplingTracer(ratio=0.0, max_pending_traces=4)
+        for trace_id in range(1, 10):
+            tracer.pin_trace(trace_id)
+        assert tracer.stats()["pinned_traces"] == 4
+
+    def test_reset_clears_pins(self):
+        tracer = SamplingTracer(ratio=0.0)
+        tracer.pin_trace(1)
+        tracer.reset()
+        assert tracer.stats()["pinned_traces"] == 0
+        assert tracer.traces_pinned == 0
+
+
+class TestExportRoundTrip:
+    def test_remote_parented_trace_survives_jsonl(self, tmp_path):
+        """Serialize a remote-parented trace, reload it, and check the
+        ancestry: the reloaded spans still chain up to the remote span
+        id that never lived in this process."""
+        caller, callee = Tracer(), SamplingTracer(ratio=1.0)
+        with caller.span("client.call"):
+            carrier = caller.current_trace_context().inject()
+        context = TraceContext.extract(carrier)
+        with callee.attach_remote(context):
+            with callee.span("server.ask"):
+                with callee.span("server.plan"):
+                    pass
+                with callee.span("server.execute"):
+                    pass
+        path = tmp_path / "remote.jsonl"
+        count = write_jsonl(callee.finished_spans(), path)
+        assert count == 3
+        reloaded = read_jsonl(path)
+        assert len(reloaded) == 3
+        by_name = {span.name: span for span in reloaded}
+        root = by_name["server.ask"]
+        assert root.trace_id == context.trace_id
+        assert root.parent_id == context.span_id
+        for child in ("server.plan", "server.execute"):
+            assert by_name[child].parent_id == root.span_id
+            assert by_name[child].trace_id == context.trace_id
+        # The reloaded ids re-inject to the same wire form.
+        rebuilt = TraceContext(trace_id=root.trace_id, span_id=root.span_id)
+        again = TraceContext.extract(rebuilt.inject())
+        assert (again.trace_id, again.span_id) == (root.trace_id,
+                                                   root.span_id)
+
+
+class TestConcurrentRemoteAttach:
+    def test_parallel_hops_keep_their_own_ancestry(self):
+        """16 threads each attach a distinct remote context and trace
+        local work; every span must land in its own thread's remote
+        trace (ContextVar isolation) and every decision must be honored
+        exactly."""
+        tracer = SamplingTracer(ratio=0.0, capacity=4096)
+        contexts = [
+            # High span ids: a real remote id comes from another
+            # process's allocator and never collides with this one's
+            # low sequential ids.
+            TraceContext(trace_id=1000 + i, span_id=(1 << 40) + i,
+                         sampled=(i % 2 == 0))
+            for i in range(16)
+        ]
+        errors: list[BaseException] = []
+
+        def hop(context: TraceContext) -> None:
+            try:
+                for _ in range(20):
+                    with tracer.attach_remote(context):
+                        with tracer.span("server.ask"):
+                            with tracer.span("server.plan"):
+                                pass
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hop, args=(c,))
+                   for c in contexts]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        sampled = {c.trace_id for c in contexts if c.sampled}
+        assert tracer.traces_kept == 20 * len(sampled)
+        assert tracer.traces_dropped == 20 * (16 - len(sampled))
+        for span in tracer.finished_spans():
+            assert span.trace_id in sampled
+            context = tracer.remote_context(span.trace_id)
+            if span.name == "server.ask":
+                assert span.parent_id == context.span_id
